@@ -1,0 +1,49 @@
+(* Plain-text table rendering for the benchmark harness. *)
+
+let hrule widths =
+  "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+
+let render_row widths cells =
+  "| "
+  ^ String.concat " | "
+      (List.map2
+         (fun w c -> Printf.sprintf "%-*s" w c)
+         widths cells)
+  ^ " |"
+
+(* [table ~title header rows] prints an aligned ASCII table. *)
+let table ~title header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+  in
+  Printf.printf "\n%s\n" title;
+  print_endline (hrule widths);
+  print_endline (render_row widths header);
+  print_endline (hrule widths);
+  List.iter (fun row -> print_endline (render_row widths row)) rows;
+  print_endline (hrule widths)
+
+let section name =
+  Printf.printf "\n=== %s %s\n" name (String.make (max 1 (72 - String.length name)) '=')
+
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let commas n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let b = Buffer.create (len + len / 3) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char b ',';
+      Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let bytes_human n =
+  if n >= 1 lsl 30 then Printf.sprintf "%.1fGB" (float_of_int n /. 1073741824.0)
+  else if n >= 1 lsl 20 then Printf.sprintf "%.1fMB" (float_of_int n /. 1048576.0)
+  else if n >= 1 lsl 10 then Printf.sprintf "%.1fKB" (float_of_int n /. 1024.0)
+  else Printf.sprintf "%dB" n

@@ -1,0 +1,1 @@
+bin/survey_tool.ml: Array List Mpk Nvm Printf Sim Survey Sys Treasury Zofs

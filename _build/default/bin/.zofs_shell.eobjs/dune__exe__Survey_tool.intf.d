@@ -1,0 +1,1 @@
+bin/survey_tool.mli:

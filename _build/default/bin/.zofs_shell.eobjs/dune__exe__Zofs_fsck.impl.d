@@ -1,0 +1,1 @@
+bin/zofs_fsck.ml: Array List Mpk Nvm Option Printf Sim String Sys Treasury Zofs

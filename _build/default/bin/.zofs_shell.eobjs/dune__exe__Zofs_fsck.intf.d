@@ -1,0 +1,1 @@
+bin/zofs_fsck.mli:

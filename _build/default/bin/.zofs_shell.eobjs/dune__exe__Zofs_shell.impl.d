@@ -1,0 +1,1 @@
+bin/zofs_shell.ml: Array In_channel List Mpk Nvm Option Printf Sim String Sys Treasury Zofs

@@ -1,0 +1,1 @@
+examples/kvstore.ml: Kvdb Printf Sim Treasury Workloads

@@ -1,0 +1,1 @@
+examples/protection_demo.ml: Mpk Nvm Option Printf Sim Treasury Zofs

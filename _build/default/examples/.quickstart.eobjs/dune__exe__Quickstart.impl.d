@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Mpk Nvm Printf Sim String Treasury Zofs

@@ -1,0 +1,1 @@
+examples/webfiles.ml: List Mpk Nvm Printf Sim Survey Treasury Zofs

@@ -1,0 +1,1 @@
+lib/baselines/engine.ml: Array Bytes Float Hashtbl List Mpk Nvm Printf Result Sim String Treasury

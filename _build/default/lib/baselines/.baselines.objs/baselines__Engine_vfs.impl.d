@@ -1,0 +1,1 @@
+lib/baselines/engine_vfs.ml: Engine

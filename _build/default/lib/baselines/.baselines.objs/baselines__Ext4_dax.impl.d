@@ -1,0 +1,1 @@
+lib/baselines/ext4_dax.ml: Engine Engine_vfs Mpk Nvm Treasury

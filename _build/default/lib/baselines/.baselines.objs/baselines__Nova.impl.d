@@ -1,0 +1,1 @@
+lib/baselines/nova.ml: Engine Engine_vfs Mpk Nvm Treasury

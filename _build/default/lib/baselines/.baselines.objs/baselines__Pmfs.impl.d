@@ -1,0 +1,1 @@
+lib/baselines/pmfs.ml: Engine Engine_vfs Mpk Nvm Treasury

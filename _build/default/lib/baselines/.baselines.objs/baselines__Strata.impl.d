@@ -1,0 +1,1 @@
+lib/baselines/strata.ml: Bytes Engine Hashtbl List Mpk Nvm Option Printf Result Sim String Treasury

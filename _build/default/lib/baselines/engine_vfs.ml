@@ -1,0 +1,27 @@
+(* Engine packaged as a Treasury.Vfs.S module (all baselines share it). *)
+
+type t = Engine.t
+
+let name = Engine.name
+let openf = Engine.openf
+let mkdir = Engine.mkdir
+let rmdir = Engine.rmdir
+let unlink = Engine.unlink
+let rename = Engine.rename
+let stat = Engine.stat
+let lstat = Engine.lstat
+let readdir = Engine.readdir
+let chmod = Engine.chmod
+let chown = Engine.chown
+let symlink = Engine.symlink
+let readlink = Engine.readlink
+let truncate = Engine.truncate
+let close = Engine.close
+let read = Engine.read
+let pread = Engine.pread
+let write = Engine.write
+let pwrite = Engine.pwrite
+let lseek = Engine.lseek
+let fsync = Engine.fsync
+let fstat = Engine.fstat
+let ftruncate = Engine.ftruncate

@@ -1,0 +1,1 @@
+lib/core/alloc_table.ml: Hashtbl List Nvm Rbtree

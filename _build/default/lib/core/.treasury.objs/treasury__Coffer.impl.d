@@ -1,0 +1,1 @@
+lib/core/coffer.ml: Nvm String

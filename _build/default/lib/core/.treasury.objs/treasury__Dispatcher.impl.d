@@ -1,0 +1,1 @@
+lib/core/dispatcher.ml: Errno Fd_table Fs_types Hashtbl Kernfs Nvm Pathx Result Ufs_intf Vfs

@@ -1,0 +1,1 @@
+lib/core/fd_table.ml: Array Buffer Char Errno Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/kernfs.ml: Alloc_table Coffer Errno Fs_types Gate Hashtbl List Mpk Nvm Path_map Pathx Result Sim String

@@ -1,0 +1,1 @@
+lib/core/kernfs.mli: Alloc_table Coffer Errno Gate Mpk Nvm

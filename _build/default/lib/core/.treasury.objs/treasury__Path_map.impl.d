@@ -1,0 +1,1 @@
+lib/core/path_map.ml: Char Errno List Nvm Pathx String

@@ -1,0 +1,1 @@
+lib/core/pathx.ml: List String

@@ -1,0 +1,1 @@
+lib/core/rbtree.ml: List Obj

@@ -1,0 +1,1 @@
+lib/core/ufs_intf.ml: Errno Fs_types

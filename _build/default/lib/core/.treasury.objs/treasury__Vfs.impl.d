@@ -1,0 +1,1 @@
+lib/core/vfs.ml: Bytes Errno Fs_types Pathx Result String

@@ -1,0 +1,286 @@
+(* KernFS's persistent allocation table (paper §4.1, Figure 3).
+
+   One 8-byte entry per NVM page: a 32-bit coffer-ID (0 = free) and a 32-bit
+   run length counting how many consecutive pages starting here share that
+   coffer-ID.  Volatile red-black trees accelerate allocation: one over free
+   runs and one over all runs (the paper's free-space and allocated-space
+   trees).
+
+   Crash consistency: per-page owner words are written before the table
+   region is flushed; recovery rescans the table, and leaked pages (allocated
+   in the table but unreachable in their coffer) are reclaimed by the
+   coffer_recover protocol, so a torn multi-page update is always repairable. *)
+
+type run = { cid : int; len : int }
+
+type t = {
+  dev : Nvm.Device.t;
+  base : int;  (* byte offset of the table on the device *)
+  npages : int;  (* pages covered by the table *)
+  runs : run Rbtree.t;  (* start page -> run (free and allocated) *)
+  free_runs : int Rbtree.t;  (* start page -> len, free only *)
+  by_coffer : (int, unit Rbtree.t) Hashtbl.t;  (* cid -> start pages *)
+}
+
+let entry_size = 8
+let table_bytes npages = npages * entry_size
+
+let entry_addr t page = t.base + (page * entry_size)
+
+let read_entry t page =
+  let a = entry_addr t page in
+  (Nvm.Device.read_u32 t.dev a, Nvm.Device.read_u32 t.dev (a + 4))
+
+let write_entry t page cid len =
+  let a = entry_addr t page in
+  Nvm.Device.write_u32 t.dev a cid;
+  Nvm.Device.write_u32 t.dev (a + 4) len
+
+(* Persist the entries of pages [start, start+len). *)
+let persist_entries t start len =
+  Nvm.Device.persist_range t.dev (entry_addr t start) (len * entry_size)
+
+let coffer_index t cid =
+  match Hashtbl.find_opt t.by_coffer cid with
+  | Some r -> r
+  | None ->
+      let r = Rbtree.create () in
+      Hashtbl.replace t.by_coffer cid r;
+      r
+
+let index_add t start ({ cid; len } as run) =
+  Rbtree.insert t.runs start run;
+  if cid = 0 then Rbtree.insert t.free_runs start len
+  else Rbtree.insert (coffer_index t cid) start ()
+
+let index_remove t start { cid; _ } =
+  ignore (Rbtree.remove t.runs start);
+  if cid = 0 then ignore (Rbtree.remove t.free_runs start)
+  else
+    match Hashtbl.find_opt t.by_coffer cid with
+    | Some r -> ignore (Rbtree.remove r start)
+    | None -> ()
+
+(* Write the persistent entries of a whole run (paper format: page j of a
+   run of length L starting at s stores L - (j - s)). *)
+let write_run t start { cid; len } =
+  for j = 0 to len - 1 do
+    write_entry t (start + j) cid (len - j)
+  done
+
+let format dev ~base ~npages =
+  let t =
+    {
+      dev;
+      base;
+      npages;
+      runs = Rbtree.create ();
+      free_runs = Rbtree.create ();
+      by_coffer = Hashtbl.create 64;
+    }
+  in
+  let all_free = { cid = 0; len = npages } in
+  write_run t 0 all_free;
+  persist_entries t 0 npages;
+  index_add t 0 all_free;
+  t
+
+let load dev ~base ~npages =
+  let t =
+    {
+      dev;
+      base;
+      npages;
+      runs = Rbtree.create ();
+      free_runs = Rbtree.create ();
+      by_coffer = Hashtbl.create 64;
+    }
+  in
+  (* Rebuild volatile indexes by scanning page-by-page (we do not trust the
+     run lengths after a crash: owner words are authoritative). *)
+  let page = ref 0 in
+  while !page < npages do
+    let cid, _len = read_entry t !page in
+    let start = !page in
+    let n = ref 1 in
+    incr page;
+    let continue_run = ref true in
+    while !continue_run && !page < npages do
+      let cid', _ = read_entry t !page in
+      if cid' = cid then begin
+        incr n;
+        incr page
+      end
+      else continue_run := false
+    done;
+    let run = { cid; len = !n } in
+    (* Repair run lengths in place if a crash tore them. *)
+    write_run t start run;
+    index_add t start run
+  done;
+  persist_entries t 0 npages;
+  t
+
+let npages t = t.npages
+
+let owner_of t ~page =
+  if page < 0 || page >= t.npages then invalid_arg "Alloc_table.owner_of";
+  match Rbtree.find_leq t.runs page with
+  | Some (start, run) when page < start + run.len -> run.cid
+  | _ -> 0
+
+(* Core primitive: set the owner of pages [start, start+len) to [cid],
+   splitting and coalescing runs as needed, and persist the affected
+   entries. *)
+let set_range t ~start ~len ~cid =
+  if len <= 0 || start < 0 || start + len > t.npages then
+    invalid_arg "Alloc_table.set_range";
+  let range_end = start + len in
+  (* Collect and remove every overlapping run. *)
+  let rec collect acc pos =
+    if pos >= range_end then acc
+    else
+      match Rbtree.find_geq t.runs pos with
+      | Some (s, run) when s < range_end -> collect ((s, run) :: acc) (s + run.len)
+      | _ -> acc
+  in
+  let first =
+    match Rbtree.find_leq t.runs start with
+    | Some (s, run) when s + run.len > start -> [ (s, run) ]
+    | _ -> []
+  in
+  let overlapping =
+    match first with
+    | [ (s, run) ] -> (s, run) :: collect [] (s + run.len)
+    | _ -> collect [] start
+  in
+  List.iter (fun (s, run) -> index_remove t s run) overlapping;
+  (* Re-add the pieces sticking out on the left and right. *)
+  let leftovers = ref [] in
+  List.iter
+    (fun (s, run) ->
+      if s < start then
+        leftovers := (s, { run with len = start - s }) :: !leftovers;
+      let e = s + run.len in
+      if e > range_end then
+        leftovers := (range_end, { run with len = e - range_end }) :: !leftovers)
+    overlapping;
+  (* Coalesce the new run with equal-owner neighbours (which may be
+     leftovers we just computed, or untouched runs). *)
+  let new_start = ref start and new_len = ref len in
+  let leftovers =
+    List.filter
+      (fun (s, (run : run)) ->
+        if run.cid = cid && s + run.len = !new_start then begin
+          new_start := s;
+          new_len := !new_len + run.len;
+          false
+        end
+        else if run.cid = cid && s = !new_start + !new_len then begin
+          new_len := !new_len + run.len;
+          false
+        end
+        else true)
+      !leftovers
+  in
+  (match Rbtree.find_leq t.runs (!new_start - 1) with
+  | Some (s, run) when run.cid = cid && s + run.len = !new_start ->
+      index_remove t s run;
+      new_start := s;
+      new_len := !new_len + run.len
+  | _ -> ());
+  (match Rbtree.find_geq t.runs (!new_start + !new_len) with
+  | Some (s, run) when run.cid = cid && s = !new_start + !new_len ->
+      index_remove t s run;
+      new_len := !new_len + run.len
+  | _ -> ());
+  (* Persistent writes cover only the pages whose owner actually changed:
+     the requested range.  Leftover pieces keep their owner words, and the
+     run-length words of coalesced neighbours are left stale — they are an
+     acceleration hint; recovery scans owner words page by page (see
+     [load]).  This keeps every update O(len) even as coffers grow. *)
+  List.iter (fun (s, run) -> index_add t s run) leftovers;
+  let merged = { cid; len = !new_len } in
+  index_add t !new_start merged;
+  write_run t start { cid; len };
+  persist_entries t start len
+
+let free_pages t = Rbtree.fold t.free_runs (fun _ len acc -> acc + len) 0
+
+(* First-fit allocation of up to [n] pages for [cid]; returns the runs
+   granted (possibly several if no single free run is big enough).  Returns
+   [None] — allocating nothing — if fewer than [n] free pages exist. *)
+let alloc t ~cid ~n =
+  if cid = 0 then invalid_arg "Alloc_table.alloc: cid 0 is reserved for free";
+  if n <= 0 then invalid_arg "Alloc_table.alloc: n must be positive";
+  if free_pages t < n then None
+  else begin
+    match Rbtree.find_first t.free_runs (fun _ len -> len >= n) with
+    | Some (start, _) ->
+        set_range t ~start ~len:n ~cid;
+        Some [ (start, n) ]
+    | None ->
+        (* Gather multiple runs, lowest addresses first. *)
+        let granted = ref [] in
+        let remaining = ref n in
+        while !remaining > 0 do
+          match Rbtree.min_binding t.free_runs with
+          | None -> failwith "Alloc_table.alloc: accounting mismatch"
+          | Some (start, len) ->
+              let take = min len !remaining in
+              set_range t ~start ~len:take ~cid;
+              granted := (start, take) :: !granted;
+              remaining := !remaining - take
+        done;
+        Some (List.rev !granted)
+  end
+
+let free_run t ~start ~len = set_range t ~start ~len ~cid:0
+
+let reassign t ~start ~len ~cid =
+  if cid = 0 then invalid_arg "Alloc_table.reassign: use free_run";
+  set_range t ~start ~len ~cid
+
+let runs_of t ~cid =
+  match Hashtbl.find_opt t.by_coffer cid with
+  | None -> []
+  | Some idx ->
+      Rbtree.fold idx
+        (fun start () acc ->
+          match Rbtree.find_opt t.runs start with
+          | Some run when run.cid = cid -> (start, run.len) :: acc
+          | _ -> acc)
+        []
+      |> List.rev
+
+let pages_of t ~cid =
+  List.concat_map
+    (fun (start, len) -> List.init len (fun i -> start + i))
+    (runs_of t ~cid)
+
+let free_coffer t ~cid =
+  List.iter (fun (start, len) -> free_run t ~start ~len) (runs_of t ~cid)
+
+let coffer_page_count t ~cid =
+  List.fold_left (fun acc (_, len) -> acc + len) 0 (runs_of t ~cid)
+
+(* Consistency check for tests: the volatile trees must tile [0, npages)
+   and agree with the persistent owner words.  (Run-length words are hints
+   and are not checked; [load] never trusts them either.) *)
+let verify t =
+  let pos = ref 0 in
+  Rbtree.iter t.runs (fun start run ->
+      if start <> !pos then failwith "Alloc_table.verify: gap or overlap";
+      if run.len <= 0 then failwith "Alloc_table.verify: empty run";
+      for j = 0 to run.len - 1 do
+        let c, _hint = read_entry t (start + j) in
+        if c <> run.cid then failwith "Alloc_table.verify: owner mismatch"
+      done;
+      (match Rbtree.find_opt t.free_runs start with
+      | Some l ->
+          if run.cid <> 0 || l <> run.len then
+            failwith "Alloc_table.verify: free index mismatch"
+      | None ->
+          if run.cid = 0 then failwith "Alloc_table.verify: free run not indexed");
+      pos := start + run.len);
+  if !pos <> t.npages then failwith "Alloc_table.verify: does not tile device"

@@ -1,0 +1,103 @@
+(* The coffer root page (paper §3.1, §5 Figure 5).
+
+   Every coffer is identified by the page number of its root page (the
+   coffer-ID; the paper uses the root page's relative address).  The root
+   page is written only by KernFS and mapped read-only into user space; it
+   records the coffer's type, permission, path and — because KernFS hands
+   every new coffer three pages — the addresses of the root-file inode page
+   and the µFS custom page. *)
+
+let magic = 0x434F4652 (* "COFR" *)
+
+(* Field offsets within the root page. *)
+let off_magic = 0
+let off_ctype = 4
+let off_mode = 8
+let off_uid = 12
+let off_gid = 16
+let off_flags = 20
+let off_recovery_lease = 24
+let off_root_file = 32
+let off_custom = 40
+let off_path_len = 48
+let off_path = 64
+
+let flag_in_recovery = 0x1
+
+type info = {
+  id : int;  (* coffer-ID = root page number *)
+  ctype : int;
+  mode : int;
+  uid : int;
+  gid : int;
+  path : string;
+  root_file : int;  (* byte address of the root-file inode page *)
+  custom : int;  (* byte address of the µFS custom page *)
+  in_recovery : bool;
+}
+
+let root_addr id = id * Nvm.page_size
+
+let write dev ~id ~ctype ~mode ~uid ~gid ~path ~root_file ~custom =
+  let a = root_addr id in
+  Nvm.Device.write_u32 dev (a + off_magic) magic;
+  Nvm.Device.write_u32 dev (a + off_ctype) ctype;
+  Nvm.Device.write_u32 dev (a + off_mode) mode;
+  Nvm.Device.write_u32 dev (a + off_uid) uid;
+  Nvm.Device.write_u32 dev (a + off_gid) gid;
+  Nvm.Device.write_u32 dev (a + off_flags) 0;
+  Nvm.Device.write_u64 dev (a + off_recovery_lease) 0;
+  Nvm.Device.write_u64 dev (a + off_root_file) root_file;
+  Nvm.Device.write_u64 dev (a + off_custom) custom;
+  Nvm.Device.write_u16 dev (a + off_path_len) (String.length path);
+  Nvm.Device.write_string dev (a + off_path) path;
+  Nvm.Device.persist_range dev a (off_path + String.length path)
+
+let read dev ~id =
+  let a = root_addr id in
+  if Nvm.Device.read_u32 dev (a + off_magic) <> magic then None
+  else
+    let plen = Nvm.Device.read_u16 dev (a + off_path_len) in
+    let flags = Nvm.Device.read_u32 dev (a + off_flags) in
+    Some
+      {
+        id;
+        ctype = Nvm.Device.read_u32 dev (a + off_ctype);
+        mode = Nvm.Device.read_u32 dev (a + off_mode);
+        uid = Nvm.Device.read_u32 dev (a + off_uid);
+        gid = Nvm.Device.read_u32 dev (a + off_gid);
+        path = Nvm.Device.read_string dev (a + off_path) plen;
+        root_file = Nvm.Device.read_u64 dev (a + off_root_file);
+        custom = Nvm.Device.read_u64 dev (a + off_custom);
+        in_recovery = flags land flag_in_recovery <> 0;
+      }
+
+let set_perm dev ~id ~mode ~uid ~gid =
+  let a = root_addr id in
+  Nvm.Device.write_u32 dev (a + off_mode) mode;
+  Nvm.Device.write_u32 dev (a + off_uid) uid;
+  Nvm.Device.write_u32 dev (a + off_gid) gid;
+  Nvm.Device.persist_range dev (a + off_mode) 12
+
+let set_path dev ~id ~path =
+  let a = root_addr id in
+  Nvm.Device.write_u16 dev (a + off_path_len) (String.length path);
+  Nvm.Device.write_string dev (a + off_path) path;
+  Nvm.Device.persist_range dev (a + off_path_len)
+    (off_path - off_path_len + String.length path)
+
+let set_recovery dev ~id ~active ~lease =
+  let a = root_addr id in
+  let flags = Nvm.Device.read_u32 dev (a + off_flags) in
+  let flags =
+    if active then flags lor flag_in_recovery
+    else flags land lnot flag_in_recovery
+  in
+  Nvm.Device.write_u32 dev (a + off_flags) flags;
+  Nvm.Device.write_u64 dev (a + off_recovery_lease) lease;
+  Nvm.Device.persist_range dev (a + off_flags) 12
+
+(* Erase the magic so the page can be recycled as a data page. *)
+let invalidate dev ~id =
+  Nvm.Device.write_u32 dev (root_addr id + off_magic) 0;
+  Nvm.Device.persist_range dev (root_addr id + off_magic) 4

@@ -1,0 +1,427 @@
+(* FSLibs: the user-space half of Treasury (paper §4.2).
+
+   One dispatcher instance per process.  It intercepts the file-system calls
+   of the application (here: the Vfs.S interface), translates user FDs
+   through the FD mapping table, tracks the current working directory,
+   routes each request to the µFS in charge, follows symbolic links by
+   re-dispatching the expanded path, and converts any fault raised while a
+   µFS walks possibly-corrupted coffers into a graceful EIO (the
+   sigsetjmp/siglongjmp trick of §3.4.2). *)
+
+type ufs = U : (module Ufs_intf.S with type t = 'a) * 'a -> ufs
+
+type t = {
+  kfs : Kernfs.t;
+  mount_path : string;
+  mutable cwd : string;
+  fds : Fd_table.t;
+  ufss : (int, ufs) Hashtbl.t;  (* ctype -> µFS *)
+  mutable default_ctype : int;
+  kernel_fs : Vfs.fs option;  (* handles paths outside the mount, if any *)
+  mutable graceful_errors : int;  (* faults converted into errno (§6.5) *)
+}
+
+let ( let* ) = Result.bind
+
+let create ?(mount_path = "/") ?kernel_fs kfs =
+  (match Kernfs.fs_mount kfs with
+  | Ok () | Error Errno.EEXIST -> ()
+  | Error e -> failwith ("Dispatcher.create: fs_mount: " ^ Errno.to_string e));
+  {
+    kfs;
+    mount_path = Pathx.normalize mount_path;
+    cwd = "/";
+    fds = Fd_table.create ();
+    ufss = Hashtbl.create 4;
+    default_ctype = -1;
+    kernel_fs;
+    graceful_errors = 0;
+  }
+
+let register_ufs t (type a) (module F : Ufs_intf.S with type t = a) (inst : a) =
+  Hashtbl.replace t.ufss F.ctype (U ((module F), inst));
+  if t.default_ctype = -1 then t.default_ctype <- F.ctype
+
+let shutdown t = ignore (Kernfs.fs_umount t.kfs)
+
+let kernfs t = t.kfs
+let graceful_error_count t = t.graceful_errors
+
+(* ---- path routing ------------------------------------------------------ *)
+
+type route =
+  | To_ufs of string (* path inside the mount, mount prefix stripped *)
+  | To_kernel of string
+
+let resolve_user_path t path =
+  let abs = if Pathx.is_absolute path then Pathx.normalize path else Pathx.concat t.cwd path in
+  if Pathx.is_prefix ~prefix:t.mount_path abs then
+    To_ufs (Pathx.strip_prefix ~prefix:t.mount_path abs)
+  else To_kernel abs
+
+let ufs_for t _path =
+  (* With several µFSs the coffer type of the longest matching prefix would
+     pick the library; with one registered µFS it handles the whole mount. *)
+  match Hashtbl.find_opt t.ufss t.default_ctype with
+  | Some u -> Ok u
+  | None -> Error Errno.ENOSYS
+
+(* Convert stray faults and internal corruption into errno (graceful error
+   return): the simulated SIGSEGV handler + siglongjmp.  [debug_raise] lets
+   tests see the underlying exception instead. *)
+let debug_raise = ref false
+
+let protect t f =
+  match f () with
+  | v -> v
+  | exception ((Nvm.Fault _ | Failure _) as e) ->
+      if !debug_raise then raise e;
+      t.graceful_errors <- t.graceful_errors + 1;
+      Error (Ufs_intf.Errno Errno.EIO)
+
+let protect_fd t f =
+  match f () with
+  | v -> v
+  | exception ((Nvm.Fault _ | Failure _) as e) ->
+      if !debug_raise then raise e;
+      t.graceful_errors <- t.graceful_errors + 1;
+      Error Errno.EIO
+
+let max_symlink_depth = 40
+
+(* Dispatch a path operation, following symlink redirects. *)
+let rec dispatch_path :
+    'a.
+    t ->
+    string ->
+    depth:int ->
+    on_ufs:(ufs -> string -> 'a Ufs_intf.outcome) ->
+    on_kernel:(Vfs.fs -> string -> ('a, Errno.t) result) ->
+    ('a, Errno.t) result =
+ fun t path ~depth ~on_ufs ~on_kernel ->
+  if depth > max_symlink_depth then Error Errno.ELOOP
+  else
+    match resolve_user_path t path with
+    | To_kernel p -> (
+        match t.kernel_fs with
+        | Some fs -> on_kernel fs p
+        | None -> Error Errno.ENOENT)
+    | To_ufs p -> (
+        let* u = ufs_for t p in
+        match protect t (fun () -> on_ufs u p) with
+        | Ok v -> Ok v
+        | Error (Ufs_intf.Errno e) -> Error e
+        | Error (Ufs_intf.Symlink target) ->
+            (* Re-dispatch the expanded path (which is FS-internal). *)
+            let user_path =
+              if t.mount_path = "/" then target
+              else if Pathx.is_absolute target then t.mount_path ^ target
+              else target
+            in
+            dispatch_path t user_path ~depth:(depth + 1) ~on_ufs ~on_kernel)
+
+(* ---- Vfs.S implementation ---------------------------------------------- *)
+
+let name _ = "zofs-fslibs"
+
+let openf t path flags mode =
+  let* fd_target =
+    dispatch_path t path ~depth:0
+      ~on_ufs:(fun (U ((module F), u)) p ->
+        match F.openf u p flags mode with
+        | Ok h -> Ok (Fd_table.Ufs { ctype = F.ctype; handle = h })
+        | Error e -> Error e)
+      ~on_kernel:(fun fs p ->
+        match Vfs.openf fs p flags mode with
+        | Ok kfd -> Ok (Fd_table.Kernel kfd)
+        | Error e -> Error e)
+  in
+  let append = Fs_types.flag_mem Fs_types.O_APPEND flags in
+  Ok (Fd_table.alloc t.fds ~append fd_target)
+
+let mkdir t path mode =
+  dispatch_path t path ~depth:0
+    ~on_ufs:(fun (U ((module F), u)) p -> F.mkdir u p mode)
+    ~on_kernel:(fun fs p -> Vfs.mkdir fs p mode)
+
+let rmdir t path =
+  dispatch_path t path ~depth:0
+    ~on_ufs:(fun (U ((module F), u)) p -> F.rmdir u p)
+    ~on_kernel:(fun fs p -> Vfs.rmdir fs p)
+
+let unlink t path =
+  dispatch_path t path ~depth:0
+    ~on_ufs:(fun (U ((module F), u)) p -> F.unlink u p)
+    ~on_kernel:(fun fs p -> Vfs.unlink fs p)
+
+let stat t path =
+  dispatch_path t path ~depth:0
+    ~on_ufs:(fun (U ((module F), u)) p -> F.stat u p)
+    ~on_kernel:(fun fs p -> Vfs.stat fs p)
+
+let lstat t path =
+  dispatch_path t path ~depth:0
+    ~on_ufs:(fun (U ((module F), u)) p -> F.lstat u p)
+    ~on_kernel:(fun fs p -> Vfs.lstat fs p)
+
+let readdir t path =
+  dispatch_path t path ~depth:0
+    ~on_ufs:(fun (U ((module F), u)) p -> F.readdir u p)
+    ~on_kernel:(fun fs p -> Vfs.readdir fs p)
+
+let chmod t path mode =
+  dispatch_path t path ~depth:0
+    ~on_ufs:(fun (U ((module F), u)) p -> F.chmod u p mode)
+    ~on_kernel:(fun fs p -> Vfs.chmod fs p mode)
+
+let chown t path uid gid =
+  dispatch_path t path ~depth:0
+    ~on_ufs:(fun (U ((module F), u)) p -> F.chown u p uid gid)
+    ~on_kernel:(fun fs p -> Vfs.chown fs p uid gid)
+
+let readlink t path =
+  dispatch_path t path ~depth:0
+    ~on_ufs:(fun (U ((module F), u)) p -> F.readlink u p)
+    ~on_kernel:(fun fs p -> Vfs.readlink fs p)
+
+let symlink t ~target ~link =
+  dispatch_path t link ~depth:0
+    ~on_ufs:(fun (U ((module F), u)) p -> F.symlink u ~target ~link:p)
+    ~on_kernel:(fun fs p -> Vfs.symlink fs ~target ~link:p)
+
+let rename t src dst =
+  (* Both paths must land in the same file system. *)
+  match (resolve_user_path t src, resolve_user_path t dst) with
+  | To_kernel a, To_kernel b -> (
+      match t.kernel_fs with
+      | Some fs -> Vfs.rename fs a b
+      | None -> Error Errno.ENOENT)
+  | To_ufs _, To_ufs _ ->
+      dispatch_path t src ~depth:0
+        ~on_ufs:(fun (U ((module F), u)) p ->
+          match resolve_user_path t dst with
+          | To_ufs q -> F.rename u p q
+          | To_kernel _ -> Ufs_intf.errno Errno.EXDEV)
+        ~on_kernel:(fun _ _ -> Error Errno.EXDEV)
+  | _ -> Error Errno.EXDEV
+
+let truncate t path len =
+  let* fd = openf t path [ Fs_types.O_WRONLY ] 0 in
+  let finish r =
+    match Fd_table.close t.fds fd with
+    | Ok _ | Error _ -> r
+  in
+  finish
+    (match Fd_table.lookup t.fds fd with
+    | Error e -> Error e
+    | Ok ofd -> (
+        match ofd.Fd_table.target with
+        | Fd_table.Ufs { ctype; handle } -> (
+            match Hashtbl.find_opt t.ufss ctype with
+            | Some (U ((module F), u)) ->
+                let r = protect_fd t (fun () -> F.ftruncate u handle len) in
+                ignore (F.close u handle);
+                r
+            | None -> Error Errno.ENOSYS)
+        | Fd_table.Kernel kfd -> (
+            match t.kernel_fs with
+            | Some fs ->
+                let r = Vfs.ftruncate fs kfd len in
+                ignore (Vfs.close fs kfd);
+                r
+            | None -> Error Errno.EBADF)))
+
+(* ---- descriptor operations --------------------------------------------- *)
+
+let with_ofd t fd f =
+  let* ofd = Fd_table.lookup t.fds fd in
+  f ofd
+
+let ufs_of_ctype t ctype =
+  match Hashtbl.find_opt t.ufss ctype with
+  | Some u -> Ok u
+  | None -> Error Errno.ENOSYS
+
+let close t fd =
+  let* closed = Fd_table.close t.fds fd in
+  match closed with
+  | None -> Ok ()
+  | Some (Fd_table.Ufs { ctype; handle }) ->
+      let* (U ((module F), u)) = ufs_of_ctype t ctype in
+      protect_fd t (fun () -> F.close u handle)
+  | Some (Fd_table.Kernel kfd) -> (
+      match t.kernel_fs with
+      | Some fs -> Vfs.close fs kfd
+      | None -> Error Errno.EBADF)
+
+let read t fd buf boff len =
+  with_ofd t fd (fun ofd ->
+      match ofd.Fd_table.target with
+      | Fd_table.Ufs { ctype; handle } ->
+          let* (U ((module F), u)) = ufs_of_ctype t ctype in
+          let* n =
+            protect_fd t (fun () ->
+                F.read u handle ~off:ofd.Fd_table.offset buf boff len)
+          in
+          ofd.Fd_table.offset <- ofd.Fd_table.offset + n;
+          Ok n
+      | Fd_table.Kernel kfd -> (
+          match t.kernel_fs with
+          | Some fs -> Vfs.read fs kfd buf boff len
+          | None -> Error Errno.EBADF))
+
+let pread t fd ~off buf boff len =
+  with_ofd t fd (fun ofd ->
+      match ofd.Fd_table.target with
+      | Fd_table.Ufs { ctype; handle } ->
+          let* (U ((module F), u)) = ufs_of_ctype t ctype in
+          protect_fd t (fun () -> F.read u handle ~off buf boff len)
+      | Fd_table.Kernel kfd -> (
+          match t.kernel_fs with
+          | Some fs -> Vfs.pread fs kfd ~off buf boff len
+          | None -> Error Errno.EBADF))
+
+let write t fd data =
+  with_ofd t fd (fun ofd ->
+      match ofd.Fd_table.target with
+      | Fd_table.Ufs { ctype; handle } ->
+          let* (U ((module F), u)) = ufs_of_ctype t ctype in
+          let off =
+            if ofd.Fd_table.append then `Append else `At ofd.Fd_table.offset
+          in
+          let* n, end_off = protect_fd t (fun () -> F.write u handle ~off data) in
+          ofd.Fd_table.offset <- end_off;
+          Ok n
+      | Fd_table.Kernel kfd -> (
+          match t.kernel_fs with
+          | Some fs -> Vfs.write fs kfd data
+          | None -> Error Errno.EBADF))
+
+let pwrite t fd ~off data =
+  with_ofd t fd (fun ofd ->
+      match ofd.Fd_table.target with
+      | Fd_table.Ufs { ctype; handle } ->
+          let* (U ((module F), u)) = ufs_of_ctype t ctype in
+          let* n, _ = protect_fd t (fun () -> F.write u handle ~off:(`At off) data) in
+          Ok n
+      | Fd_table.Kernel kfd -> (
+          match t.kernel_fs with
+          | Some fs -> Vfs.pwrite fs kfd ~off data
+          | None -> Error Errno.EBADF))
+
+let fstat t fd =
+  with_ofd t fd (fun ofd ->
+      match ofd.Fd_table.target with
+      | Fd_table.Ufs { ctype; handle } ->
+          let* (U ((module F), u)) = ufs_of_ctype t ctype in
+          protect_fd t (fun () -> F.fstat u handle)
+      | Fd_table.Kernel kfd -> (
+          match t.kernel_fs with
+          | Some fs -> Vfs.fstat fs kfd
+          | None -> Error Errno.EBADF))
+
+let fsync t fd =
+  with_ofd t fd (fun ofd ->
+      match ofd.Fd_table.target with
+      | Fd_table.Ufs { ctype; handle } ->
+          let* (U ((module F), u)) = ufs_of_ctype t ctype in
+          protect_fd t (fun () -> F.fsync u handle)
+      | Fd_table.Kernel kfd -> (
+          match t.kernel_fs with
+          | Some fs -> Vfs.fsync fs kfd
+          | None -> Error Errno.EBADF))
+
+let ftruncate t fd len =
+  with_ofd t fd (fun ofd ->
+      match ofd.Fd_table.target with
+      | Fd_table.Ufs { ctype; handle } ->
+          let* (U ((module F), u)) = ufs_of_ctype t ctype in
+          protect_fd t (fun () -> F.ftruncate u handle len)
+      | Fd_table.Kernel kfd -> (
+          match t.kernel_fs with
+          | Some fs -> Vfs.ftruncate fs kfd len
+          | None -> Error Errno.EBADF))
+
+let lseek t fd pos whence =
+  with_ofd t fd (fun ofd ->
+      let* size =
+        match whence with
+        | Fs_types.SEEK_END ->
+            let* st = fstat t fd in
+            Ok st.Fs_types.st_size
+        | _ -> Ok 0
+      in
+      let target =
+        match whence with
+        | Fs_types.SEEK_SET -> pos
+        | Fs_types.SEEK_CUR -> ofd.Fd_table.offset + pos
+        | Fs_types.SEEK_END -> size + pos
+      in
+      if target < 0 then Error Errno.EINVAL
+      else begin
+        ofd.Fd_table.offset <- target;
+        Ok target
+      end)
+
+(* ---- process-level calls ------------------------------------------------ *)
+
+let chdir t path =
+  let abs = if Pathx.is_absolute path then Pathx.normalize path else Pathx.concat t.cwd path in
+  let* st = stat t abs in
+  if st.Fs_types.st_kind = Fs_types.Directory then begin
+    t.cwd <- abs;
+    Ok ()
+  end
+  else Error Errno.ENOTDIR
+
+let getcwd t = t.cwd
+let dup t fd = Fd_table.dup t.fds fd
+
+let dup2 t fd nfd =
+  let* nfd, displaced = Fd_table.dup2 t.fds fd nfd in
+  (match displaced with
+  | Some (Fd_table.Ufs { ctype; handle }) -> (
+      match ufs_of_ctype t ctype with
+      | Ok (U ((module F), u)) -> ignore (F.close u handle)
+      | Error _ -> ())
+  | Some (Fd_table.Kernel kfd) -> (
+      match t.kernel_fs with Some fs -> ignore (Vfs.close fs kfd) | None -> ())
+  | None -> ());
+  Ok nfd
+
+(* The FD table serialized for exec (passed via an environment variable in
+   the paper). *)
+let serialize_fds t = Fd_table.serialize t.fds
+
+let fd_table t = t.fds
+
+(* Pack a dispatcher as a Vfs.fs. *)
+module As_vfs = struct
+  type nonrec t = t
+
+  let name = name
+  let openf = openf
+  let mkdir = mkdir
+  let rmdir = rmdir
+  let unlink = unlink
+  let rename = rename
+  let stat = stat
+  let lstat = lstat
+  let readdir = readdir
+  let chmod = chmod
+  let chown = chown
+  let symlink = symlink
+  let readlink = readlink
+  let truncate = truncate
+  let close = close
+  let read = read
+  let pread = pread
+  let write = write
+  let pwrite = pwrite
+  let lseek = lseek
+  let fsync = fsync
+  let fstat = fstat
+  let ftruncate = ftruncate
+end
+
+let as_vfs t = Vfs.Fs ((module As_vfs), t)

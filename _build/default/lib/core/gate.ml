@@ -1,0 +1,25 @@
+(* The user/kernel boundary.  Every kernel entry charges the syscall cost
+   and pollutes the calling thread's simulated line cache (the context-switch
+   and cache-pollution penalty the paper attributes kernel file systems'
+   slowness to, §6.1); the body then runs in kernel mode with a CR0.WP write
+   window open (kernel FS code is trusted to write NVM). *)
+
+let enter_cost = 250 (* ns: trap + switch in *)
+let exit_cost = 150 (* ns: return to user *)
+
+type t = { mpk : Mpk.t; dev : Nvm.Device.t; mutable syscalls : int }
+
+let create mpk = { mpk; dev = Mpk.device mpk; syscalls = 0 }
+
+let syscall t f =
+  t.syscalls <- t.syscalls + 1;
+  Sim.advance enter_cost;
+  Nvm.Device.pollute_cache t.dev;
+  let r = Mpk.with_kernel t.mpk (fun () -> Mpk.with_write_window t.mpk f) in
+  Sim.advance exit_cost;
+  r
+
+(* An empty system call (the ZoFS-sysempty variant of Figure 8). *)
+let empty_syscall t = syscall t (fun () -> ())
+
+let syscall_count t = t.syscalls

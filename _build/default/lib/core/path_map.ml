@@ -1,0 +1,214 @@
+(* KernFS's persistent path→coffer hash table (paper §4.1): keys are coffer
+   paths, values are coffer-IDs.  Buckets live in a fixed region; entries are
+   256-byte slots carved out of slab pages allocated on demand from the
+   allocation table (owner cid 2).
+
+   Update ordering (all within kernel mode):
+   - insert: write slot body, persist; link slot.next to the bucket head,
+     persist; publish by writing the bucket head, persist.  A crash before
+     the publish leaks at most one slot, which recovery sweeps back.
+   - remove: unlink (persist), then push the slot onto the free list. *)
+
+let magic = 0x504D4150 (* "PMAP" *)
+let slot_size = 256
+let slots_per_page = Nvm.page_size / slot_size
+let max_path = Pathx.max_path_length
+
+(* Header field offsets *)
+let off_magic = 0
+let off_nbuckets = 4
+let off_free_head = 8
+let off_nentries = 16
+
+(* Slot field offsets *)
+let s_next = 0
+let s_cid = 8
+let s_hash = 16
+let s_plen = 20
+let s_path = 32
+
+type t = {
+  dev : Nvm.Device.t;
+  base : int;  (* byte address of the header page *)
+  nbuckets : int;
+  alloc_page : unit -> int option;  (* slab page allocator (KernFS) *)
+}
+
+let fnv1a s =
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+let bucket_base t = t.base + Nvm.page_size
+let bucket_addr t i = bucket_base t + (i * 8)
+
+(* Number of pages the fixed region occupies: header + buckets. *)
+let region_pages nbuckets = 1 + ((nbuckets * 8) + Nvm.page_size - 1) / Nvm.page_size
+
+let read_free_head t = Nvm.Device.read_u64 t.dev (t.base + off_free_head)
+
+let write_free_head t v =
+  Nvm.Device.write_u64 t.dev (t.base + off_free_head) v;
+  Nvm.Device.persist_range t.dev (t.base + off_free_head) 8
+
+let count t = Nvm.Device.read_u64 t.dev (t.base + off_nentries)
+
+let set_count t v =
+  Nvm.Device.write_u64 t.dev (t.base + off_nentries) v;
+  Nvm.Device.persist_range t.dev (t.base + off_nentries) 8
+
+let format dev ~base ~nbuckets ~alloc_page =
+  let t = { dev; base; nbuckets; alloc_page } in
+  Nvm.Device.write_u32 dev (base + off_magic) magic;
+  Nvm.Device.write_u32 dev (base + off_nbuckets) nbuckets;
+  Nvm.Device.write_u64 dev (base + off_free_head) 0;
+  Nvm.Device.write_u64 dev (base + off_nentries) 0;
+  Nvm.Device.fill dev (bucket_base t) (nbuckets * 8) '\000';
+  Nvm.Device.persist_range dev base (region_pages nbuckets * Nvm.page_size);
+  t
+
+let load dev ~base ~alloc_page =
+  if Nvm.Device.read_u32 dev (base + off_magic) <> magic then
+    failwith "Path_map.load: bad magic";
+  let nbuckets = Nvm.Device.read_u32 dev (base + off_nbuckets) in
+  { dev; base; nbuckets; alloc_page }
+
+(* Chain a fresh slab page's slots onto the free list. *)
+let grow t =
+  match t.alloc_page () with
+  | None -> Error Errno.ENOSPC
+  | Some page ->
+      let page_addr = page * Nvm.page_size in
+      let old_head = read_free_head t in
+      for i = 0 to slots_per_page - 1 do
+        let slot = page_addr + (i * slot_size) in
+        let next =
+          if i = slots_per_page - 1 then old_head else slot + slot_size
+        in
+        Nvm.Device.write_u64 t.dev (slot + s_next) next
+      done;
+      Nvm.Device.persist_range t.dev page_addr Nvm.page_size;
+      write_free_head t page_addr;
+      Ok ()
+
+let rec alloc_slot t =
+  let head = read_free_head t in
+  if head = 0 then
+    match grow t with Error e -> Error e | Ok () -> alloc_slot t
+  else begin
+    let next = Nvm.Device.read_u64 t.dev (head + s_next) in
+    write_free_head t next;
+    Ok head
+  end
+
+let free_slot t slot =
+  Nvm.Device.write_u64 t.dev (slot + s_next) (read_free_head t);
+  Nvm.Device.persist_range t.dev (slot + s_next) 8;
+  write_free_head t slot
+
+let slot_path t slot =
+  let len = Nvm.Device.read_u16 t.dev (slot + s_plen) in
+  Nvm.Device.read_string t.dev (slot + s_path) len
+
+let slot_cid t slot = Nvm.Device.read_u64 t.dev (slot + s_cid)
+
+(* Find the slot for [path]; returns (prev_slot_or_0, slot) or None. *)
+let find_slot t path =
+  let h = fnv1a path in
+  let b = bucket_addr t (h mod t.nbuckets) in
+  let rec walk prev slot =
+    if slot = 0 then None
+    else if
+      Nvm.Device.read_u32 t.dev (slot + s_hash) = h && slot_path t slot = path
+    then Some (prev, slot)
+    else walk slot (Nvm.Device.read_u64 t.dev (slot + s_next))
+  in
+  walk 0 (Nvm.Device.read_u64 t.dev b)
+
+let lookup t path =
+  match find_slot t path with
+  | Some (_, slot) -> Some (slot_cid t slot)
+  | None -> None
+
+let insert t ~path ~cid =
+  if String.length path > max_path then Error Errno.ENAMETOOLONG
+  else if find_slot t path <> None then Error Errno.EEXIST
+  else
+    match alloc_slot t with
+    | Error e -> Error e
+    | Ok slot ->
+        let h = fnv1a path in
+        let b = bucket_addr t (h mod t.nbuckets) in
+        Nvm.Device.write_u64 t.dev (slot + s_cid) cid;
+        Nvm.Device.write_u32 t.dev (slot + s_hash) h;
+        Nvm.Device.write_u16 t.dev (slot + s_plen) (String.length path);
+        Nvm.Device.write_string t.dev (slot + s_path) path;
+        Nvm.Device.persist_range t.dev slot slot_size;
+        Nvm.Device.write_u64 t.dev (slot + s_next)
+          (Nvm.Device.read_u64 t.dev b);
+        Nvm.Device.persist_range t.dev (slot + s_next) 8;
+        Nvm.Device.write_u64 t.dev b slot;
+        Nvm.Device.persist_range t.dev b 8;
+        set_count t (count t + 1);
+        Ok ()
+
+let remove t path =
+  match find_slot t path with
+  | None -> Error Errno.ENOENT
+  | Some (prev, slot) ->
+      let next = Nvm.Device.read_u64 t.dev (slot + s_next) in
+      let link = if prev = 0 then bucket_addr t (fnv1a path mod t.nbuckets) else prev + s_next in
+      Nvm.Device.write_u64 t.dev link next;
+      Nvm.Device.persist_range t.dev link 8;
+      free_slot t slot;
+      set_count t (count t - 1);
+      Ok ()
+
+(* Change the coffer-ID an existing path maps to (coffer merge/split). *)
+let set_cid t ~path ~cid =
+  match find_slot t path with
+  | None -> Error Errno.ENOENT
+  | Some (_, slot) ->
+      Nvm.Device.write_u64 t.dev (slot + s_cid) cid;
+      Nvm.Device.persist_range t.dev (slot + s_cid) 8;
+      Ok ()
+
+let rename t ~old_path ~new_path =
+  match find_slot t old_path with
+  | None -> Error Errno.ENOENT
+  | Some (_, slot) ->
+      let cid = slot_cid t slot in
+      (match remove t old_path with
+      | Error e -> Error e
+      | Ok () -> insert t ~path:new_path ~cid)
+
+let iter t f =
+  for i = 0 to t.nbuckets - 1 do
+    let rec walk slot =
+      if slot <> 0 then begin
+        f (slot_path t slot) (slot_cid t slot);
+        walk (Nvm.Device.read_u64 t.dev (slot + s_next))
+      end
+    in
+    walk (Nvm.Device.read_u64 t.dev (bucket_addr t i))
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun p c -> acc := (p, c) :: !acc);
+  List.rev !acc
+
+(* The µFS path walk entry point: starting from the longest prefix, every
+   prefix of [path] is tried until a coffer root is found (paper §6.2 —
+   this backwards parse is why deep paths are slower on ZoFS). *)
+let longest_prefix t path =
+  let rec go p =
+    match lookup t p with
+    | Some cid -> Some (p, cid)
+    | None -> if p = "/" then None else go (Pathx.dirname p)
+  in
+  go path

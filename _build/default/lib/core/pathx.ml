@@ -1,0 +1,73 @@
+(* Path manipulation shared by KernFS (coffer paths), FSLibs (dispatch,
+   cwd handling) and the µFS path walks.  All canonical paths are absolute,
+   start with '/', use single separators and have no trailing slash except
+   for the root itself. *)
+
+let is_absolute p = String.length p > 0 && p.[0] = '/'
+
+(* Split into components, dropping empty ones ("//" and trailing "/"). *)
+let components p = String.split_on_char '/' p |> List.filter (fun c -> c <> "")
+
+let of_components = function
+  | [] -> "/"
+  | cs -> "/" ^ String.concat "/" cs
+
+(* Lexical normalization: resolves "." and ".." (".." at the root is kept at
+   the root, as in POSIX).  Symlink-aware resolution lives in the dispatcher,
+   which expands links component by component. *)
+let normalize p =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "." :: rest -> go acc rest
+    | ".." :: rest -> (
+        match acc with [] -> go [] rest | _ :: tl -> go tl rest)
+    | c :: rest -> go (c :: acc) rest
+  in
+  of_components (go [] (components p))
+
+let concat base rel =
+  if is_absolute rel then normalize rel
+  else if base = "/" then normalize ("/" ^ rel)
+  else normalize (base ^ "/" ^ rel)
+
+let basename p =
+  match List.rev (components p) with [] -> "/" | b :: _ -> b
+
+let dirname p =
+  match List.rev (components p) with
+  | [] | [ _ ] -> "/"
+  | _ :: rest -> of_components (List.rev rest)
+
+(* [is_prefix ~prefix p]: is [prefix] an ancestor of (or equal to) [p]? *)
+let is_prefix ~prefix p =
+  if prefix = "/" then is_absolute p
+  else
+    let lp = String.length prefix and l = String.length p in
+    l >= lp
+    && String.sub p 0 lp = prefix
+    && (l = lp || p.[lp] = '/')
+
+(* [strip_prefix ~prefix p] returns the path of [p] relative to [prefix]
+   (with a leading '/'), assuming [is_prefix].  ["/"] means p = prefix. *)
+let strip_prefix ~prefix p =
+  if prefix = "/" then p
+  else
+    let lp = String.length prefix in
+    if String.length p = lp then "/" else String.sub p lp (String.length p - lp)
+
+(* Replace the [old_prefix] of [p] with [new_prefix]; used when renaming a
+   directory coffer moves every descendant coffer path. *)
+let replace_prefix ~old_prefix ~new_prefix p =
+  let rest = strip_prefix ~prefix:old_prefix p in
+  if rest = "/" then new_prefix
+  else if new_prefix = "/" then rest
+  else new_prefix ^ rest
+
+let max_name_length = 58  (* dentry name capacity in ZoFS's 128-byte dentry *)
+let max_path_length = 224 (* path capacity in KernFS's path-map entries *)
+
+let valid_name n =
+  n <> "" && n <> "." && n <> ".."
+  && String.length n <= max_name_length
+  && not (String.contains n '/')
+  && not (String.contains n '\000')

@@ -1,0 +1,330 @@
+(* Imperative red-black tree with integer keys (CLRS formulation with a nil
+   sentinel).  KernFS keeps one tree over free NVM runs and one over
+   allocated runs (paper §4.1: "a global volatile red-black tree to track all
+   free space ... and another to track all allocated space").
+
+   The nil sentinel needs an ['a] it never exposes; it is created with an
+   unsafe cast and its value is never read. *)
+
+type 'a node = {
+  mutable key : int;
+  mutable value : 'a;
+  mutable left : 'a node;
+  mutable right : 'a node;
+  mutable parent : 'a node;
+  mutable red : bool;
+}
+
+type 'a t = { mutable root : 'a node; nil : 'a node; mutable size : int }
+
+let make_nil () : 'a node =
+  let rec nil =
+    { key = min_int; value = Obj.magic 0; left = nil; right = nil; parent = nil; red = false }
+  in
+  nil
+
+let create () =
+  let nil = make_nil () in
+  { root = nil; nil; size = 0 }
+
+let is_empty t = t.root == t.nil
+let cardinal t = t.size
+
+let left_rotate t x =
+  let y = x.right in
+  x.right <- y.left;
+  if y.left != t.nil then y.left.parent <- x;
+  y.parent <- x.parent;
+  if x.parent == t.nil then t.root <- y
+  else if x == x.parent.left then x.parent.left <- y
+  else x.parent.right <- y;
+  y.left <- x;
+  x.parent <- y
+
+let right_rotate t x =
+  let y = x.left in
+  x.left <- y.right;
+  if y.right != t.nil then y.right.parent <- x;
+  y.parent <- x.parent;
+  if x.parent == t.nil then t.root <- y
+  else if x == x.parent.right then x.parent.right <- y
+  else x.parent.left <- y;
+  y.right <- x;
+  x.parent <- y
+
+let rec insert_fixup t z =
+  if z.parent.red then begin
+    if z.parent == z.parent.parent.left then begin
+      let y = z.parent.parent.right in
+      if y.red then begin
+        z.parent.red <- false;
+        y.red <- false;
+        z.parent.parent.red <- true;
+        insert_fixup t z.parent.parent
+      end
+      else begin
+        let z =
+          if z == z.parent.right then begin
+            let p = z.parent in
+            left_rotate t p;
+            p
+          end
+          else z
+        in
+        z.parent.red <- false;
+        z.parent.parent.red <- true;
+        right_rotate t z.parent.parent
+      end
+    end
+    else begin
+      let y = z.parent.parent.left in
+      if y.red then begin
+        z.parent.red <- false;
+        y.red <- false;
+        z.parent.parent.red <- true;
+        insert_fixup t z.parent.parent
+      end
+      else begin
+        let z =
+          if z == z.parent.left then begin
+            let p = z.parent in
+            right_rotate t p;
+            p
+          end
+          else z
+        in
+        z.parent.red <- false;
+        z.parent.parent.red <- true;
+        left_rotate t z.parent.parent
+      end
+    end
+  end
+
+let insert t key value =
+  let y = ref t.nil and x = ref t.root in
+  let replaced = ref false in
+  while !x != t.nil && not !replaced do
+    y := !x;
+    if key < !x.key then x := !x.left
+    else if key > !x.key then x := !x.right
+    else begin
+      !x.value <- value;
+      replaced := true
+    end
+  done;
+  if not !replaced then begin
+    let z =
+      { key; value; left = t.nil; right = t.nil; parent = !y; red = true }
+    in
+    if !y == t.nil then t.root <- z
+    else if key < !y.key then !y.left <- z
+    else !y.right <- z;
+    insert_fixup t z;
+    t.root.red <- false;
+    t.size <- t.size + 1
+  end
+
+let rec find_node t x key =
+  if x == t.nil then t.nil
+  else if key = x.key then x
+  else if key < x.key then find_node t x.left key
+  else find_node t x.right key
+
+let find_opt t key =
+  let n = find_node t t.root key in
+  if n == t.nil then None else Some n.value
+
+let mem t key = find_node t t.root key != t.nil
+
+let rec min_node t x = if x.left == t.nil then x else min_node t x.left
+let rec max_node t x = if x.right == t.nil then x else max_node t x.right
+
+let min_binding t =
+  if t.root == t.nil then None
+  else
+    let n = min_node t t.root in
+    Some (n.key, n.value)
+
+let max_binding t =
+  if t.root == t.nil then None
+  else
+    let n = max_node t t.root in
+    Some (n.key, n.value)
+
+(* Smallest key >= [key]. *)
+let find_geq t key =
+  let best = ref t.nil in
+  let rec go x =
+    if x != t.nil then
+      if x.key >= key then begin
+        best := x;
+        go x.left
+      end
+      else go x.right
+  in
+  go t.root;
+  if !best == t.nil then None else Some (!best.key, !best.value)
+
+(* Largest key <= [key]. *)
+let find_leq t key =
+  let best = ref t.nil in
+  let rec go x =
+    if x != t.nil then
+      if x.key <= key then begin
+        best := x;
+        go x.right
+      end
+      else go x.left
+  in
+  go t.root;
+  if !best == t.nil then None else Some (!best.key, !best.value)
+
+let transplant t u v =
+  if u.parent == t.nil then t.root <- v
+  else if u == u.parent.left then u.parent.left <- v
+  else u.parent.right <- v;
+  v.parent <- u.parent
+
+let rec delete_fixup t x =
+  if x != t.root && not x.red then begin
+    if x == x.parent.left then begin
+      let w = ref x.parent.right in
+      if !w.red then begin
+        !w.red <- false;
+        x.parent.red <- true;
+        left_rotate t x.parent;
+        w := x.parent.right
+      end;
+      if (not !w.left.red) && not !w.right.red then begin
+        !w.red <- true;
+        delete_fixup t x.parent
+      end
+      else begin
+        if not !w.right.red then begin
+          !w.left.red <- false;
+          !w.red <- true;
+          right_rotate t !w;
+          w := x.parent.right
+        end;
+        !w.red <- x.parent.red;
+        x.parent.red <- false;
+        !w.right.red <- false;
+        left_rotate t x.parent
+      end
+    end
+    else begin
+      let w = ref x.parent.left in
+      if !w.red then begin
+        !w.red <- false;
+        x.parent.red <- true;
+        right_rotate t x.parent;
+        w := x.parent.left
+      end;
+      if (not !w.right.red) && not !w.left.red then begin
+        !w.red <- true;
+        delete_fixup t x.parent
+      end
+      else begin
+        if not !w.left.red then begin
+          !w.right.red <- false;
+          !w.red <- true;
+          left_rotate t !w;
+          w := x.parent.left
+        end;
+        !w.red <- x.parent.red;
+        x.parent.red <- false;
+        !w.left.red <- false;
+        right_rotate t x.parent
+      end
+    end
+  end
+  else x.red <- false
+
+let remove t key =
+  let z = find_node t t.root key in
+  if z == t.nil then false
+  else begin
+    let y = ref z in
+    let y_was_red = ref !y.red in
+    let x = ref t.nil in
+    if z.left == t.nil then begin
+      x := z.right;
+      transplant t z z.right
+    end
+    else if z.right == t.nil then begin
+      x := z.left;
+      transplant t z z.left
+    end
+    else begin
+      y := min_node t z.right;
+      y_was_red := !y.red;
+      x := !y.right;
+      if !y.parent == z then !x.parent <- !y
+      else begin
+        transplant t !y !y.right;
+        !y.right <- z.right;
+        !y.right.parent <- !y
+      end;
+      transplant t z !y;
+      !y.left <- z.left;
+      !y.left.parent <- !y;
+      !y.red <- z.red
+    end;
+    if not !y_was_red then delete_fixup t !x;
+    t.nil.parent <- t.nil;
+    t.nil.red <- false;
+    t.size <- t.size - 1;
+    true
+  end
+
+let iter t f =
+  let rec go x =
+    if x != t.nil then begin
+      go x.left;
+      f x.key x.value;
+      go x.right
+    end
+  in
+  go t.root
+
+let fold t f acc =
+  let acc = ref acc in
+  iter t (fun k v -> acc := f k v !acc);
+  !acc
+
+let to_list t = List.rev (fold t (fun k v acc -> (k, v) :: acc) [])
+
+exception Found
+
+(* First in-order binding satisfying [p]; linear in the worst case.  KernFS
+   uses it for first-fit run selection. *)
+let find_first t p =
+  let result = ref None in
+  (try
+     iter t (fun k v ->
+         if p k v then begin
+           result := Some (k, v);
+           raise Found
+         end)
+   with Found -> ());
+  !result
+
+(* Validate red-black invariants; returns the black height.  Used by the
+   property tests. *)
+let check_invariants t =
+  let rec go x =
+    if x == t.nil then 1
+    else begin
+      if x.red && (x.left.red || x.right.red) then
+        failwith "rbtree: red node with red child";
+      if x.left != t.nil && x.left.key >= x.key then
+        failwith "rbtree: left key not smaller";
+      if x.right != t.nil && x.right.key <= x.key then
+        failwith "rbtree: right key not larger";
+      let bl = go x.left and br = go x.right in
+      if bl <> br then failwith "rbtree: black heights differ";
+      bl + if x.red then 0 else 1
+    end
+  in
+  if t.root.red then failwith "rbtree: red root";
+  go t.root

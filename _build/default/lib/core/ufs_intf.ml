@@ -1,0 +1,53 @@
+(* The interface a µFS exposes to the FSLibs dispatcher (paper §3.2, §4.2).
+
+   Path operations may run into a symbolic link mid-walk; following it is the
+   dispatcher's job ("whenever one symlink is expanded in a µFS, the new path
+   will be returned to the dispatcher, which will re-dispatch the file
+   request", §4.2), so every path operation can fail with [Symlink]. *)
+
+type fail =
+  | Errno of Errno.t
+  | Symlink of string
+      (** the expanded absolute path the dispatcher must re-dispatch *)
+
+type 'a outcome = ('a, fail) result
+
+let errno e : 'a outcome = Error (Errno e)
+let redirect p : 'a outcome = Error (Symlink p)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val ctype : int
+  (** The coffer-type this µFS manages (stored in coffer root pages). *)
+
+  (* Path operations (paths absolute within the FS, normalized). *)
+  val openf : t -> string -> Fs_types.open_flag list -> int -> int outcome
+  val mkdir : t -> string -> int -> unit outcome
+  val rmdir : t -> string -> unit outcome
+  val unlink : t -> string -> unit outcome
+  val rename : t -> string -> string -> unit outcome
+  val stat : t -> string -> Fs_types.stat outcome
+  val lstat : t -> string -> Fs_types.stat outcome
+  val readdir : t -> string -> Fs_types.dirent list outcome
+  val chmod : t -> string -> int -> unit outcome
+  val chown : t -> string -> int -> int -> unit outcome
+  val symlink : t -> target:string -> link:string -> unit outcome
+  val readlink : t -> string -> string outcome
+
+  (* Handle operations (a handle is the µFS's open-file token). *)
+  val close : t -> int -> (unit, Errno.t) result
+
+  val read : t -> int -> off:int -> bytes -> int -> int -> (int, Errno.t) result
+
+  val write :
+    t -> int -> off:[ `At of int | `Append ] -> string -> (int * int, Errno.t) result
+  (** Returns [(bytes_written, end_offset)]; [`Append] resolves the offset
+      atomically under the file lease. *)
+
+  val fsync : t -> int -> (unit, Errno.t) result
+  val fstat : t -> int -> (Fs_types.stat, Errno.t) result
+  val ftruncate : t -> int -> int -> (unit, Errno.t) result
+end

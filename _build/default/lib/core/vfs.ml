@@ -1,0 +1,117 @@
+(* The common file-system interface every file system in the reproduction
+   implements: ZoFS (through FSLibs) and the four baselines (Ext4-DAX, PMFS,
+   NOVA, Strata).  Benchmarks, the LSM store and the SQL engine are written
+   against this signature, so every experiment runs unchanged on every FS.
+
+   File descriptors are plain ints; read/write take explicit offsets when
+   [`At] and honour O_APPEND with [`Append] (resolved atomically under the
+   file lock inside the FS). *)
+
+open Fs_types
+
+module type S = sig
+  type t
+
+  val name : t -> string
+
+  (* Path operations.  Paths are absolute within the file system. *)
+  val openf : t -> string -> open_flag list -> int -> (int, Errno.t) result
+  val mkdir : t -> string -> int -> (unit, Errno.t) result
+  val rmdir : t -> string -> (unit, Errno.t) result
+  val unlink : t -> string -> (unit, Errno.t) result
+  val rename : t -> string -> string -> (unit, Errno.t) result
+  val stat : t -> string -> (stat, Errno.t) result
+  val lstat : t -> string -> (stat, Errno.t) result
+  val readdir : t -> string -> (dirent list, Errno.t) result
+  val chmod : t -> string -> int -> (unit, Errno.t) result
+  val chown : t -> string -> int -> int -> (unit, Errno.t) result
+  val symlink : t -> target:string -> link:string -> (unit, Errno.t) result
+  val readlink : t -> string -> (string, Errno.t) result
+  val truncate : t -> string -> int -> (unit, Errno.t) result
+
+  (* Descriptor operations. *)
+  val close : t -> int -> (unit, Errno.t) result
+
+  val read : t -> int -> bytes -> int -> int -> (int, Errno.t) result
+  (** [read t fd buf boff len] at the descriptor's offset, advancing it. *)
+
+  val pread : t -> int -> off:int -> bytes -> int -> int -> (int, Errno.t) result
+  val write : t -> int -> string -> (int, Errno.t) result
+  val pwrite : t -> int -> off:int -> string -> (int, Errno.t) result
+  val lseek : t -> int -> int -> whence -> (int, Errno.t) result
+  val fsync : t -> int -> (unit, Errno.t) result
+  val fstat : t -> int -> (stat, Errno.t) result
+  val ftruncate : t -> int -> int -> (unit, Errno.t) result
+end
+
+(* A packed file system: first-class module + its instance. *)
+type fs = Fs : (module S with type t = 'a) * 'a -> fs
+
+let name (Fs ((module F), t)) = F.name t
+let openf (Fs ((module F), t)) path flags mode = F.openf t path flags mode
+let mkdir (Fs ((module F), t)) path mode = F.mkdir t path mode
+let rmdir (Fs ((module F), t)) path = F.rmdir t path
+let unlink (Fs ((module F), t)) path = F.unlink t path
+let rename (Fs ((module F), t)) a b = F.rename t a b
+let stat (Fs ((module F), t)) path = F.stat t path
+let lstat (Fs ((module F), t)) path = F.lstat t path
+let readdir (Fs ((module F), t)) path = F.readdir t path
+let chmod (Fs ((module F), t)) path mode = F.chmod t path mode
+let chown (Fs ((module F), t)) path uid gid = F.chown t path uid gid
+let symlink (Fs ((module F), t)) ~target ~link = F.symlink t ~target ~link
+let readlink (Fs ((module F), t)) path = F.readlink t path
+let truncate (Fs ((module F), t)) path len = F.truncate t path len
+let close (Fs ((module F), t)) fd = F.close t fd
+let read (Fs ((module F), t)) fd buf boff len = F.read t fd buf boff len
+let pread (Fs ((module F), t)) fd ~off buf boff len = F.pread t fd ~off buf boff len
+let write (Fs ((module F), t)) fd s = F.write t fd s
+let pwrite (Fs ((module F), t)) fd ~off s = F.pwrite t fd ~off s
+let lseek (Fs ((module F), t)) fd pos whence = F.lseek t fd pos whence
+let fsync (Fs ((module F), t)) fd = F.fsync t fd
+let fstat (Fs ((module F), t)) fd = F.fstat t fd
+let ftruncate (Fs ((module F), t)) fd len = F.ftruncate t fd len
+
+(* ---- convenience helpers used by tests, examples and workloads -------- *)
+
+let ( let* ) = Result.bind
+
+let write_file fs path ?(mode = 0o644) data =
+  let* fd = openf fs path [ O_CREAT; O_WRONLY; O_TRUNC ] mode in
+  let* n = write fs fd data in
+  let* () = close fs fd in
+  if n = String.length data then Ok () else Error Errno.EIO
+
+let read_file fs path =
+  let* fd = openf fs path [ O_RDONLY ] 0 in
+  let* st = fstat fs fd in
+  let buf = Bytes.create st.st_size in
+  let rec loop off =
+    if off >= st.st_size then Ok ()
+    else
+      let* n = read fs fd buf off (st.st_size - off) in
+      if n = 0 then Error Errno.EIO else loop (off + n)
+  in
+  let* () = loop 0 in
+  let* () = close fs fd in
+  Ok (Bytes.to_string buf)
+
+let append_file fs path ?(mode = 0o644) data =
+  let* fd = openf fs path [ O_CREAT; O_WRONLY; O_APPEND ] mode in
+  let* n = write fs fd data in
+  let* () = close fs fd in
+  if n = String.length data then Ok () else Error Errno.EIO
+
+let exists fs path = Result.is_ok (stat fs path)
+
+(* Recursive mkdir -p. *)
+let rec mkdir_p fs path mode =
+  match mkdir fs path mode with
+  | Ok () -> Ok ()
+  | Error Errno.EEXIST -> Ok ()
+  | Error Errno.ENOENT ->
+      let parent = Pathx.dirname path in
+      if parent = path then Error Errno.ENOENT
+      else
+        let* () = mkdir_p fs parent mode in
+        mkdir fs path mode
+  | Error e -> Error e

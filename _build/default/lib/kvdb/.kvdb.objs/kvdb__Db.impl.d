@@ -1,0 +1,1 @@
+lib/kvdb/db.ml: Hashtbl List Memtable Printf Result Sim Sstable String Treasury Wal

@@ -1,0 +1,1 @@
+lib/kvdb/db_bench.ml: Char Db Printf Sim String Treasury

@@ -1,0 +1,1 @@
+lib/kvdb/memtable.ml: Map String

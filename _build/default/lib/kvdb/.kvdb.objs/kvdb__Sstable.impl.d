@@ -1,0 +1,1 @@
+lib/kvdb/sstable.ml: Array Buffer Bytes Char Int32 Int64 List Result String Treasury

@@ -1,0 +1,1 @@
+lib/kvdb/wal.ml: Buffer Char Int32 Result String Treasury

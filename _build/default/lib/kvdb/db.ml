@@ -1,0 +1,258 @@
+(* The LSM key-value store (our LevelDB): memtable + WAL in front of two
+   levels of SSTables.
+
+   - writes go WAL → memtable; [sync] fsyncs the WAL (db_bench "write
+     sync.");
+   - the memtable flushes to a new L0 table past [memtable_budget];
+   - when L0 collects [l0_compaction_trigger] tables, all of L0 merges with
+     the overlapping part of L1 into fresh non-overlapping L1 tables;
+   - the MANIFEST records the live tables and is replaced atomically
+     (write temp + rename), so reopen sees a consistent table set and
+     replays the WAL for the rest. *)
+
+module V = Treasury.Vfs
+module Ft = Treasury.Fs_types
+
+let memtable_budget = 256 * 1024
+let l0_compaction_trigger = 4
+let l1_target_bytes = 1 lsl 20
+
+type t = {
+  fs : V.fs;
+  dir : string;
+  mem : Memtable.t;
+  mutable wal : Wal.t;
+  mutable l0 : Sstable.t list;  (* newest first *)
+  mutable l1 : Sstable.t list;  (* sorted by smallest key, disjoint ranges *)
+  mutable next_file : int;
+  mutable compactions : int;
+}
+
+let ( let* ) = Result.bind
+
+let table_path t n = Printf.sprintf "%s/%06d.sst" t.dir n
+let wal_path dir = dir ^ "/wal.log"
+let manifest_path dir = dir ^ "/MANIFEST"
+
+(* ---- manifest -------------------------------------------------------------- *)
+
+let save_manifest t =
+  let line lvl tbl = Printf.sprintf "%d %s" lvl tbl.Sstable.path in
+  let body =
+    String.concat "\n"
+      (List.map (line 0) t.l0 @ List.map (line 1) t.l1)
+    ^ Printf.sprintf "\nnext %d\n" t.next_file
+  in
+  let tmp = t.dir ^ "/MANIFEST.tmp" in
+  let* () = V.write_file t.fs tmp body in
+  V.rename t.fs tmp (manifest_path t.dir)
+
+let load_manifest fs dir =
+  match V.read_file fs (manifest_path dir) with
+  | Error Treasury.Errno.ENOENT -> Ok ([], [], 1)
+  | Error e -> Error e
+  | Ok body ->
+      let l0 = ref [] and l1 = ref [] and next = ref 1 in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | [ "0"; path ] -> (
+              match Sstable.open_ fs path with
+              | Ok tbl -> l0 := tbl :: !l0
+              | Error _ -> ())
+          | [ "1"; path ] -> (
+              match Sstable.open_ fs path with
+              | Ok tbl -> l1 := tbl :: !l1
+              | Error _ -> ())
+          | [ "next"; n ] -> next := int_of_string n
+          | _ -> ())
+        (String.split_on_char '\n' body);
+      (* manifest lists l0 newest-first; reading reversed it *)
+      Ok (List.rev !l0, List.rev !l1, !next)
+
+(* ---- open ------------------------------------------------------------------- *)
+
+let open_ fs dir =
+  let* () = V.mkdir_p fs dir 0o755 in
+  let* l0, l1, next_file = load_manifest fs dir in
+  let mem = Memtable.create () in
+  (* replay the WAL into the memtable *)
+  let* () =
+    Wal.replay fs (wal_path dir) (function
+      | `Put (k, v) -> Memtable.put mem k v
+      | `Delete k -> Memtable.delete mem k)
+  in
+  (* reopen the WAL in append mode, preserving replayed records *)
+  let* fd = V.openf fs (wal_path dir) [ Ft.O_CREAT; Ft.O_WRONLY; Ft.O_APPEND ] 0o644 in
+  let wal = { Wal.fs; path = wal_path dir; fd } in
+  Ok { fs; dir; mem; wal; l0; l1; next_file; compactions = 0 }
+
+(* ---- flush and compaction ---------------------------------------------------- *)
+
+let fresh_table_path t =
+  let p = table_path t t.next_file in
+  t.next_file <- t.next_file + 1;
+  p
+
+let entries_of_memtable mem =
+  List.map
+    (fun (key, e) ->
+      match e with
+      | Memtable.Put v -> { Sstable.key; value = Some v }
+      | Memtable.Tombstone -> { Sstable.key; value = None })
+    (Memtable.bindings mem)
+
+(* Merge sorted entry lists; earlier lists win on duplicate keys. *)
+let merge_entries lists =
+  let tbl = Hashtbl.create 1024 in
+  let order = ref [] in
+  List.iter
+    (fun entries ->
+      List.iter
+        (fun (e : Sstable.entry) ->
+          if not (Hashtbl.mem tbl e.Sstable.key) then begin
+            Hashtbl.replace tbl e.Sstable.key e;
+            order := e.Sstable.key :: !order
+          end)
+        entries)
+    lists;
+  List.sort compare (List.map (fun k -> Hashtbl.find tbl k) (List.sort_uniq compare !order))
+
+let split_into_tables entries =
+  (* split the merged run into tables of ~l1_target_bytes *)
+  let rec go acc current current_bytes = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | (e : Sstable.entry) :: rest ->
+        let sz =
+          String.length e.Sstable.key
+          + (match e.Sstable.value with Some v -> String.length v | None -> 0)
+          + 16
+        in
+        if current_bytes + sz > l1_target_bytes && current <> [] then
+          go (List.rev current :: acc) [ e ] sz rest
+        else go acc (e :: current) (current_bytes + sz) rest
+  in
+  go [] [] 0 entries
+
+let compact t =
+  t.compactions <- t.compactions + 1;
+  (* merge all of L0 (newest first wins) with all of L1, dropping
+     tombstones (full compaction covers the whole key space here) *)
+  let lists =
+    List.map Sstable.entries t.l0 @ [ List.concat_map Sstable.entries t.l1 ]
+  in
+  let merged =
+    List.filter (fun e -> e.Sstable.value <> None) (merge_entries lists)
+  in
+  let old_tables = t.l0 @ t.l1 in
+  let* new_l1 =
+    List.fold_left
+      (fun acc chunk ->
+        let* acc = acc in
+        let path = fresh_table_path t in
+        let* () = Sstable.write t.fs path chunk in
+        let* tbl = Sstable.open_ t.fs path in
+        Ok (tbl :: acc))
+      (Ok []) (split_into_tables merged)
+  in
+  t.l0 <- [];
+  t.l1 <- List.rev new_l1;
+  let* () = save_manifest t in
+  (* old tables are unreachable from the manifest: delete them *)
+  List.iter
+    (fun tbl -> ignore (V.unlink t.fs tbl.Sstable.path))
+    old_tables;
+  Ok ()
+
+let flush_memtable t =
+  if Memtable.is_empty t.mem then Ok ()
+  else begin
+    let path = fresh_table_path t in
+    let* () = Sstable.write t.fs path (entries_of_memtable t.mem) in
+    let* tbl = Sstable.open_ t.fs path in
+    t.l0 <- tbl :: t.l0;
+    let* () = save_manifest t in
+    Memtable.clear t.mem;
+    let* () = Wal.reset t.wal in
+    if List.length t.l0 >= l0_compaction_trigger then compact t else Ok ()
+  end
+
+let maybe_flush t =
+  if Memtable.approximate_bytes t.mem > memtable_budget then flush_memtable t
+  else Ok ()
+
+(* ---- the public API ----------------------------------------------------------- *)
+
+(* CPU work LevelDB does around the file system: skiplist insert/lookup,
+   record encoding, version/snapshot bookkeeping.  Charged so that the FS
+   share of db_bench latency matches the paper's proportions. *)
+let put_cpu_cost = 800
+let get_cpu_cost = 600
+
+let put ?(sync = false) t ~key ~value =
+  Sim.advance put_cpu_cost;
+  let* () = Wal.put t.wal ~key ~value ~sync in
+  Memtable.put t.mem key value;
+  maybe_flush t
+
+let delete ?(sync = false) t ~key =
+  Sim.advance put_cpu_cost;
+  let* () = Wal.delete t.wal ~key ~sync in
+  Memtable.delete t.mem key;
+  maybe_flush t
+
+let flush t = flush_memtable t
+
+let get t ~key =
+  Sim.advance get_cpu_cost;
+  match Memtable.find t.mem key with
+  | Some (Memtable.Put v) -> Some v
+  | Some Memtable.Tombstone -> None
+  | None -> (
+      (* L0 newest first, then L1 *)
+      let rec try_l0 = function
+        | [] -> `Miss
+        | tbl :: rest -> (
+            match Sstable.get tbl key with
+            | Some v -> `Hit v
+            | None -> try_l0 rest)
+      in
+      match try_l0 t.l0 with
+      | `Hit (Some v) -> Some v
+      | `Hit None -> None
+      | `Miss -> (
+          let covering =
+            List.find_opt
+              (fun tbl ->
+                let lo, hi = Sstable.key_range tbl in
+                lo <= key && key <= hi)
+              t.l1
+          in
+          match covering with
+          | None -> None
+          | Some tbl -> (
+              match Sstable.get tbl key with
+              | Some (Some v) -> Some v
+              | Some None | None -> None)))
+
+(* All live keys in order (for scans / readseq). *)
+let fold_all t f acc =
+  let merged =
+    merge_entries
+      ([ entries_of_memtable t.mem ]
+      @ List.map Sstable.entries t.l0
+      @ [ List.concat_map Sstable.entries t.l1 ])
+  in
+  List.fold_left
+    (fun acc (e : Sstable.entry) ->
+      match e.Sstable.value with
+      | Some v -> f acc e.Sstable.key v
+      | None -> acc)
+    acc merged
+
+let close t =
+  let* () = flush_memtable t in
+  Wal.close t.wal
+
+let compaction_count t = t.compactions
+let level_sizes t = (List.length t.l0, List.length t.l1)

@@ -1,0 +1,34 @@
+(* In-memory sorted write buffer of the LSM store (LevelDB's memtable):
+   a string map holding the newest value or tombstone per key, plus an
+   approximate byte footprint that triggers flushes. *)
+
+module M = Map.Make (String)
+
+type entry = Put of string | Tombstone
+
+type t = { mutable map : entry M.t; mutable bytes : int }
+
+let create () = { map = M.empty; bytes = 0 }
+
+let entry_cost key value = String.length key + String.length value + 32
+
+let put t key value =
+  t.map <- M.add key (Put value) t.map;
+  t.bytes <- t.bytes + entry_cost key value
+
+let delete t key =
+  t.map <- M.add key Tombstone t.map;
+  t.bytes <- t.bytes + entry_cost key ""
+
+let find t key = M.find_opt key t.map
+let is_empty t = M.is_empty t.map
+let approximate_bytes t = t.bytes
+let cardinal t = M.cardinal t.map
+
+(* ascending key order *)
+let iter t f = M.iter f t.map
+let bindings t = M.bindings t.map
+
+let clear t =
+  t.map <- M.empty;
+  t.bytes <- 0

@@ -1,0 +1,80 @@
+(* Write-ahead log: every update is appended here before it enters the
+   memtable; replayed at open to recover a memtable lost in a crash.
+
+   Record: [kind u8][klen u32][key][vlen u32][value], concatenated.  A short
+   or garbled tail (torn final record) is ignored on replay. *)
+
+module V = Treasury.Vfs
+module Ft = Treasury.Fs_types
+
+type t = { fs : V.fs; path : string; mutable fd : int }
+
+let ( let* ) = Result.bind
+
+let k_put = 1
+let k_delete = 2
+
+let create fs path =
+  let* fd = V.openf fs path [ Ft.O_CREAT; Ft.O_WRONLY; Ft.O_TRUNC ] 0o644 in
+  Ok { fs; path; fd }
+
+let encode ~kind ~key ~value =
+  let klen = String.length key and vlen = String.length value in
+  let b = Buffer.create (9 + klen + vlen) in
+  Buffer.add_char b (Char.chr kind);
+  Buffer.add_int32_le b (Int32.of_int klen);
+  Buffer.add_string b key;
+  Buffer.add_int32_le b (Int32.of_int vlen);
+  Buffer.add_string b value;
+  Buffer.contents b
+
+let append t ~kind ~key ~value ~sync =
+  let* _ = V.write t.fs t.fd (encode ~kind ~key ~value) in
+  if sync then V.fsync t.fs t.fd else Ok ()
+
+let put t ~key ~value ~sync = append t ~kind:k_put ~key ~value ~sync
+let delete t ~key ~sync = append t ~kind:k_delete ~key ~value:"" ~sync
+
+(* Replay an existing log into [f]; stops silently at a torn tail. *)
+let replay fs path f =
+  match V.read_file fs path with
+  | Error Treasury.Errno.ENOENT -> Ok ()
+  | Error e -> Error e
+  | Ok data ->
+      let n = String.length data in
+      let u32 off =
+        Char.code data.[off]
+        lor (Char.code data.[off + 1] lsl 8)
+        lor (Char.code data.[off + 2] lsl 16)
+        lor (Char.code data.[off + 3] lsl 24)
+      in
+      let rec go off =
+        if off + 9 > n then ()
+        else begin
+          let kind = Char.code data.[off] in
+          let klen = u32 (off + 1) in
+          if off + 5 + klen + 4 > n then ()
+          else begin
+            let key = String.sub data (off + 5) klen in
+            let vlen = u32 (off + 5 + klen) in
+            let voff = off + 9 + klen in
+            if voff + vlen > n then ()
+            else begin
+              let value = String.sub data voff vlen in
+              if kind = k_put then f (`Put (key, value))
+              else if kind = k_delete then f (`Delete key);
+              go (voff + vlen)
+            end
+          end
+        end
+      in
+      go 0;
+      Ok ()
+
+let reset t =
+  let* () = V.close t.fs t.fd in
+  let* fd = V.openf t.fs t.path [ Ft.O_CREAT; Ft.O_WRONLY; Ft.O_TRUNC ] 0o644 in
+  t.fd <- fd;
+  Ok ()
+
+let close t = V.close t.fs t.fd

@@ -1,0 +1,1 @@
+lib/litedb/btree.ml: Bytes Char List Pager String

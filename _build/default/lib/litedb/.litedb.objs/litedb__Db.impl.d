@@ -1,0 +1,1 @@
+lib/litedb/db.ml: Btree Buffer Bytes Hashtbl Int32 List Option Pager Printf Record Result String Treasury

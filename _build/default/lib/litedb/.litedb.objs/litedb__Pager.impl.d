@@ -1,0 +1,1 @@
+lib/litedb/pager.ml: Buffer Bytes Char Hashtbl Int32 List Queue Result String Treasury

@@ -1,0 +1,1 @@
+lib/litedb/record.ml: Buffer Char Float Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/litedb/tpcc.ml: Db Hashtbl List Printf Record Result Sim Treasury

@@ -1,0 +1,251 @@
+(* B+tree over the pager, with string keys (order-preserving encodings make
+   them work for rowids and composite index keys alike).
+
+   Node page layout:
+     0: kind u8 (1 = leaf, 2 = internal)
+     1: nkeys u16
+     4: next_leaf u32          (leaves: sibling pointer for range scans)
+     8: leftmost child u32     (internal nodes)
+     12: cells, packed:
+         leaf cell:     [klen u16][vlen u16][key][value]
+         internal cell: [klen u16][key][child u32]
+
+   Nodes are decoded to OCaml lists per operation and re-encoded on change
+   (the pager cache keeps this cheap); splits propagate upward and grow a
+   new root when needed.  Deletion removes the cell without rebalancing
+   (lazy deletion, as several embedded engines do). *)
+
+let header = 12
+let leaf_kind = 1
+let internal_kind = 2
+let capacity = Pager.page_size - header
+
+type leaf = { l_next : int; l_cells : (string * string) list }
+type internal = { i_left : int; i_cells : (string * int) list }
+type node = Leaf of leaf | Internal of internal
+
+(* ---- encode / decode -------------------------------------------------------- *)
+
+let u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let pu16 b off v =
+  Bytes.set b off (Char.chr (v land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let u32 b off = u16 b off lor (u16 b (off + 2) lsl 16)
+
+let pu32 b off v =
+  pu16 b off (v land 0xFFFF);
+  pu16 b (off + 2) ((v lsr 16) land 0xFFFF)
+
+let decode b =
+  let kind = Char.code (Bytes.get b 0) in
+  let nkeys = u16 b 1 in
+  if kind = leaf_kind then begin
+    let off = ref header in
+    let cells =
+      List.init nkeys (fun _ ->
+          let klen = u16 b !off and vlen = u16 b (!off + 2) in
+          let key = Bytes.sub_string b (!off + 4) klen in
+          let value = Bytes.sub_string b (!off + 4 + klen) vlen in
+          off := !off + 4 + klen + vlen;
+          (key, value))
+    in
+    Leaf { l_next = u32 b 4; l_cells = cells }
+  end
+  else begin
+    let off = ref header in
+    let cells =
+      List.init nkeys (fun _ ->
+          let klen = u16 b !off in
+          let key = Bytes.sub_string b (!off + 2) klen in
+          let child = u32 b (!off + 2 + klen) in
+          off := !off + 6 + klen;
+          (key, child))
+    in
+    Internal { i_left = u32 b 8; i_cells = cells }
+  end
+
+let leaf_bytes cells =
+  List.fold_left (fun a (k, v) -> a + 4 + String.length k + String.length v) 0 cells
+
+let internal_bytes cells =
+  List.fold_left (fun a (k, _) -> a + 6 + String.length k) 0 cells
+
+let encode node =
+  let b = Bytes.make Pager.page_size '\000' in
+  (match node with
+  | Leaf { l_next; l_cells } ->
+      Bytes.set b 0 (Char.chr leaf_kind);
+      pu16 b 1 (List.length l_cells);
+      pu32 b 4 l_next;
+      let off = ref header in
+      List.iter
+        (fun (k, v) ->
+          pu16 b !off (String.length k);
+          pu16 b (!off + 2) (String.length v);
+          Bytes.blit_string k 0 b (!off + 4) (String.length k);
+          Bytes.blit_string v 0 b (!off + 4 + String.length k) (String.length v);
+          off := !off + 4 + String.length k + String.length v)
+        l_cells
+  | Internal { i_left; i_cells } ->
+      Bytes.set b 0 (Char.chr internal_kind);
+      pu16 b 1 (List.length i_cells);
+      pu32 b 8 i_left;
+      let off = ref header in
+      List.iter
+        (fun (k, child) ->
+          pu16 b !off (String.length k);
+          Bytes.blit_string k 0 b (!off + 2) (String.length k);
+          pu32 b (!off + 2 + String.length k) child;
+          off := !off + 6 + String.length k)
+        i_cells);
+  b
+
+let read_node pager page = decode (Pager.read_page pager page)
+let write_node pager page node = Pager.write_page pager page (encode node)
+
+(* ---- creation ---------------------------------------------------------------- *)
+
+(* Returns the root page of a fresh empty tree. *)
+let create pager =
+  let root = Pager.alloc_page pager in
+  write_node pager root (Leaf { l_next = 0; l_cells = [] });
+  root
+
+(* ---- search ------------------------------------------------------------------- *)
+
+let rec find_leaf pager page key =
+  match read_node pager page with
+  | Leaf _ -> page
+  | Internal { i_left; i_cells } ->
+      let child =
+        List.fold_left
+          (fun acc (k, c) -> if key >= k then c else acc)
+          i_left i_cells
+      in
+      find_leaf pager child key
+
+let lookup pager ~root key =
+  match read_node pager (find_leaf pager root key) with
+  | Leaf { l_cells; _ } -> List.assoc_opt key l_cells
+  | Internal _ -> None
+
+(* Iterate bindings with key >= [start] in order; [f] returns false to
+   stop. *)
+let iter_from pager ~root ~start f =
+  let rec walk page =
+    match read_node pager page with
+    | Internal _ -> ()
+    | Leaf { l_next; l_cells } ->
+        let continue_ =
+          List.for_all
+            (fun (k, v) -> if k >= start then f k v else true)
+            l_cells
+        in
+        if continue_ && l_next <> 0 then walk l_next
+  in
+  walk (find_leaf pager root start)
+
+let iter_all pager ~root f = iter_from pager ~root ~start:"" (fun k v -> f k v; true)
+
+(* ---- insertion ------------------------------------------------------------------ *)
+
+let split_list cells =
+  let n = List.length cells in
+  let rec take i = function
+    | [] -> ([], [])
+    | x :: rest ->
+        if i = 0 then ([], x :: rest)
+        else
+          let l, r = take (i - 1) rest in
+          (x :: l, r)
+  in
+  take (n / 2) cells
+
+(* Insert into the subtree at [page]; returns [Some (sep, new_page)] if the
+   node split. *)
+let rec insert_at pager page key value =
+  match read_node pager page with
+  | Leaf { l_next; l_cells } ->
+      let rec put = function
+        | [] -> [ (key, value) ]
+        | (k, v) :: rest ->
+            if k = key then (key, value) :: rest
+            else if k > key then (key, value) :: (k, v) :: rest
+            else (k, v) :: put rest
+      in
+      let cells = put l_cells in
+      if leaf_bytes cells <= capacity then begin
+        write_node pager page (Leaf { l_next; l_cells = cells });
+        None
+      end
+      else begin
+        let left, right = split_list cells in
+        let new_page = Pager.alloc_page pager in
+        write_node pager new_page (Leaf { l_next; l_cells = right });
+        write_node pager page (Leaf { l_next = new_page; l_cells = left });
+        Some (fst (List.hd right), new_page)
+      end
+  | Internal { i_left; i_cells } -> (
+      let child =
+        List.fold_left
+          (fun acc (k, c) -> if key >= k then c else acc)
+          i_left i_cells
+      in
+      match insert_at pager child key value with
+      | None -> None
+      | Some (sep, new_child) ->
+          let rec put = function
+            | [] -> [ (sep, new_child) ]
+            | (k, c) :: rest ->
+                if k > sep then (sep, new_child) :: (k, c) :: rest
+                else (k, c) :: put rest
+          in
+          let cells = put i_cells in
+          if internal_bytes cells <= capacity then begin
+            write_node pager page (Internal { i_left; i_cells = cells });
+            None
+          end
+          else begin
+            let left, right = split_list cells in
+            (* the middle key moves up *)
+            match right with
+            | (mid_key, mid_child) :: right_rest ->
+                let new_page = Pager.alloc_page pager in
+                write_node pager new_page
+                  (Internal { i_left = mid_child; i_cells = right_rest });
+                write_node pager page (Internal { i_left; i_cells = left });
+                Some (mid_key, new_page)
+            | [] -> None
+          end)
+
+(* Insert, growing a new root if the old one split; returns the (possibly
+   new) root page. *)
+let insert pager ~root key value =
+  match insert_at pager root key value with
+  | None -> root
+  | Some (sep, new_page) ->
+      let new_root = Pager.alloc_page pager in
+      write_node pager new_root
+        (Internal { i_left = root; i_cells = [ (sep, new_page) ] });
+      new_root
+
+(* ---- deletion (lazy: no rebalancing) ---------------------------------------------- *)
+
+let delete pager ~root key =
+  let page = find_leaf pager root key in
+  match read_node pager page with
+  | Internal _ -> false
+  | Leaf { l_next; l_cells } ->
+      if List.mem_assoc key l_cells then begin
+        write_node pager page
+          (Leaf { l_next; l_cells = List.remove_assoc key l_cells });
+        true
+      end
+      else false
+
+let cardinal pager ~root =
+  let n = ref 0 in
+  iter_all pager ~root (fun _ _ -> incr n);
+  !n

@@ -1,0 +1,263 @@
+(* The relational engine: tables (rowid-keyed B+trees) and secondary
+   indexes (composite-key B+trees mapping to rowids), with a persistent
+   catalog in page 0 and pager-level transactions.
+
+   There is no SQL text layer — clients use this API directly; what the
+   paper's experiment measures is the storage engine's file-system footprint
+   (journal create/write/fsync/delete per transaction, page reads/writes),
+   which is preserved exactly. *)
+
+type table = {
+  tbl_name : string;
+  mutable tbl_root : int;
+  mutable tbl_next_rowid : int;
+}
+
+type index = {
+  idx_name : string;
+  idx_table : string;
+  mutable idx_root : int;
+  idx_cols : int list;  (* column positions within the row *)
+  idx_unique : bool;
+}
+
+type t = {
+  pager : Pager.t;
+  tables : (string, table) Hashtbl.t;
+  indexes : (string, index) Hashtbl.t;
+  mutable cat_dirty : bool;  (* roots/rowids moved since the last commit *)
+}
+
+let ( let* ) = Result.bind
+
+let rowid_key rowid = Printf.sprintf "%016d" rowid
+
+(* ---- catalog (page 0) -------------------------------------------------------- *)
+
+let save_catalog t =
+  let b = Buffer.create 512 in
+  Hashtbl.iter
+    (fun _ tb ->
+      Buffer.add_string b
+        (Printf.sprintf "T %s %d %d\n" tb.tbl_name tb.tbl_root tb.tbl_next_rowid))
+    t.tables;
+  Hashtbl.iter
+    (fun _ ix ->
+      Buffer.add_string b
+        (Printf.sprintf "I %s %s %d %b %s\n" ix.idx_name ix.idx_table ix.idx_root
+           ix.idx_unique
+           (String.concat "," (List.map string_of_int ix.idx_cols))))
+    t.indexes;
+  let body = Buffer.contents b in
+  if String.length body + 4 > Pager.page_size then
+    failwith "Litedb: catalog overflow";
+  let page = Bytes.make Pager.page_size '\000' in
+  Bytes.set_int32_le page 0 (Int32.of_int (String.length body));
+  Bytes.blit_string body 0 page 4 (String.length body);
+  Pager.write_page t.pager 0 page
+
+let load_catalog t =
+  if Pager.npages t.pager = 0 then ()
+  else begin
+    let page = Pager.read_page t.pager 0 in
+    let len = Int32.to_int (Bytes.get_int32_le page 0) in
+    if len > 0 && len < Pager.page_size then
+      String.split_on_char '\n' (Bytes.sub_string page 4 len)
+      |> List.iter (fun line ->
+             match String.split_on_char ' ' line with
+             | [ "T"; name; root; next ] ->
+                 Hashtbl.replace t.tables name
+                   {
+                     tbl_name = name;
+                     tbl_root = int_of_string root;
+                     tbl_next_rowid = int_of_string next;
+                   }
+             | [ "I"; name; table; root; unique; cols ] ->
+                 Hashtbl.replace t.indexes name
+                   {
+                     idx_name = name;
+                     idx_table = table;
+                     idx_root = int_of_string root;
+                     idx_unique = bool_of_string unique;
+                     idx_cols =
+                       (if cols = "" then []
+                        else List.map int_of_string (String.split_on_char ',' cols));
+                   }
+             | _ -> ())
+  end
+
+let open_ ?cache_pages fs path =
+  let* pager = Pager.open_ ?cache_pages fs path in
+  let t =
+    { pager; tables = Hashtbl.create 16; indexes = Hashtbl.create 16; cat_dirty = false }
+  in
+  if Pager.npages pager = 0 then begin
+    (* fresh database: reserve page 0 for the catalog *)
+    Pager.begin_txn pager;
+    let p0 = Pager.alloc_page pager in
+    assert (p0 = 0);
+    save_catalog t;
+    let* () = Pager.commit pager in
+    Ok t
+  end
+  else begin
+    load_catalog t;
+    Ok t
+  end
+
+(* ---- transactions --------------------------------------------------------------- *)
+
+let txn t f =
+  Pager.begin_txn t.pager;
+  t.cat_dirty <- false;
+  match f () with
+  | Ok v ->
+      (* persist the catalog only when roots / rowid counters moved —
+         read-only transactions must not touch the journal *)
+      if t.cat_dirty then save_catalog t;
+      let* () = Pager.commit t.pager in
+      Ok v
+  | Error e ->
+      Pager.rollback t.pager;
+      Error e
+  | exception e ->
+      Pager.rollback t.pager;
+      raise e
+
+(* ---- DDL -------------------------------------------------------------------------- *)
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tb -> tb
+  | None -> failwith ("Litedb: no such table " ^ name)
+
+let index t name =
+  match Hashtbl.find_opt t.indexes name with
+  | Some ix -> ix
+  | None -> failwith ("Litedb: no such index " ^ name)
+
+let create_table t name =
+  if Hashtbl.mem t.tables name then Error Treasury.Errno.EEXIST
+  else
+    txn t (fun () ->
+        let root = Btree.create t.pager in
+        Hashtbl.replace t.tables name
+          { tbl_name = name; tbl_root = root; tbl_next_rowid = 1 };
+        t.cat_dirty <- true;
+        Ok ())
+
+let create_index t name ~table:tname ~cols ~unique =
+  if Hashtbl.mem t.indexes name then Error Treasury.Errno.EEXIST
+  else
+    txn t (fun () ->
+        t.cat_dirty <- true;
+        let root = Btree.create t.pager in
+        let ix =
+          {
+            idx_name = name;
+            idx_table = tname;
+            idx_root = root;
+            idx_cols = cols;
+            idx_unique = unique;
+          }
+        in
+        Hashtbl.replace t.indexes name ix;
+        (* index any existing rows *)
+        let tb = table t tname in
+        Btree.iter_all t.pager ~root:tb.tbl_root (fun k v ->
+            let row = Record.decode v in
+            let key_vals = List.map (List.nth row) cols in
+            let key =
+              if unique then Record.index_key key_vals
+              else Record.index_key key_vals ^ "\000" ^ k
+            in
+            ix.idx_root <- Btree.insert t.pager ~root:ix.idx_root key k);
+        Ok ())
+
+let indexes_of t tname =
+  Hashtbl.fold
+    (fun _ ix acc -> if ix.idx_table = tname then ix :: acc else acc)
+    t.indexes []
+
+(* ---- DML (call inside [txn]) ------------------------------------------------------- *)
+
+let index_entry_key ix row rowid =
+  let key_vals = List.map (List.nth row) ix.idx_cols in
+  if ix.idx_unique then Record.index_key key_vals
+  else Record.index_key key_vals ^ "\000" ^ rowid_key rowid
+
+let insert t tname row =
+  let tb = table t tname in
+  let rowid = tb.tbl_next_rowid in
+  tb.tbl_next_rowid <- rowid + 1;
+  t.cat_dirty <- true;
+  tb.tbl_root <- Btree.insert t.pager ~root:tb.tbl_root (rowid_key rowid) (Record.encode row);
+  List.iter
+    (fun ix ->
+      ix.idx_root <-
+        Btree.insert t.pager ~root:ix.idx_root (index_entry_key ix row rowid)
+          (rowid_key rowid))
+    (indexes_of t tname);
+  rowid
+
+let get t tname rowid =
+  let tb = table t tname in
+  Option.map Record.decode (Btree.lookup t.pager ~root:tb.tbl_root (rowid_key rowid))
+
+let update t tname rowid row =
+  t.cat_dirty <- true;
+  let tb = table t tname in
+  (match Btree.lookup t.pager ~root:tb.tbl_root (rowid_key rowid) with
+  | Some old_raw ->
+      let old_row = Record.decode old_raw in
+      List.iter
+        (fun ix ->
+          let old_key = index_entry_key ix old_row rowid in
+          let new_key = index_entry_key ix row rowid in
+          if old_key <> new_key then begin
+            ignore (Btree.delete t.pager ~root:ix.idx_root old_key);
+            ix.idx_root <-
+              Btree.insert t.pager ~root:ix.idx_root new_key (rowid_key rowid)
+          end)
+        (indexes_of t tname)
+  | None -> ());
+  tb.tbl_root <- Btree.insert t.pager ~root:tb.tbl_root (rowid_key rowid) (Record.encode row)
+
+let delete t tname rowid =
+  t.cat_dirty <- true;
+  let tb = table t tname in
+  match Btree.lookup t.pager ~root:tb.tbl_root (rowid_key rowid) with
+  | None -> false
+  | Some raw ->
+      let row = Record.decode raw in
+      List.iter
+        (fun ix ->
+          ignore (Btree.delete t.pager ~root:ix.idx_root (index_entry_key ix row rowid)))
+        (indexes_of t tname);
+      ignore (Btree.delete t.pager ~root:tb.tbl_root (rowid_key rowid));
+      true
+
+let scan t tname f =
+  let tb = table t tname in
+  Btree.iter_all t.pager ~root:tb.tbl_root (fun k v ->
+      f (int_of_string k) (Record.decode v))
+
+(* Unique-index point lookup → rowid. *)
+let index_find t iname key_vals =
+  let ix = index t iname in
+  if not ix.idx_unique then invalid_arg "Litedb.index_find: non-unique index";
+  Option.map int_of_string
+    (Btree.lookup t.pager ~root:ix.idx_root (Record.index_key key_vals))
+
+(* Iterate rowids whose index key starts with [prefix_vals]; [f rowid]
+   returns false to stop. *)
+let index_prefix_iter t iname prefix_vals f =
+  let ix = index t iname in
+  let prefix = Record.index_key prefix_vals in
+  Btree.iter_from t.pager ~root:ix.idx_root ~start:prefix (fun k v ->
+      if String.length k >= String.length prefix
+         && String.sub k 0 (String.length prefix) = prefix
+      then f (int_of_string v)
+      else false)
+
+let commit_count t = Pager.commit_count t.pager

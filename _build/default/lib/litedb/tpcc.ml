@@ -1,0 +1,459 @@
+(* TPC-C on the relational engine (the paper's Figure 11 / Table 8).
+
+   The five transaction types (New-Order, Payment, Order-Status, Delivery,
+   Stock-Level) follow the specification's reads/writes; secondary indexes
+   exist on customer and orders as the paper requires, and foreign-key
+   lookups go through the primary-key indexes.  Scale: 1 warehouse, 10
+   districts (as in the paper), with customers/items scaled down
+   (documented in DESIGN.md) to laptop-simulation size. *)
+
+module R = Record
+
+let n_districts = 10
+let n_customers = 30 (* per district; spec: 3000 *)
+let n_items = 100 (* spec: 100,000 *)
+
+type t = {
+  db : Db.t;
+  rng : Sim.Rng.t;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+let ( let* ) = Result.bind
+
+(* column layouts
+   warehouse: [w_id; name; tax; ytd]
+   district:  [d_id; w_id; tax; ytd; next_o_id]
+   customer:  [c_id; d_id; w_id; name; balance; ytd_payment; payment_cnt;
+               delivery_cnt]
+   history:   [c_id; d_id; w_id; amount; data]
+   item:      [i_id; name; price]
+   stock:     [i_id; w_id; quantity; ytd; order_cnt]
+   orders:    [o_id; d_id; w_id; c_id; entry_d; carrier_id; ol_cnt]
+   new_order: [o_id; d_id; w_id]
+   order_line:[o_id; d_id; w_id; ol_number; i_id; qty; amount; delivery_d] *)
+
+let setup db =
+  let* () = Db.create_table db "warehouse" in
+  let* () = Db.create_table db "district" in
+  let* () = Db.create_table db "customer" in
+  let* () = Db.create_table db "history" in
+  let* () = Db.create_table db "item" in
+  let* () = Db.create_table db "stock" in
+  let* () = Db.create_table db "orders" in
+  let* () = Db.create_table db "new_order" in
+  let* () = Db.create_table db "order_line" in
+  let* () = Db.create_index db "district_pk" ~table:"district" ~cols:[ 0; 1 ] ~unique:true in
+  let* () = Db.create_index db "customer_pk" ~table:"customer" ~cols:[ 0; 1; 2 ] ~unique:true in
+  let* () = Db.create_index db "item_pk" ~table:"item" ~cols:[ 0 ] ~unique:true in
+  let* () = Db.create_index db "stock_pk" ~table:"stock" ~cols:[ 0; 1 ] ~unique:true in
+  let* () = Db.create_index db "orders_pk" ~table:"orders" ~cols:[ 0; 1; 2 ] ~unique:true in
+  (* the secondary indexes the paper builds (customer and orders) *)
+  let* () =
+    Db.create_index db "orders_by_customer" ~table:"orders" ~cols:[ 2; 1; 3; 0 ]
+      ~unique:false
+  in
+  let* () =
+    Db.create_index db "customer_by_name" ~table:"customer" ~cols:[ 2; 1; 3 ]
+      ~unique:false
+  in
+  let* () = Db.create_index db "new_order_pk" ~table:"new_order" ~cols:[ 2; 1; 0 ] ~unique:false in
+  let* () =
+    Db.create_index db "order_line_pk" ~table:"order_line" ~cols:[ 2; 1; 0; 3 ]
+      ~unique:false
+  in
+  Ok ()
+
+let load t =
+  let db = t.db in
+  let* () =
+    Db.txn db (fun () ->
+        ignore
+          (Db.insert db "warehouse"
+             [ R.Int 1; R.Str "W_ONE"; R.Real 0.07; R.Real 300000.0 ]);
+        for d = 1 to n_districts do
+          ignore
+            (Db.insert db "district"
+               [ R.Int d; R.Int 1; R.Real 0.08; R.Real 30000.0; R.Int 3001 ])
+        done;
+        Ok ())
+  in
+  let* () =
+    Db.txn db (fun () ->
+        for i = 1 to n_items do
+          ignore
+            (Db.insert db "item"
+               [
+                 R.Int i;
+                 R.Str (Printf.sprintf "item-%04d" i);
+                 R.Real (1.0 +. float_of_int (i mod 100));
+               ]);
+          ignore
+            (Db.insert db "stock"
+               [ R.Int i; R.Int 1; R.Int (10 + (i mod 90)); R.Real 0.0; R.Int 0 ])
+        done;
+        Ok ())
+  in
+  let rec load_customers d =
+    if d > n_districts then Ok ()
+    else
+      let* () =
+        Db.txn db (fun () ->
+            for c = 1 to n_customers do
+              ignore
+                (Db.insert db "customer"
+                   [
+                     R.Int c;
+                     R.Int d;
+                     R.Int 1;
+                     R.Str (Printf.sprintf "Customer-%d-%d" d c);
+                     R.Real (-10.0);
+                     R.Real 10.0;
+                     R.Int 1;
+                     R.Int 0;
+                   ])
+            done;
+            Ok ())
+      in
+      load_customers (d + 1)
+  in
+  load_customers 1
+
+let create fs path =
+  (* a page cache smaller than the database, so reads exercise the file
+     system as the paper's SQLite runs did *)
+  let* db = Db.open_ ~cache_pages:48 fs path in
+  let t = { db; rng = Sim.Rng.create 0x7CCL; committed = 0; aborted = 0 } in
+  let* () = setup db in
+  let* () = load t in
+  Ok t
+
+(* ---- helpers ---------------------------------------------------------------- *)
+
+let required = function
+  | Some v -> Ok v
+  | None -> Error Treasury.Errno.ENOENT
+
+let district_row db d =
+  let* rowid = required (Db.index_find db "district_pk" [ R.Int d; R.Int 1 ]) in
+  let* row = required (Db.get db "district" rowid) in
+  Ok (rowid, row)
+
+let customer_row db ~d ~c =
+  let* rowid =
+    required (Db.index_find db "customer_pk" [ R.Int c; R.Int d; R.Int 1 ])
+  in
+  let* row = required (Db.get db "customer" rowid) in
+  Ok (rowid, row)
+
+let nth = List.nth
+
+(* ---- the five transactions ---------------------------------------------------- *)
+
+let new_order t =
+  let db = t.db in
+  let d = 1 + Sim.Rng.int t.rng n_districts in
+  let c = 1 + Sim.Rng.int t.rng n_customers in
+  let ol_cnt = 5 + Sim.Rng.int t.rng 11 in
+  Db.txn db (fun () ->
+      let* _w = required (Db.get db "warehouse" 1) in
+      let* drow_id, drow = district_row db d in
+      let o_id = R.as_int (nth drow 4) in
+      Db.update db "district" drow_id
+        [ nth drow 0; nth drow 1; nth drow 2; nth drow 3; R.Int (o_id + 1) ];
+      let* _crow_id, _crow = customer_row db ~d ~c in
+      ignore
+        (Db.insert db "orders"
+           [
+             R.Int o_id;
+             R.Int d;
+             R.Int 1;
+             R.Int c;
+             R.Int (Sim.now ());
+             R.Int 0;
+             R.Int ol_cnt;
+           ]);
+      ignore (Db.insert db "new_order" [ R.Int o_id; R.Int d; R.Int 1 ]);
+      let rec lines ol =
+        if ol > ol_cnt then Ok ()
+        else begin
+          let i_id = 1 + Sim.Rng.int t.rng n_items in
+          let qty = 1 + Sim.Rng.int t.rng 10 in
+          let* item_rowid = required (Db.index_find db "item_pk" [ R.Int i_id ]) in
+          let* item = required (Db.get db "item" item_rowid) in
+          let price = R.as_real (nth item 2) in
+          let* stock_rowid =
+            required (Db.index_find db "stock_pk" [ R.Int i_id; R.Int 1 ])
+          in
+          let* stock = required (Db.get db "stock" stock_rowid) in
+          let s_qty = R.as_int (nth stock 2) in
+          let new_qty = if s_qty > qty + 10 then s_qty - qty else s_qty - qty + 91 in
+          Db.update db "stock" stock_rowid
+            [
+              nth stock 0;
+              nth stock 1;
+              R.Int new_qty;
+              R.Real (R.as_real (nth stock 3) +. float_of_int qty);
+              R.Int (R.as_int (nth stock 4) + 1);
+            ];
+          ignore
+            (Db.insert db "order_line"
+               [
+                 R.Int o_id;
+                 R.Int d;
+                 R.Int 1;
+                 R.Int ol;
+                 R.Int i_id;
+                 R.Int qty;
+                 R.Real (float_of_int qty *. price);
+                 R.Int 0;
+               ]);
+          lines (ol + 1)
+        end
+      in
+      lines 1)
+
+let payment t =
+  let db = t.db in
+  let d = 1 + Sim.Rng.int t.rng n_districts in
+  let c = 1 + Sim.Rng.int t.rng n_customers in
+  let amount = 1.0 +. float_of_int (Sim.Rng.int t.rng 5000) /. 100.0 in
+  Db.txn db (fun () ->
+      let* w = required (Db.get db "warehouse" 1) in
+      Db.update db "warehouse" 1
+        [ nth w 0; nth w 1; nth w 2; R.Real (R.as_real (nth w 3) +. amount) ];
+      let* drow_id, drow = district_row db d in
+      Db.update db "district" drow_id
+        [
+          nth drow 0;
+          nth drow 1;
+          nth drow 2;
+          R.Real (R.as_real (nth drow 3) +. amount);
+          nth drow 4;
+        ];
+      let* crow_id, crow = customer_row db ~d ~c in
+      Db.update db "customer" crow_id
+        [
+          nth crow 0;
+          nth crow 1;
+          nth crow 2;
+          nth crow 3;
+          R.Real (R.as_real (nth crow 4) -. amount);
+          R.Real (R.as_real (nth crow 5) +. amount);
+          R.Int (R.as_int (nth crow 6) + 1);
+          nth crow 7;
+        ];
+      ignore
+        (Db.insert db "history"
+           [ R.Int c; R.Int d; R.Int 1; R.Real amount; R.Str "payment" ]);
+      Ok ())
+
+let order_status t =
+  let db = t.db in
+  let d = 1 + Sim.Rng.int t.rng n_districts in
+  let c = 1 + Sim.Rng.int t.rng n_customers in
+  Db.txn db (fun () ->
+      let* _crow_id, crow = customer_row db ~d ~c in
+      ignore crow;
+      (* the customer's most recent order, via the secondary index *)
+      let last = ref None in
+      Db.index_prefix_iter db "orders_by_customer" [ R.Int 1; R.Int d; R.Int c ]
+        (fun rowid ->
+          last := Some rowid;
+          true);
+      (match !last with
+      | None -> ()
+      | Some rowid -> (
+          match Db.get db "orders" rowid with
+          | Some order ->
+              let o_id = R.as_int (nth order 0) in
+              Db.index_prefix_iter db "order_line_pk"
+                [ R.Int 1; R.Int d; R.Int o_id ]
+                (fun ol_rowid ->
+                  ignore (Db.get db "order_line" ol_rowid);
+                  true)
+          | None -> ()));
+      Ok ())
+
+let delivery t =
+  let db = t.db in
+  let carrier = 1 + Sim.Rng.int t.rng 10 in
+  Db.txn db (fun () ->
+      for d = 1 to n_districts do
+        (* oldest undelivered order in this district *)
+        let oldest = ref None in
+        Db.index_prefix_iter db "new_order_pk" [ R.Int 1; R.Int d ] (fun rowid ->
+            oldest := Some rowid;
+            false);
+        match !oldest with
+        | None -> ()
+        | Some no_rowid -> (
+            match Db.get db "new_order" no_rowid with
+            | None -> ()
+            | Some no_row ->
+                let o_id = R.as_int (nth no_row 0) in
+                ignore (Db.delete db "new_order" no_rowid);
+                (match Db.index_find db "orders_pk" [ R.Int o_id; R.Int d; R.Int 1 ] with
+                | Some orowid -> (
+                    match Db.get db "orders" orowid with
+                    | Some order ->
+                        Db.update db "orders" orowid
+                          [
+                            nth order 0;
+                            nth order 1;
+                            nth order 2;
+                            nth order 3;
+                            nth order 4;
+                            R.Int carrier;
+                            nth order 6;
+                          ];
+                        let c = R.as_int (nth order 3) in
+                        let total = ref 0.0 in
+                        Db.index_prefix_iter db "order_line_pk"
+                          [ R.Int 1; R.Int d; R.Int o_id ]
+                          (fun ol_rowid ->
+                            (match Db.get db "order_line" ol_rowid with
+                            | Some ol ->
+                                total := !total +. R.as_real (nth ol 6);
+                                Db.update db "order_line" ol_rowid
+                                  [
+                                    nth ol 0;
+                                    nth ol 1;
+                                    nth ol 2;
+                                    nth ol 3;
+                                    nth ol 4;
+                                    nth ol 5;
+                                    nth ol 6;
+                                    R.Int (Sim.now ());
+                                  ]
+                            | None -> ());
+                            true);
+                        (match Db.index_find db "customer_pk" [ R.Int c; R.Int d; R.Int 1 ] with
+                        | Some crowid -> (
+                            match Db.get db "customer" crowid with
+                            | Some crow ->
+                                Db.update db "customer" crowid
+                                  [
+                                    nth crow 0;
+                                    nth crow 1;
+                                    nth crow 2;
+                                    nth crow 3;
+                                    R.Real (R.as_real (nth crow 4) +. !total);
+                                    nth crow 5;
+                                    nth crow 6;
+                                    R.Int (R.as_int (nth crow 7) + 1);
+                                  ]
+                            | None -> ())
+                        | None -> ())
+                    | None -> ())
+                | None -> ()))
+      done;
+      Ok ())
+
+let stock_level t =
+  let db = t.db in
+  let d = 1 + Sim.Rng.int t.rng n_districts in
+  let threshold = 10 + Sim.Rng.int t.rng 11 in
+  Db.txn db (fun () ->
+      let* _drow_id, drow = district_row db d in
+      let next_o = R.as_int (nth drow 4) in
+      let low = ref 0 in
+      let seen = Hashtbl.create 64 in
+      (* the last 20 orders' lines *)
+      for o_id = max 1 (next_o - 20) to next_o - 1 do
+        Db.index_prefix_iter db "order_line_pk" [ R.Int 1; R.Int d; R.Int o_id ]
+          (fun ol_rowid ->
+            (match Db.get db "order_line" ol_rowid with
+            | Some ol -> (
+                let i_id = R.as_int (nth ol 4) in
+                if not (Hashtbl.mem seen i_id) then begin
+                  Hashtbl.replace seen i_id ();
+                  match Db.index_find db "stock_pk" [ R.Int i_id; R.Int 1 ] with
+                  | Some srowid -> (
+                      match Db.get db "stock" srowid with
+                      | Some stock ->
+                          if R.as_int (nth stock 2) < threshold then incr low
+                      | None -> ())
+                  | None -> ()
+                end)
+            | None -> ());
+            true)
+      done;
+      Ok !low)
+
+(* ---- the workload mix (Table 8) ------------------------------------------------ *)
+
+type txn_kind = NEW | PAY | OS | DLY | SL
+
+let kind_name = function
+  | NEW -> "NEW"
+  | PAY -> "PAY"
+  | OS -> "OS"
+  | DLY -> "DLY"
+  | SL -> "SL"
+
+(* CPU the SQL engine spends per transaction outside the storage layer
+   (parsing, planning, the bytecode VM) — calibrated so the FS share of
+   TPC-C latency matches the paper's modest inter-FS gaps. *)
+let txn_cpu_cost = function
+  | NEW -> 60_000
+  | PAY -> 25_000
+  | OS -> 20_000
+  | DLY -> 80_000
+  | SL -> 30_000
+
+let run_txn t k =
+  Sim.advance (txn_cpu_cost k);
+  match k with
+  | NEW -> Result.map (fun () -> ()) (new_order t)
+  | PAY -> payment t
+  | OS -> order_status t
+  | DLY -> delivery t
+  | SL -> Result.map (fun _ -> ()) (stock_level t)
+
+(* 44 / 44 / 4 / 4 / 4 *)
+let pick_mixed t =
+  let r = Sim.Rng.int t.rng 100 in
+  if r < 44 then NEW
+  else if r < 88 then PAY
+  else if r < 92 then OS
+  else if r < 96 then DLY
+  else SL
+
+(* Run [n] transactions; [kind] = None means the Table 8 mix.  Returns
+   transactions per simulated second. *)
+let run t ~n ?kind () =
+  let t0 = Sim.now () in
+  for _ = 1 to n do
+    let k = match kind with Some k -> k | None -> pick_mixed t in
+    match run_txn t k with
+    | Ok () -> t.committed <- t.committed + 1
+    | Error _ -> t.aborted <- t.aborted + 1
+  done;
+  let elapsed = max 1 (Sim.now () - t0) in
+  float_of_int n *. 1e9 /. float_of_int elapsed
+
+let committed t = t.committed
+let aborted t = t.aborted
+
+(* Invariant checks used by the tests (money conservation etc.). *)
+let consistency_check t =
+  let db = t.db in
+  (* district next_o_id - 1 = max order id per district *)
+  let ok = ref true in
+  for d = 1 to n_districts do
+    match district_row db d with
+    | Error _ -> ok := false
+    | Ok (_, drow) ->
+        let next_o = R.as_int (nth drow 4) in
+        let max_o = ref 3000 in
+        Db.index_prefix_iter db "orders_by_customer" [ R.Int 1; R.Int d ]
+          (fun rowid ->
+            (match Db.get db "orders" rowid with
+            | Some order -> max_o := max !max_o (R.as_int (nth order 0))
+            | None -> ());
+            true);
+        if !max_o >= next_o then ok := false
+  done;
+  !ok

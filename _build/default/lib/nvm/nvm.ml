@@ -1,0 +1,557 @@
+let page_size = 4096
+let line_size = 64
+
+module Perf = struct
+  type t = {
+    label : string;
+    read_latency : int;
+    write_latency : int;
+    read_bandwidth : float;
+    write_bandwidth : float;
+    hit_cost : int;
+    fence_cost : int;
+    write_bw_scale : int -> float;
+  }
+
+  (* Optane DC PM loses aggregate write bandwidth beyond ~12 concurrent
+     writers (paper Table 1 and §6.1/Fig. 7(e), after Izraelevitz et al.). *)
+  let optane_scale n =
+    if n <= 12 then 1.0 else Float.max 0.5 (1.0 -. (0.05 *. float_of_int (n - 12)))
+
+  let optane =
+    {
+      label = "optane-dc-pm";
+      read_latency = 305;
+      write_latency = 94;
+      read_bandwidth = 39.0;
+      write_bandwidth = 14.0;
+      hit_cost = 2;
+      fence_cost = 30;
+      write_bw_scale = optane_scale;
+    }
+
+  let dram =
+    {
+      label = "ddr4-dram";
+      read_latency = 81;
+      write_latency = 86;
+      read_bandwidth = 115.0;
+      write_bandwidth = 79.0;
+      hit_cost = 2;
+      fence_cost = 30;
+      write_bw_scale = (fun _ -> 1.0);
+    }
+
+  let free =
+    {
+      label = "free";
+      read_latency = 0;
+      write_latency = 0;
+      read_bandwidth = infinity;
+      write_bandwidth = infinity;
+      hit_cost = 0;
+      fence_cost = 0;
+      write_bw_scale = (fun _ -> 1.0);
+    }
+end
+
+exception Fault of { addr : int; write : bool; reason : string }
+
+module Device = struct
+  type line_state = Dirty | Flushing
+
+  type t = {
+    dev_size : int;
+    npages : int;
+    dev_perf : Perf.t;
+    vol : bytes option array;
+    shadow : bytes option array;
+    pending : (int, line_state) Hashtbl.t;  (* line index -> state *)
+    mutable flushing : int list;  (* lines initiated but not fenced *)
+    mutable hook : (addr:int -> write:bool -> unit) option;
+    crash_rng : Sim.Rng.t;
+    read_chan : Sim.Resource.t;
+    write_chan : Sim.Resource.t;
+    line_caches : (int, int array) Hashtbl.t;  (* tid -> direct-mapped tags *)
+    mutable n_reads : int;
+    mutable n_writes : int;
+    mutable n_flushes : int;
+    mutable n_fences : int;
+  }
+
+  let create ?(perf = Perf.optane) ?(seed = 7L) ~size () =
+    if size <= 0 || size mod page_size <> 0 then
+      invalid_arg "Nvm.Device.create: size must be a positive page multiple";
+    {
+      dev_size = size;
+      npages = size / page_size;
+      dev_perf = perf;
+      vol = Array.make (size / page_size) None;
+      shadow = Array.make (size / page_size) None;
+      pending = Hashtbl.create 4096;
+      flushing = [];
+      hook = None;
+      crash_rng = Sim.Rng.create seed;
+      read_chan = Sim.Resource.create ~name:"nvm-read-bw" ();
+      write_chan = Sim.Resource.create ~name:"nvm-write-bw" ();
+      line_caches = Hashtbl.create 16;
+      n_reads = 0;
+      n_writes = 0;
+      n_flushes = 0;
+      n_fences = 0;
+    }
+
+  let size d = d.dev_size
+  let pages d = d.npages
+  let perf d = d.dev_perf
+  let set_protection_hook d f = d.hook <- Some f
+  let clear_protection_hook d = d.hook <- None
+
+  let vol_page d i =
+    match d.vol.(i) with
+    | Some b -> b
+    | None ->
+        let b = Bytes.make page_size '\000' in
+        d.vol.(i) <- Some b;
+        b
+
+  let shadow_page d i =
+    match d.shadow.(i) with
+    | Some b -> b
+    | None ->
+        let b = Bytes.make page_size '\000' in
+        d.shadow.(i) <- Some b;
+        b
+
+  let check_bounds d addr len =
+    if addr < 0 || len < 0 || addr + len > d.dev_size then
+      invalid_arg
+        (Printf.sprintf "Nvm: access [%d, %d) out of device [0, %d)" addr
+           (addr + len) d.dev_size)
+
+  let check_protection d addr write =
+    match d.hook with None -> () | Some f -> f ~addr ~write
+
+  (* --- cost accounting ------------------------------------------------- *)
+
+  (* Direct-mapped model of the per-core cache: 4096 lines = 256 KB, enough
+     that hot metadata (free lists, inodes, directory pages) hits as it
+     would on real hardware. *)
+  let cache_slots = 4096
+
+  let line_cache d =
+    let tid = Sim.self_tid () in
+    match Hashtbl.find_opt d.line_caches tid with
+    | Some a -> a
+    | None ->
+        let a = Array.make cache_slots (-1) in
+        Hashtbl.replace d.line_caches tid a;
+        a
+
+  (* A kernel crossing displaces part of the working set, not all of it:
+     evict a rotating 1/8 window of the simulated cache. *)
+  let pollute_window = cache_slots / 8
+
+  let pollute_cursor = ref 0
+
+  let pollute_cache d =
+    match Hashtbl.find_opt d.line_caches (Sim.self_tid ()) with
+    | Some a ->
+        let start = !pollute_cursor in
+        for i = 0 to pollute_window - 1 do
+          a.((start + i) land (cache_slots - 1)) <- -1
+        done;
+        pollute_cursor := (start + pollute_window) land (cache_slots - 1)
+    | None -> ()
+
+  let effective_write_bw d =
+    d.dev_perf.Perf.write_bandwidth
+    *. d.dev_perf.Perf.write_bw_scale (Sim.live_threads ())
+
+  let charge_read d addr len =
+    d.n_reads <- d.n_reads + 1;
+    if Sim.in_sim () then
+      let p = d.dev_perf in
+      if len <= line_size then begin
+        let line = addr / line_size in
+        let cache = line_cache d in
+        let slot = line mod cache_slots in
+        if cache.(slot) = line then Sim.advance p.Perf.hit_cost
+        else begin
+          cache.(slot) <- line;
+          Sim.advance p.Perf.read_latency
+        end
+      end
+      else begin
+        Sim.advance p.Perf.read_latency;
+        if p.Perf.read_bandwidth <> infinity then
+          Sim.Resource.use d.read_chan
+            (int_of_float (float_of_int len /. p.Perf.read_bandwidth))
+      end
+
+  let charge_store d addr len =
+    d.n_writes <- d.n_writes + 1;
+    if Sim.in_sim () then begin
+      let p = d.dev_perf in
+      Sim.advance p.Perf.hit_cost;
+      if len <= line_size then begin
+        (* write-allocate in the simulated line cache *)
+        let line = addr / line_size in
+        let cache = line_cache d in
+        cache.(line mod cache_slots) <- line
+      end
+    end
+
+  (* Reserve write-back bandwidth for one line (when it starts flushing). *)
+  let charge_writeback d nbytes =
+    if Sim.in_sim () then begin
+      let bw = effective_write_bw d in
+      if bw <> infinity then
+        Sim.Resource.use d.write_chan (int_of_float (float_of_int nbytes /. bw))
+    end
+
+  (* --- volatile view accessors ----------------------------------------- *)
+
+  let mark_dirty d addr len =
+    let first = addr / line_size and last = (addr + len - 1) / line_size in
+    for line = first to last do
+      match Hashtbl.find_opt d.pending line with
+      | Some _ -> ()
+      | None -> Hashtbl.replace d.pending line Dirty
+    done
+
+  let scalar_loc d addr len =
+    check_bounds d addr len;
+    let page = addr / page_size and off = addr mod page_size in
+    if off + len > page_size then
+      invalid_arg "Nvm: scalar access crosses a page boundary";
+    (page, off)
+
+  let read_u8 d addr =
+    check_protection d addr false;
+    charge_read d addr 1;
+    let page, off = scalar_loc d addr 1 in
+    Char.code (Bytes.get (vol_page d page) off)
+
+  let read_u16 d addr =
+    check_protection d addr false;
+    charge_read d addr 2;
+    let page, off = scalar_loc d addr 2 in
+    Bytes.get_uint16_le (vol_page d page) off
+
+  let read_u32 d addr =
+    check_protection d addr false;
+    charge_read d addr 4;
+    let page, off = scalar_loc d addr 4 in
+    Int32.to_int (Bytes.get_int32_le (vol_page d page) off) land 0xFFFFFFFF
+
+  let read_u64 d addr =
+    check_protection d addr false;
+    charge_read d addr 8;
+    let page, off = scalar_loc d addr 8 in
+    Int64.to_int (Bytes.get_int64_le (vol_page d page) off)
+
+  let write_u8 d addr v =
+    check_protection d addr true;
+    charge_store d addr 1;
+    let page, off = scalar_loc d addr 1 in
+    Bytes.set (vol_page d page) off (Char.chr (v land 0xFF));
+    mark_dirty d addr 1
+
+  let write_u16 d addr v =
+    check_protection d addr true;
+    charge_store d addr 2;
+    let page, off = scalar_loc d addr 2 in
+    Bytes.set_uint16_le (vol_page d page) off (v land 0xFFFF);
+    mark_dirty d addr 2
+
+  let write_u32 d addr v =
+    check_protection d addr true;
+    charge_store d addr 4;
+    let page, off = scalar_loc d addr 4 in
+    Bytes.set_int32_le (vol_page d page) off (Int32.of_int v);
+    mark_dirty d addr 4
+
+  let write_u64 d addr v =
+    check_protection d addr true;
+    charge_store d addr 8;
+    let page, off = scalar_loc d addr 8 in
+    Bytes.set_int64_le (vol_page d page) off (Int64.of_int v);
+    mark_dirty d addr 8
+
+  (* Atomic compare-and-swap (lock cmpxchg): the compare and the store are a
+     single linearization point — all simulated-time charging happens first,
+     so no other thread can interleave between them. *)
+  let cas_u64 d addr ~expected ~desired =
+    check_protection d addr true;
+    charge_store d addr 8;
+    if Sim.in_sim () then Sim.advance 20 (* lock prefix overhead *);
+    let page, off = scalar_loc d addr 8 in
+    let b = vol_page d page in
+    let current = Int64.to_int (Bytes.get_int64_le b off) in
+    if current = expected then begin
+      Bytes.set_int64_le b off (Int64.of_int desired);
+      mark_dirty d addr 8;
+      true
+    end
+    else false
+
+  let blit_to_bytes d addr buf boff len =
+    check_bounds d addr len;
+    if len > 0 then begin
+      check_protection d addr false;
+      charge_read d addr len;
+      let remaining = ref len and src = ref addr and dst = ref boff in
+      while !remaining > 0 do
+        let page = !src / page_size and off = !src mod page_size in
+        let n = min !remaining (page_size - off) in
+        Bytes.blit (vol_page d page) off buf !dst n;
+        src := !src + n;
+        dst := !dst + n;
+        remaining := !remaining - n
+      done
+    end
+
+  let read_bytes d addr len =
+    let b = Bytes.create len in
+    blit_to_bytes d addr b 0 len;
+    b
+
+  let read_string d addr len = Bytes.unsafe_to_string (read_bytes d addr len)
+
+  let blit_from_bytes d buf boff addr len =
+    check_bounds d addr len;
+    if len > 0 then begin
+      check_protection d addr true;
+      charge_store d addr len;
+      let remaining = ref len and src = ref boff and dst = ref addr in
+      while !remaining > 0 do
+        let page = !dst / page_size and off = !dst mod page_size in
+        let n = min !remaining (page_size - off) in
+        Bytes.blit buf !src (vol_page d page) off n;
+        src := !src + n;
+        dst := !dst + n;
+        remaining := !remaining - n
+      done;
+      mark_dirty d addr len
+    end
+
+  let write_string d addr s =
+    blit_from_bytes d (Bytes.unsafe_of_string s) 0 addr (String.length s)
+
+  let fill d addr len c =
+    check_bounds d addr len;
+    if len > 0 then begin
+      check_protection d addr true;
+      charge_store d addr len;
+      let remaining = ref len and dst = ref addr in
+      while !remaining > 0 do
+        let page = !dst / page_size and off = !dst mod page_size in
+        let n = min !remaining (page_size - off) in
+        Bytes.fill (vol_page d page) off n c;
+        dst := !dst + n;
+        remaining := !remaining - n
+      done;
+      mark_dirty d addr len
+    end
+
+  let copy_within d ~src ~dst ~len =
+    let b = read_bytes d src len in
+    blit_from_bytes d b 0 dst len
+
+  (* --- persistence protocol -------------------------------------------- *)
+
+  let persist_line_now d line =
+    let addr = line * line_size in
+    let page = addr / page_size and off = addr mod page_size in
+    match d.vol.(page) with
+    | None -> ()  (* never written: both views are zero *)
+    | Some v -> Bytes.blit v off (shadow_page d page) off line_size
+
+  let clwb d addr =
+    check_bounds d addr 1;
+    d.n_flushes <- d.n_flushes + 1;
+    let line = addr / line_size in
+    (match Hashtbl.find_opt d.pending line with
+    | Some Dirty ->
+        Hashtbl.replace d.pending line Flushing;
+        d.flushing <- line :: d.flushing;
+        charge_writeback d line_size
+    | Some Flushing | None -> ());
+    if Sim.in_sim () then Sim.advance 4
+
+  let flush_range d addr len =
+    if len > 0 then begin
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      for line = first to last do
+        clwb d (line * line_size)
+      done
+    end
+
+  let sfence d =
+    d.n_fences <- d.n_fences + 1;
+    let had_flushing = d.flushing <> [] in
+    List.iter
+      (fun line ->
+        persist_line_now d line;
+        Hashtbl.remove d.pending line)
+      d.flushing;
+    d.flushing <- [];
+    if Sim.in_sim () then begin
+      let p = d.dev_perf in
+      Sim.advance (p.Perf.fence_cost + if had_flushing then p.Perf.write_latency else 0)
+    end
+
+  let nt_write_u64 d addr v =
+    check_protection d addr true;
+    charge_store d addr 8;
+    let page, off = scalar_loc d addr 8 in
+    Bytes.set_int64_le (vol_page d page) off (Int64.of_int v);
+    let line = addr / line_size in
+    (match Hashtbl.find_opt d.pending line with
+    | Some Flushing -> ()
+    | Some Dirty | None ->
+        Hashtbl.replace d.pending line Flushing;
+        d.flushing <- line :: d.flushing;
+        charge_writeback d line_size)
+
+  let nt_write_string d addr s =
+    let len = String.length s in
+    check_bounds d addr len;
+    if len > 0 then begin
+      check_protection d addr true;
+      d.n_writes <- d.n_writes + 1;
+      if Sim.in_sim () then Sim.advance d.dev_perf.Perf.hit_cost;
+      let remaining = ref len and src = ref 0 and dst = ref addr in
+      while !remaining > 0 do
+        let page = !dst / page_size and off = !dst mod page_size in
+        let n = min !remaining (page_size - off) in
+        Bytes.blit (Bytes.unsafe_of_string s) !src (vol_page d page) off n;
+        src := !src + n;
+        dst := !dst + n;
+        remaining := !remaining - n
+      done;
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      for line = first to last do
+        match Hashtbl.find_opt d.pending line with
+        | Some Flushing -> ()
+        | Some Dirty | None ->
+            Hashtbl.replace d.pending line Flushing;
+            d.flushing <- line :: d.flushing
+      done;
+      charge_writeback d len
+    end
+
+  let persist_range d addr len =
+    flush_range d addr len;
+    sfence d
+
+  (* Non-temporal memset: one bandwidth reservation for the whole range,
+     durable after the next fence (used to zero fresh structure pages). *)
+  let nt_fill d addr len c =
+    check_bounds d addr len;
+    if len > 0 then begin
+      check_protection d addr true;
+      d.n_writes <- d.n_writes + 1;
+      if Sim.in_sim () then Sim.advance d.dev_perf.Perf.hit_cost;
+      let remaining = ref len and dst = ref addr in
+      while !remaining > 0 do
+        let page = !dst / page_size and off = !dst mod page_size in
+        let n = min !remaining (page_size - off) in
+        Bytes.fill (vol_page d page) off n c;
+        dst := !dst + n;
+        remaining := !remaining - n
+      done;
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      for line = first to last do
+        match Hashtbl.find_opt d.pending line with
+        | Some Flushing -> ()
+        | Some Dirty | None ->
+            Hashtbl.replace d.pending line Flushing;
+            d.flushing <- line :: d.flushing
+      done;
+      charge_writeback d len
+    end
+
+  let persist_all d =
+    let lines = Hashtbl.fold (fun line _ acc -> line :: acc) d.pending [] in
+    List.iter (fun line -> persist_line_now d line) lines;
+    Hashtbl.reset d.pending;
+    d.flushing <- []
+
+  let pending_lines d = Hashtbl.length d.pending
+
+  type crash_policy = [ `Random | `Drop_all | `Keep_all ]
+
+  let crash ?(policy = `Random) d =
+    let keep _line =
+      match policy with
+      | `Keep_all -> true
+      | `Drop_all -> false
+      | `Random -> Sim.Rng.bool d.crash_rng
+    in
+    Hashtbl.iter
+      (fun line _state -> if keep line then persist_line_now d line)
+      d.pending;
+    Hashtbl.reset d.pending;
+    d.flushing <- [];
+    (* Volatile view := persistent view. *)
+    for i = 0 to d.npages - 1 do
+      match (d.vol.(i), d.shadow.(i)) with
+      | None, _ -> ()
+      | Some v, Some s -> Bytes.blit s 0 v 0 page_size
+      | Some v, None -> Bytes.fill v 0 page_size '\000'
+    done
+
+  (* ---- host-file image persistence (for the CLI tools) ----------------- *)
+
+  let image_magic = "NVMIMG01"
+
+  (* Persist the durable (shadow) view sparsely to a host file. *)
+  let save_image d path =
+    persist_all d;
+    let oc = open_out_bin path in
+    output_string oc image_magic;
+    output_binary_int oc d.npages;
+    Array.iteri
+      (fun i page ->
+        match page with
+        | None -> ()
+        | Some b ->
+            output_binary_int oc i;
+            output_bytes oc b)
+      d.shadow;
+    output_binary_int oc (-1);
+    close_out oc
+
+  let load_image ?(perf = Perf.optane) ?(seed = 7L) path =
+    let ic = open_in_bin path in
+    let magic = really_input_string ic (String.length image_magic) in
+    if magic <> image_magic then failwith "Nvm: bad image magic";
+    let npages = input_binary_int ic in
+    let d = create ~perf ~seed ~size:(npages * page_size) () in
+    let rec load_pages () =
+      let i = input_binary_int ic in
+      if i >= 0 then begin
+        let b = Bytes.create page_size in
+        really_input ic b 0 page_size;
+        d.shadow.(i) <- Some b;
+        d.vol.(i) <- Some (Bytes.copy b);
+        load_pages ()
+      end
+    in
+    load_pages ();
+    close_in ic;
+    d
+
+  let stat_reads d = d.n_reads
+  let stat_writes d = d.n_writes
+  let stat_flushes d = d.n_flushes
+  let stat_fences d = d.n_fences
+
+  let reset_stats d =
+    d.n_reads <- 0;
+    d.n_writes <- 0;
+    d.n_flushes <- 0;
+    d.n_fences <- 0
+end

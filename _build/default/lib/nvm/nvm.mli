@@ -1,0 +1,157 @@
+(** Simulated byte-addressable non-volatile memory.
+
+    The device keeps two views of every page: the {e volatile} view (what CPU
+    loads see, i.e. caches + media) and the {e persistent} view (what
+    survives a crash).  Stores only reach the persistent view through the
+    cache-line write-back protocol: [store; clwb; sfence] or a non-temporal
+    store followed by [sfence].  {!Device.crash} discards the volatile view —
+    with each pending (unflushed) line independently and pseudo-randomly
+    either written back or lost, exactly the non-determinism that makes
+    update ordering matter on real NVM.
+
+    Every access is charged simulated time according to a {!Perf} cost model
+    (calibrated to the paper's Table 1 for Optane DC PM and DDR4 DRAM), and
+    is passed to a protection hook so the MPK layer can enforce region
+    permissions. *)
+
+val page_size : int
+(** 4096 bytes. *)
+
+val line_size : int
+(** 64 bytes (one cache line). *)
+
+(** Cost model. *)
+module Perf : sig
+  type t = {
+    label : string;
+    read_latency : int;  (** ns charged on a line-cache miss *)
+    write_latency : int;  (** ns charged when a line is written back *)
+    read_bandwidth : float;  (** bytes/ns (= GB/s) *)
+    write_bandwidth : float;  (** bytes/ns *)
+    hit_cost : int;  (** ns for a cache hit / store into cache *)
+    fence_cost : int;  (** ns for sfence *)
+    write_bw_scale : int -> float;
+        (** concurrency-dependent scaling of write bandwidth; Optane DC PM
+            loses write bandwidth beyond ~12 concurrent writers (paper §6.1,
+            Fig. 7(e)) *)
+  }
+
+  val optane : t
+  (** Table 1: 305 ns read, 39 GB/s read bw, 94 ns write, 14 GB/s write bw. *)
+
+  val dram : t
+  (** Table 1: 81/86 ns, 115/79 GB/s; no degradation. *)
+
+  val free : t
+  (** Zero-cost model for functional unit tests. *)
+end
+
+(** Raised by the protection hook on an access violation (the simulated
+    equivalent of a SIGSEGV delivered on an MPK or page-permission fault). *)
+exception Fault of { addr : int; write : bool; reason : string }
+
+module Device : sig
+  type t
+
+  val create : ?perf:Perf.t -> ?seed:int64 -> size:int -> unit -> t
+  (** [create ~size ()] makes a device of [size] bytes ([size] must be
+      page-aligned).  Pages are allocated lazily, so large address spaces are
+      cheap until touched. *)
+
+  val size : t -> int
+  val pages : t -> int
+  val perf : t -> Perf.t
+
+  val set_protection_hook : t -> (addr:int -> write:bool -> unit) -> unit
+  (** Installed by the MPK layer; called once per access with the first
+      byte's address.  May raise {!Fault}. *)
+
+  val clear_protection_hook : t -> unit
+
+  (** {2 Loads and stores (volatile view)}
+
+      Scalars are little-endian and must not cross a page boundary. *)
+
+  val read_u8 : t -> int -> int
+  val read_u16 : t -> int -> int
+  val read_u32 : t -> int -> int
+  val read_u64 : t -> int -> int
+  val write_u8 : t -> int -> int -> unit
+  val write_u16 : t -> int -> int -> unit
+  val write_u32 : t -> int -> int -> unit
+  val write_u64 : t -> int -> int -> unit
+
+  val cas_u64 : t -> int -> expected:int -> desired:int -> bool
+  (** Atomic compare-and-swap on a u64 (the [lock cmpxchg] the µFS lease
+      locks are built on).  The compare+store pair is one linearization
+      point in simulated time. *)
+
+  val read_bytes : t -> int -> int -> bytes
+  val read_string : t -> int -> int -> string
+  val blit_to_bytes : t -> int -> bytes -> int -> int -> unit
+  val write_string : t -> int -> string -> unit
+  val blit_from_bytes : t -> bytes -> int -> int -> int -> unit
+  val fill : t -> int -> int -> char -> unit
+  val copy_within : t -> src:int -> dst:int -> len:int -> unit
+
+  (** {2 Persistence protocol} *)
+
+  val clwb : t -> int -> unit
+  (** Initiate write-back of the cache line containing [addr].  Durable only
+      after the next {!sfence}. *)
+
+  val flush_range : t -> int -> int -> unit
+  (** [clwb] every line of [addr, addr+len). *)
+
+  val sfence : t -> unit
+  (** Complete all initiated write-backs: they reach the persistent view. *)
+
+  val nt_write_u64 : t -> int -> int -> unit
+  (** Non-temporal store: bypasses the cache; durable after next fence. *)
+
+  val nt_write_string : t -> int -> string -> unit
+
+  val nt_fill : t -> int -> int -> char -> unit
+  (** Non-temporal memset (durable after next fence). *)
+
+  val persist_range : t -> int -> int -> unit
+  (** [flush_range] + [sfence]: the common "make this durable now" helper. *)
+
+  val persist_all : t -> unit
+  (** Make every written line durable (mkfs-time convenience). *)
+
+  val pending_lines : t -> int
+  (** Number of lines not yet durable (observable for tests). *)
+
+  (** {2 Crash simulation} *)
+
+  type crash_policy =
+    [ `Random  (** each pending line independently persists or is lost *)
+    | `Drop_all  (** no pending line persists *)
+    | `Keep_all  (** every pending line persists (power-fail-safe cache) *) ]
+
+  val crash : ?policy:crash_policy -> t -> unit
+  (** Simulate power failure: the volatile view is replaced by the persistent
+      view; pending lines are resolved according to [policy] (default
+      [`Random]). *)
+
+  (** {2 Host-file images (CLI tool persistence)} *)
+
+  val save_image : t -> string -> unit
+  (** Flush everything and write the durable view (sparsely) to a host
+      file, so the CLI tools can reopen the simulated NVM across runs. *)
+
+  val load_image : ?perf:Perf.t -> ?seed:int64 -> string -> t
+
+  (** {2 Cost accounting} *)
+
+  val pollute_cache : t -> unit
+  (** Invalidate the current thread's simulated line cache — models the
+      cache pollution of a context switch into the kernel (paper §6.1). *)
+
+  val stat_reads : t -> int
+  val stat_writes : t -> int
+  val stat_flushes : t -> int
+  val stat_fences : t -> int
+  val reset_stats : t -> unit
+end

@@ -1,0 +1,145 @@
+(** Deterministic discrete-event simulation kernel.
+
+    Everything in this reproduction that is timing-sensitive — NVM access
+    latency, syscall costs, lock contention, lease expiry — runs on a virtual
+    clock inside a {!world}.  Logical threads are cooperative (implemented
+    with OCaml effects); the scheduler always resumes the thread with the
+    smallest virtual timestamp, so executions are deterministic and
+    interleavings are decided by simulated time, not by the host machine. *)
+
+(** A simulated process: the unit of isolation for permissions and coffer
+    mappings.  Threads belong to a process. *)
+module Proc : sig
+  type t = private {
+    pid : int;
+    mutable uid : int;
+    mutable gid : int;
+    mutable groups : int list;  (** supplementary groups *)
+  }
+
+  val create : ?uid:int -> ?gid:int -> ?groups:int list -> unit -> t
+
+  val root : t
+  (** The pre-existing root process (pid 0, uid 0), used by code that runs
+      outside any simulation. *)
+end
+
+type world
+
+val create : ?seed:int64 -> unit -> world
+
+val spawn : world -> ?proc:Proc.t -> ?at:int -> name:string -> (unit -> unit) -> unit
+(** [spawn w ~name f] registers a new logical thread.  [at] is the virtual
+    time at which it becomes runnable (default 0, or the current time when
+    called from inside a running thread). *)
+
+exception Deadlock of string
+(** Raised by {!run} if threads remain blocked with no runnable thread. *)
+
+val run : world -> unit
+(** Run the simulation until all threads have finished. *)
+
+val run_thread : ?seed:int64 -> ?proc:Proc.t -> (unit -> 'a) -> 'a
+(** Convenience: create a world, run [f] in a single thread, return its
+    result. *)
+
+(** {1 Inside a thread} *)
+
+val in_sim : unit -> bool
+(** [true] iff the caller is executing inside a simulated thread. *)
+
+val now : unit -> int
+(** Current thread's virtual time in nanoseconds (0 outside a sim). *)
+
+val self_tid : unit -> int
+(** Current thread id; [-1] outside a sim. *)
+
+val self_name : unit -> string
+
+val self_proc : unit -> Proc.t
+(** The current thread's process, or {!Proc.root} outside a sim. *)
+
+val advance : int -> unit
+(** Charge [ns] nanoseconds of virtual time to the current thread and yield
+    to the scheduler.  No-op outside a simulation. *)
+
+val yield : unit -> unit
+(** Yield without advancing time (other threads at the same timestamp may
+    run). *)
+
+val sleep_until : int -> unit
+(** Advance the current thread to the given absolute virtual time (no-op if
+    already past it). *)
+
+(** {1 Synchronization} *)
+
+module Mutex : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val lock : t -> unit
+  val try_lock : t -> bool
+  val unlock : t -> unit
+  val with_lock : t -> (unit -> 'a) -> 'a
+  val locked : t -> bool
+end
+
+module Rwlock : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val rdlock : t -> unit
+  val wrlock : t -> unit
+  val unlock : t -> unit
+  val with_rd : t -> (unit -> 'a) -> 'a
+  val with_wr : t -> (unit -> 'a) -> 'a
+end
+
+(** A serially-reusable resource (e.g. a memory channel's bandwidth): callers
+    reserve it for a duration and are advanced past the end of their slot. *)
+module Resource : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val use : t -> int -> unit
+  (** [use r ns] reserves the resource for [ns] nanoseconds starting at the
+      earliest instant it is free, and advances the calling thread to the end
+      of the reservation.  No-op outside a simulation. *)
+
+  val busy_until : t -> int
+end
+
+(** {1 Deterministic pseudo-random numbers (splitmix64)} *)
+module Rng : sig
+  type t
+
+  val create : int64 -> t
+  val next : t -> int64
+  val int : t -> int -> int
+  (** [int t bound] uniform in [0, bound). *)
+
+  val float : t -> float -> float
+  val bool : t -> bool
+  val shuffle : t -> 'a array -> unit
+end
+
+val rng : unit -> Rng.t
+(** The current world's RNG (a fresh standalone RNG outside a sim). *)
+
+val live_threads : unit -> int
+(** Number of live threads in the active world (1 outside a sim); used by
+    cost models that scale with concurrency. *)
+
+(** {1 Statistics helpers used by the benchmark harnesses} *)
+module Stats : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+end

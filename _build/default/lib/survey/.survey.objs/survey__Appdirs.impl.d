@@ -1,0 +1,1 @@
+lib/survey/appdirs.ml: Hashtbl List Printf Result String Treasury

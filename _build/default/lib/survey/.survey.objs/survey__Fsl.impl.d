@@ -1,0 +1,1 @@
+lib/survey/fsl.ml: Array Hashtbl List Option Sim

@@ -1,0 +1,1 @@
+lib/survey/grouping.ml: Array Fsl Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/survey/mobigen.ml: Fun List Printf Sim

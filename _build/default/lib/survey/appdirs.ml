@@ -1,0 +1,170 @@
+(* Application data-directory survey (paper §2.3, Table 3).
+
+   [populate_*] build data directories shaped like the paper's MySQL,
+   PostgreSQL and DokuWiki installations on any Vfs file system (file counts
+   per permission class match the paper; file sizes are scaled down —
+   DESIGN.md records the scaling).  [scan] is the survey tool itself: it
+   walks a tree and aggregates (type, permission, uid/gid) → (#files,
+   bytes). *)
+
+module V = Treasury.Vfs
+module Ft = Treasury.Fs_types
+
+let ( let* ) = Result.bind
+
+type row = {
+  r_system : string;
+  r_kind : Ft.file_kind;
+  r_perm : int;
+  r_uid : int;
+  r_gid : int;
+  mutable r_count : int;
+  mutable r_bytes : int;
+}
+
+(* ---- generators --------------------------------------------------------------- *)
+
+let write_n fs dir ~prefix ~count ~mode ~size =
+  let chunk = String.make (min size 4096) 'd' in
+  let rec files i =
+    if i > count then Ok ()
+    else begin
+      let path = Printf.sprintf "%s/%s%04d" dir prefix i in
+      let* fd = V.openf fs path [ Ft.O_CREAT; Ft.O_WRONLY ] mode in
+      let rec fill remaining =
+        if remaining <= 0 then Ok ()
+        else
+          let* _ = V.write fs fd (String.sub chunk 0 (min remaining 4096)) in
+          fill (remaining - 4096)
+      in
+      let* () = fill size in
+      let* () = V.close fs fd in
+      files (i + 1)
+    end
+  in
+  files 1
+
+(* MySQL: 6 dirs 750, 358 regular 640 (the databases), 1 root-owned 644
+   flag file. *)
+let populate_mysql fs root =
+  let* () = V.mkdir_p fs root 0o750 in
+  let rec dirs i =
+    if i > 5 then Ok ()
+    else
+      let* () = V.mkdir fs (Printf.sprintf "%s/db%d" root i) 0o750 in
+      dirs (i + 1)
+  in
+  let* () = dirs 1 in
+  let rec spread i =
+    if i > 358 then Ok ()
+    else begin
+      let dir = Printf.sprintf "%s/db%d" root ((i mod 5) + 1) in
+      let path = Printf.sprintf "%s/table%04d.ibd" dir i in
+      let* fd = V.openf fs path [ Ft.O_CREAT; Ft.O_WRONLY ] 0o640 in
+      let* _ = V.write fs fd (String.make 1024 'm') in
+      let* () = V.close fs fd in
+      spread (i + 1)
+    end
+  in
+  let* () = spread 1 in
+  (* the root-owned debian flag file (empty) *)
+  let* fd = V.openf fs (root ^ "/debian-5.7.flag") [ Ft.O_CREAT; Ft.O_WRONLY ] 0o644 in
+  V.close fs fd
+
+(* PostgreSQL: 28 dirs 700, 1807 regular 600. *)
+let populate_postgres fs root =
+  let* () = V.mkdir_p fs root 0o700 in
+  let rec dirs i =
+    if i > 27 then Ok ()
+    else
+      let* () = V.mkdir fs (Printf.sprintf "%s/base%02d" root i) 0o700 in
+      dirs (i + 1)
+  in
+  let* () = dirs 1 in
+  let rec spread i =
+    if i > 1807 then Ok ()
+    else begin
+      let dir = Printf.sprintf "%s/base%02d" root ((i mod 27) + 1) in
+      let path = Printf.sprintf "%s/rel%05d" dir i in
+      let* fd = V.openf fs path [ Ft.O_CREAT; Ft.O_WRONLY ] 0o600 in
+      let* _ = V.write fs fd (String.make 512 'p') in
+      let* () = V.close fs fd in
+      spread (i + 1)
+    end
+  in
+  spread 1
+
+(* DokuWiki: 1035 dirs 755 and 19941 regular 644 in the paper; generated at
+   [scale] (default 1/10). *)
+let populate_dokuwiki ?(scale = 10) fs root =
+  let ndirs = 1035 / scale and nfiles = 19941 / scale in
+  let* () = V.mkdir_p fs root 0o755 in
+  let rec dirs i =
+    if i > ndirs then Ok ()
+    else
+      let* () = V.mkdir fs (Printf.sprintf "%s/ns%04d" root i) 0o755 in
+      dirs (i + 1)
+  in
+  let* () = dirs 1 in
+  let rec spread i =
+    if i > nfiles then Ok ()
+    else begin
+      let dir = Printf.sprintf "%s/ns%04d" root ((i mod ndirs) + 1) in
+      let* () =
+        write_n fs dir ~prefix:(Printf.sprintf "page%d_" i) ~count:1 ~mode:0o644
+          ~size:512
+      in
+      spread (i + 1)
+    end
+  in
+  spread 1
+
+(* ---- the survey tool ------------------------------------------------------------ *)
+
+let scan fs ~system root =
+  let rows : (Ft.file_kind * int * int * int, row) Hashtbl.t = Hashtbl.create 16 in
+  let record st =
+    let key = (st.Ft.st_kind, st.Ft.st_mode, st.Ft.st_uid, st.Ft.st_gid) in
+    let r =
+      match Hashtbl.find_opt rows key with
+      | Some r -> r
+      | None ->
+          let r =
+            {
+              r_system = system;
+              r_kind = st.Ft.st_kind;
+              r_perm = st.Ft.st_mode;
+              r_uid = st.Ft.st_uid;
+              r_gid = st.Ft.st_gid;
+              r_count = 0;
+              r_bytes = 0;
+            }
+          in
+          Hashtbl.replace rows key r;
+          r
+    in
+    r.r_count <- r.r_count + 1;
+    r.r_bytes <- r.r_bytes + (if st.Ft.st_kind = Ft.Regular then st.Ft.st_size else 0)
+  in
+  let rec walk path =
+    match V.lstat fs path with
+    | Error _ -> ()
+    | Ok st ->
+        record st;
+        if st.Ft.st_kind = Ft.Directory then
+          match V.readdir fs path with
+          | Error _ -> ()
+          | Ok entries ->
+              List.iter
+                (fun d ->
+                  walk
+                    (if path = "/" then "/" ^ d.Ft.d_name
+                     else path ^ "/" ^ d.Ft.d_name))
+                entries
+  in
+  walk root;
+  Hashtbl.fold (fun _ r acc -> r :: acc) rows []
+  |> List.sort (fun a b ->
+         compare
+           (a.r_kind <> Ft.Directory, -a.r_count)
+           (b.r_kind <> Ft.Directory, -b.r_count))

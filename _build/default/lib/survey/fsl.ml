@@ -1,0 +1,157 @@
+(* Synthetic FSL Homes snapshot (paper §2.3, Table 4).
+
+   The real trace (15 home directories, 726,751 files) is not
+   redistributable here, so we synthesize a snapshot whose type × permission
+   marginals match Table 4 exactly, with a plausible directory hierarchy and
+   a heavy-tailed size distribution.  The grouping analysis (Grouping) then
+   runs on the synthetic snapshot the same way the paper's ran on the real
+   one. *)
+
+type kind = Regular | Symlink | Directory
+
+type file = {
+  id : int;
+  parent : int;  (* id of the parent directory; roots have parent = -1 *)
+  kind : kind;
+  perm : int;
+  uid : int;
+  gid : int;
+  size : int;
+}
+
+(* Table 4: number of files per (type, permission). *)
+let regular_marginals =
+  [ (0o644, 538_538); (0o600, 105_226); (0o666, 233); (0o444, 3_313);
+    (0o660, 342); (0o640, 921); (0o664, 110); (0o440, 8) ]
+
+let symlink_marginals = [ (0o644, 18); (0o666, 6_468) ]
+
+let directory_marginals =
+  [ (0o644, 65_127); (0o600, 4_021); (0o666, 927); (0o444, 1_099);
+    (0o660, 276); (0o640, 33); (0o664, 91) ]
+
+let n_homes = 15
+
+let total_files =
+  List.fold_left (fun a (_, n) -> a + n) 0
+    (regular_marginals @ symlink_marginals @ directory_marginals)
+
+(* heavy-tailed size: most files are small, a few are huge *)
+let draw_size rng =
+  let r = Sim.Rng.int rng 1000 in
+  if r < 500 then Sim.Rng.int rng 4096
+  else if r < 850 then 4096 + Sim.Rng.int rng 65536
+  else if r < 990 then 65536 + Sim.Rng.int rng 4_000_000
+  else 4_000_000 + Sim.Rng.int rng 400_000_000
+
+(* Build the snapshot.  Construction principle (what the paper observed):
+   files cluster by permission — a file almost always sits in a directory of
+   its own rw-permission class (.ssh holds the 600s, public_html the 644s),
+   so groups are few and large.  Dirs occasionally land under a
+   different-class parent (starting a group); a small fraction of files are
+   placed off-class and become (mostly single-file) groups of their own.
+   One home is much bigger than the rest, giving the paper's ~1/3-of-all-
+   files largest group. *)
+let generate ?(seed = 0xF51L) () =
+  let rng = Sim.Rng.create seed in
+  let files = ref [] in
+  let next_id = ref 0 in
+  let add ~parent ~kind ~perm ~uid ~gid ~size =
+    let id = !next_id in
+    incr next_id;
+    files := { id; parent; kind; perm; uid; gid; size } :: !files;
+    id
+  in
+  let class_of p = p land 0o666 in
+  (* skewed home choice: home 0 receives ~35% of everything *)
+  let pick_home () =
+    if Sim.Rng.int rng 100 < 35 then 0 else Sim.Rng.int rng n_homes
+  in
+  (* home roots, all 644-class *)
+  let home_uids = Array.init n_homes (fun h -> 1000 + h) in
+  let roots =
+    Array.init n_homes (fun h ->
+        add ~parent:(-1) ~kind:Directory ~perm:0o644 ~uid:home_uids.(h)
+          ~gid:home_uids.(h) ~size:0)
+  in
+  (* (home, perm class) -> candidate parent dirs of that class (capped) *)
+  let dirs_by_class : (int * int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun h root ->
+        Hashtbl.replace dirs_by_class (h, 0o644) (ref [ root ]))
+    roots;
+  let any_dir h =
+    (* any directory of the home, weighted towards the dominant class *)
+    let classes =
+      Hashtbl.fold (fun (h', c) l acc -> if h' = h then (c, l) :: acc else acc)
+        dirs_by_class []
+    in
+    match classes with
+    | [] -> roots.(h)
+    | _ ->
+        let c, l = List.nth classes (Sim.Rng.int rng (List.length classes)) in
+        ignore c;
+        List.nth !l (Sim.Rng.int rng (List.length !l))
+  in
+  let class_dir h cls =
+    match Hashtbl.find_opt dirs_by_class (h, cls) with
+    | Some l when !l <> [] -> Some (List.nth !l (Sim.Rng.int rng (List.length !l)))
+    | _ -> None
+  in
+  let note_dir h cls id =
+    match Hashtbl.find_opt dirs_by_class (h, cls) with
+    | Some l -> if List.length !l < 400 then l := id :: !l
+    | None -> Hashtbl.replace dirs_by_class (h, cls) (ref [ id ])
+  in
+  (* directories: 97% under a same-class parent *)
+  List.iter
+    (fun (perm, count) ->
+      let cls = class_of perm in
+      for _ = 1 to count - (if perm = 0o644 then n_homes else 0) do
+        let h = pick_home () in
+        let parent =
+          if Sim.Rng.int rng 1000 < 970 then
+            match class_dir h cls with Some d -> d | None -> any_dir h
+          else any_dir h
+        in
+        let id =
+          add ~parent ~kind:Directory ~perm ~uid:home_uids.(h)
+            ~gid:home_uids.(h) ~size:0
+        in
+        note_dir h cls id
+      done)
+    directory_marginals;
+  (* files and symlinks: 99.7% under a same-class parent *)
+  let place marginals kind =
+    List.iter
+      (fun (perm, count) ->
+        let cls = class_of perm in
+        for _ = 1 to count do
+          let h = pick_home () in
+          let parent =
+            if Sim.Rng.int rng 1000 < 997 then
+              match class_dir h cls with Some d -> d | None -> any_dir h
+            else any_dir h
+          in
+          let size = if kind = Regular then draw_size rng else 16 in
+          ignore
+            (add ~parent ~kind ~perm ~uid:home_uids.(h) ~gid:home_uids.(h) ~size)
+        done)
+      marginals
+  in
+  place regular_marginals Regular;
+  place symlink_marginals Symlink;
+  Array.of_list (List.rev !files)
+
+(* Marginals of a snapshot, for verifying against Table 4. *)
+let marginals files =
+  let tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun f ->
+      let key = (f.kind, f.perm) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    files;
+  tbl
+
+let count_kind files k =
+  Array.fold_left (fun a f -> if f.kind = k then a + 1 else a) 0 files

@@ -1,0 +1,114 @@
+(* The paper's file-grouping analysis (§2.3, bottom of Table 4).
+
+   Rule: "If a file has the same permission as its parent, then it stays in
+   the same group as its parent.  Otherwise, a new group is created, and the
+   file is put into the new group."  Groups are formed top-down starting
+   from a single group containing the FS root.  "Permission" means the
+   rw-permission class plus owner and group (execute bits ignored, §2.3). *)
+
+type group_stats = {
+  g_perm : int;  (* representative permission class *)
+  g_files : int;
+  g_bytes : int;
+}
+
+type summary = {
+  n_groups : int;
+  groups : group_stats list;
+  largest_files : int;
+  largest_bytes : int;
+  single_file_groups : int;
+  single_file_total : int;  (* files living in single-file groups *)
+  by_perm : (int * int * int * int * int) list;
+      (** perm, #groups, min bytes, avg bytes, max bytes *)
+}
+
+let perm_class perm = perm land 0o666
+
+let key (f : Fsl.file) = (perm_class f.Fsl.perm, f.Fsl.uid, f.Fsl.gid)
+
+let analyze (files : Fsl.file array) =
+  let by_id = Hashtbl.create (Array.length files) in
+  Array.iter (fun f -> Hashtbl.replace by_id f.Fsl.id f) files;
+  let children = Hashtbl.create 1024 in
+  Array.iter
+    (fun f ->
+      if f.Fsl.parent >= 0 then
+        Hashtbl.replace children f.Fsl.parent
+          (f :: Option.value ~default:[] (Hashtbl.find_opt children f.Fsl.parent)))
+    files;
+  (* assign group ids top-down *)
+  let group_of = Hashtbl.create (Array.length files) in
+  let next_group = ref 0 in
+  let fresh_group () =
+    let g = !next_group in
+    incr next_group;
+    g
+  in
+  let rec assign f parent_group =
+    let g =
+      match parent_group with
+      | Some (pkey, pg) when pkey = key f -> pg
+      | _ -> fresh_group ()
+    in
+    Hashtbl.replace group_of f.Fsl.id g;
+    if f.Fsl.kind = Fsl.Directory then
+      List.iter
+        (fun child -> assign child (Some (key f, g)))
+        (Option.value ~default:[] (Hashtbl.find_opt children f.Fsl.id))
+  in
+  Array.iter (fun f -> if f.Fsl.parent < 0 then assign f None) files;
+  (* aggregate *)
+  let per_group : (int, int ref * int ref * int ref) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  Array.iter
+    (fun f ->
+      let g = Hashtbl.find group_of f.Fsl.id in
+      let count, bytes, perm =
+        match Hashtbl.find_opt per_group g with
+        | Some v -> v
+        | None ->
+            let v = (ref 0, ref 0, ref (perm_class f.Fsl.perm)) in
+            Hashtbl.replace per_group g v;
+            v
+      in
+      incr count;
+      bytes := !bytes + f.Fsl.size;
+      perm := perm_class f.Fsl.perm)
+    files;
+  let groups =
+    Hashtbl.fold
+      (fun _ (count, bytes, perm) acc ->
+        { g_perm = !perm; g_files = !count; g_bytes = !bytes } :: acc)
+      per_group []
+  in
+  let largest =
+    List.fold_left
+      (fun (bf, bb) g -> (max bf g.g_files, max bb g.g_bytes))
+      (0, 0) groups
+  in
+  let singles = List.filter (fun g -> g.g_files = 1) groups in
+  let by_perm =
+    let perms = List.sort_uniq compare (List.map (fun g -> g.g_perm) groups) in
+    List.map
+      (fun p ->
+        let gs = List.filter (fun g -> g.g_perm = p) groups in
+        let sizes = List.map (fun g -> g.g_bytes) gs in
+        let total = List.fold_left ( + ) 0 sizes in
+        ( p,
+          List.length gs,
+          List.fold_left min max_int sizes,
+          total / max 1 (List.length gs),
+          List.fold_left max 0 sizes ))
+      perms
+  in
+  {
+    n_groups = List.length groups;
+    groups;
+    largest_files = fst largest;
+    largest_bytes = snd largest;
+    single_file_groups = List.length singles;
+    single_file_total = List.length singles;
+    by_perm;
+  }

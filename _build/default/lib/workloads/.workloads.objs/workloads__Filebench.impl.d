@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Array Bytes Fslab Hashtbl Int64 List Printf Runner Sim String Treasury

@@ -1,0 +1,1 @@
+lib/workloads/fslab.ml: Baselines Mpk Nvm Treasury Zofs

@@ -1,0 +1,1 @@
+lib/workloads/fxmark.ml: Bytes Fslab Int64 List Printf Runner Sim String Treasury

@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Printf Sim Treasury

@@ -1,0 +1,237 @@
+(* FxMark-style micro-benchmarks (Min et al., ATC'16), the nine workloads of
+   the paper's Figure 7.  Every data operation accesses files in 4 KB units.
+
+   Naming: D=data/M=metadata, R=read/W=write, B=block, A=append, O=overwrite,
+   C=create, U=unlink, R=rename; final letter = contention level (L=low:
+   private files/dirs, M=medium: shared file, H=high: same block). *)
+
+module V = Treasury.Vfs
+module Ft = Treasury.Fs_types
+
+let ok = Runner.ok
+let block = String.make 4096 'd'
+
+type workload = {
+  wname : string;
+  figure : string;  (* which Figure 7 panel *)
+  run : Fslab.system -> nthreads:int -> ops:int -> Runner.result;
+}
+
+(* ---- data reads --------------------------------------------------------- *)
+
+let private_file_path tid = Printf.sprintf "/f%d" tid
+
+let drbl =
+  let run sys ~nthreads ~ops =
+    Runner.run ~nthreads ~ops
+      ~setup:(fun () ->
+        let inst = Fslab.make sys in
+        for tid = 0 to nthreads - 1 do
+          let fd =
+            ok (V.openf inst.Fslab.fs (private_file_path tid)
+                  [ Ft.O_CREAT; Ft.O_WRONLY ] 0o644)
+          in
+          for _ = 1 to 64 do
+            ignore (ok (V.write inst.Fslab.fs fd block))
+          done;
+          ok (V.close inst.Fslab.fs fd)
+        done;
+        inst)
+      ~worker:(fun inst ~tid ->
+        let fs = inst.Fslab.fs in
+        let fd = ok (V.openf fs (private_file_path tid) [ Ft.O_RDONLY ] 0) in
+        let buf = Bytes.create 4096 in
+        let rng = Sim.Rng.create (Int64.of_int (tid + 1)) in
+        fun ~i ->
+          ignore i;
+          let b = Sim.Rng.int rng 64 in
+          ignore (ok (V.pread fs fd ~off:(b * 4096) buf 0 4096)))
+      ()
+  in
+  { wname = "DRBL"; figure = "7(a)"; run }
+
+let shared_read_setup sys nblocks =
+  let inst = Fslab.make sys in
+  let fd = ok (V.openf inst.Fslab.fs "/shared" [ Ft.O_CREAT; Ft.O_WRONLY ] 0o666) in
+  for _ = 1 to nblocks do
+    ignore (ok (V.write inst.Fslab.fs fd block))
+  done;
+  ok (V.close inst.Fslab.fs fd);
+  inst
+
+let drbm =
+  let run sys ~nthreads ~ops =
+    Runner.run ~nthreads ~ops
+      ~setup:(fun () -> shared_read_setup sys 256)
+      ~worker:(fun inst ~tid ->
+        let fs = inst.Fslab.fs in
+        let fd = ok (V.openf fs "/shared" [ Ft.O_RDONLY ] 0) in
+        let buf = Bytes.create 4096 in
+        let rng = Sim.Rng.create (Int64.of_int (tid + 77)) in
+        fun ~i ->
+          ignore i;
+          let b = Sim.Rng.int rng 256 in
+          ignore (ok (V.pread fs fd ~off:(b * 4096) buf 0 4096)))
+      ()
+  in
+  { wname = "DRBM"; figure = "7(b)"; run }
+
+let drbh =
+  let run sys ~nthreads ~ops =
+    Runner.run ~nthreads ~ops
+      ~setup:(fun () -> shared_read_setup sys 1)
+      ~worker:(fun inst ~tid ->
+        ignore tid;
+        let fs = inst.Fslab.fs in
+        let fd = ok (V.openf fs "/shared" [ Ft.O_RDONLY ] 0) in
+        let buf = Bytes.create 4096 in
+        fun ~i ->
+          ignore i;
+          ignore (ok (V.pread fs fd ~off:0 buf 0 4096)))
+      ()
+  in
+  { wname = "DRBH"; figure = "7(c)"; run }
+
+(* ---- data writes --------------------------------------------------------- *)
+
+let dwal =
+  let run sys ~nthreads ~ops =
+    Runner.run ~nthreads ~ops
+      ~setup:(fun () ->
+        let inst = Fslab.make sys in
+        for tid = 0 to nthreads - 1 do
+          ok
+            (V.write_file inst.Fslab.fs (private_file_path tid) ~mode:0o644 "")
+        done;
+        inst)
+      ~worker:(fun inst ~tid ->
+        let fs = inst.Fslab.fs in
+        let fd =
+          ok (V.openf fs (private_file_path tid) [ Ft.O_WRONLY; Ft.O_APPEND ] 0)
+        in
+        fun ~i ->
+          ignore i;
+          ignore (ok (V.write fs fd block)))
+      ()
+  in
+  { wname = "DWAL"; figure = "7(d)"; run }
+
+let dwol =
+  let run sys ~nthreads ~ops =
+    Runner.run ~nthreads ~ops
+      ~setup:(fun () ->
+        let inst = Fslab.make sys in
+        for tid = 0 to nthreads - 1 do
+          ok (V.write_file inst.Fslab.fs (private_file_path tid) ~mode:0o644 block)
+        done;
+        inst)
+      ~worker:(fun inst ~tid ->
+        let fs = inst.Fslab.fs in
+        let fd = ok (V.openf fs (private_file_path tid) [ Ft.O_WRONLY ] 0) in
+        fun ~i ->
+          ignore i;
+          ignore (ok (V.pwrite fs fd ~off:0 block)))
+      ()
+  in
+  { wname = "DWOL"; figure = "7(e)"; run }
+
+let dwom =
+  let run sys ~nthreads ~ops =
+    Runner.run ~nthreads ~ops
+      ~setup:(fun () ->
+        let inst = Fslab.make sys in
+        let fd =
+          ok (V.openf inst.Fslab.fs "/shared" [ Ft.O_CREAT; Ft.O_WRONLY ] 0o666)
+        in
+        for _ = 1 to 64 do
+          ignore (ok (V.write inst.Fslab.fs fd block))
+        done;
+        ok (V.close inst.Fslab.fs fd);
+        inst)
+      ~worker:(fun inst ~tid ->
+        let fs = inst.Fslab.fs in
+        let fd = ok (V.openf fs "/shared" [ Ft.O_WRONLY ] 0) in
+        fun ~i ->
+          ignore i;
+          (* each thread overwrites its own block of the shared file *)
+          ignore (ok (V.pwrite fs fd ~off:(tid mod 64 * 4096) block)))
+      ()
+  in
+  { wname = "DWOM"; figure = "7(f)"; run }
+
+(* ---- metadata ------------------------------------------------------------- *)
+
+let private_dir tid = Printf.sprintf "/d%d" tid
+
+let mwcl =
+  let run sys ~nthreads ~ops =
+    Runner.run ~nthreads ~ops
+      ~setup:(fun () ->
+        let inst = Fslab.make sys in
+        for tid = 0 to nthreads - 1 do
+          ok (V.mkdir inst.Fslab.fs (private_dir tid) 0o755)
+        done;
+        inst)
+      ~worker:(fun inst ~tid ->
+        let fs = inst.Fslab.fs in
+        fun ~i ->
+          let path = Printf.sprintf "%s/c%d" (private_dir tid) i in
+          let fd = ok (V.openf fs path [ Ft.O_CREAT; Ft.O_WRONLY ] 0o644) in
+          ok (V.close fs fd))
+      ()
+  in
+  { wname = "MWCL"; figure = "7(g)"; run }
+
+let mwul =
+  let run sys ~nthreads ~ops =
+    Runner.run ~nthreads ~ops
+      ~setup:(fun () ->
+        let inst = Fslab.make sys in
+        for tid = 0 to nthreads - 1 do
+          ok (V.mkdir inst.Fslab.fs (private_dir tid) 0o755);
+          for i = 0 to ops - 1 do
+            ok
+              (V.write_file inst.Fslab.fs
+                 (Printf.sprintf "%s/u%d" (private_dir tid) i)
+                 ~mode:0o644 "")
+          done
+        done;
+        inst)
+      ~worker:(fun inst ~tid ->
+        let fs = inst.Fslab.fs in
+        fun ~i ->
+          ok (V.unlink fs (Printf.sprintf "%s/u%d" (private_dir tid) i)))
+      ()
+  in
+  { wname = "MWUL"; figure = "7(h)"; run }
+
+let mwrl =
+  let run sys ~nthreads ~ops =
+    Runner.run ~nthreads ~ops
+      ~setup:(fun () ->
+        let inst = Fslab.make sys in
+        for tid = 0 to nthreads - 1 do
+          ok (V.mkdir inst.Fslab.fs (private_dir tid) 0o755);
+          for i = 0 to ops - 1 do
+            ok
+              (V.write_file inst.Fslab.fs
+                 (Printf.sprintf "%s/r%d" (private_dir tid) i)
+                 ~mode:0o644 "")
+          done
+        done;
+        inst)
+      ~worker:(fun inst ~tid ->
+        let fs = inst.Fslab.fs in
+        fun ~i ->
+          ok
+            (V.rename fs
+               (Printf.sprintf "%s/r%d" (private_dir tid) i)
+               (Printf.sprintf "%s/rn%d" (private_dir tid) i)))
+      ()
+  in
+  { wname = "MWRL"; figure = "7(i)"; run }
+
+let all =
+  [ drbl; drbm; drbh; dwal; dwol; dwom; mwcl; mwul; mwrl ]
+
+let find name = List.find (fun w -> w.wname = name) all

@@ -1,0 +1,64 @@
+(* Benchmark runner: fixed-ops-per-thread throughput and per-op latency
+   measurement on the simulated clock.
+
+   Each measurement builds a fresh world, runs [setup] in a root thread,
+   then spawns [nthreads] worker threads (same process — FxMark/Filebench
+   are multi-threaded applications), each performing [ops] operations.
+   Throughput = total ops / (latest finish − measurement start), in
+   simulated time, which makes every number in the tables deterministic. *)
+
+type result = {
+  nthreads : int;
+  total_ops : int;
+  elapsed_ns : int;
+  mops_per_sec : float;
+  avg_latency_ns : float;
+}
+
+let run ?(uid = 0) ~nthreads ~ops ~setup ~worker () =
+  let world = Sim.create () in
+  let proc = Sim.Proc.create ~uid ~gid:uid () in
+  let t_start = ref 0 in
+  let t_end = ref 0 in
+  let completed = ref 0 in
+  Sim.spawn world ~proc ~name:"setup" (fun () ->
+      let ctx = setup () in
+      t_start := Sim.now ();
+      for tid = 0 to nthreads - 1 do
+        Sim.spawn world ~proc ~name:(Printf.sprintf "worker%d" tid) (fun () ->
+            let op = worker ctx ~tid in
+            for i = 0 to ops - 1 do
+              op ~i
+            done;
+            completed := !completed + ops;
+            if Sim.now () > !t_end then t_end := Sim.now ())
+      done);
+  Sim.run world;
+  let elapsed = max 1 (!t_end - !t_start) in
+  {
+    nthreads;
+    total_ops = !completed;
+    elapsed_ns = elapsed;
+    mops_per_sec = float_of_int !completed *. 1000.0 /. float_of_int elapsed;
+    avg_latency_ns =
+      float_of_int elapsed *. float_of_int nthreads /. float_of_int !completed;
+  }
+
+(* Average latency of [ops] repetitions of [op], single thread. *)
+let latency ?(uid = 0) ~ops ~setup ~op () =
+  let r =
+    run ~uid ~nthreads:1 ~ops ~setup ~worker:(fun ctx ~tid -> ignore tid; op ctx) ()
+  in
+  r.avg_latency_ns
+
+(* Run [f] once in a fresh single-thread world and return (result, ns). *)
+let timed ?(uid = 0) f =
+  let proc = Sim.Proc.create ~uid ~gid:uid () in
+  Sim.run_thread ~proc (fun () ->
+      let t0 = Sim.now () in
+      let v = f () in
+      (v, Sim.now () - t0))
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("bench op failed: " ^ Treasury.Errno.to_string e)

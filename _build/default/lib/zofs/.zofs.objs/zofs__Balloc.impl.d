@@ -1,0 +1,1 @@
+lib/zofs/balloc.ml: Hashtbl Layout Lease List Nvm Sim Treasury

@@ -1,0 +1,1 @@
+lib/zofs/dir.ml: Balloc Inode Layout Nvm String Treasury

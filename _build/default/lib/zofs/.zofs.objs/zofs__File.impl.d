@@ -1,0 +1,1 @@
+lib/zofs/file.ml: Balloc Bytes Inode Layout List Nvm String Treasury

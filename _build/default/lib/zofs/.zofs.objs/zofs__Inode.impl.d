@@ -1,0 +1,1 @@
+lib/zofs/inode.ml: Layout Nvm Sim String Treasury

@@ -1,0 +1,1 @@
+lib/zofs/layout.ml: Char Nvm String Treasury

@@ -1,0 +1,1 @@
+lib/zofs/lease.ml: Nvm Sim

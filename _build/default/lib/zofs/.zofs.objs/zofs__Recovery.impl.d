@@ -1,0 +1,1 @@
+lib/zofs/recovery.ml: Balloc Dir File Hashtbl Inode Layout List Nvm Sim Treasury Ufs

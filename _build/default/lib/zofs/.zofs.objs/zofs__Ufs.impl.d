@@ -1,0 +1,1 @@
+lib/zofs/ufs.ml: Balloc Dir File Hashtbl Inode Layout Lease List Mpk Nvm Option Result Sim String Treasury

@@ -1,0 +1,265 @@
+(* The leased per-thread NVM page allocator (paper §5.2, Figure 6).
+
+   Allocator state lives in the coffer's custom page: a global free list
+   (head + count, protected by a lease) and a pool of leased per-thread
+   free-list slots.  Free pages are chained through their own first u64.
+
+   A thread allocates from "its" slot — claimed by CAS on the slot's
+   owner+lease word — without any cross-thread synchronization; when the slot
+   runs dry it refills from the global list, and when that is empty too it
+   asks KernFS for more pages with coffer_enlarge (the kernel call whose
+   contention flattens Figure 7(d)/(g)).  If a thread dies, its slot's lease
+   expires and the slot (with its pages) is reused by someone else. *)
+
+(* Both knobs are exposed for the ablation benches: [enlarge_batch] trades
+   kernel calls against space slack; [force_global] disables the per-thread
+   lists so every allocation takes the coffer-global lease (the paper's
+   motivation for Figure 6). *)
+let enlarge_batch = ref 16
+let force_global = ref false
+
+type t = {
+  dev : Nvm.Device.t;
+  custom : int;  (* byte address of the custom page *)
+  cid : int;
+  kfs : Treasury.Kernfs.t;
+  my_slot : (int, int) Hashtbl.t;  (* tid -> claimed slot index *)
+}
+
+let slot_addr t i = t.custom + Layout.c_slots + (i * Layout.slot_size)
+
+(* Format a fresh custom page (at coffer creation / after recovery). *)
+let format dev ~custom =
+  Nvm.Device.write_u32 dev (custom + Layout.c_magic) Layout.custom_magic;
+  Nvm.Device.write_u64 dev (custom + Layout.c_global_head) 0;
+  Nvm.Device.write_u64 dev (custom + Layout.c_global_count) 0;
+  Nvm.Device.write_u64 dev (custom + Layout.c_global_lease) 0;
+  for i = 0 to Layout.n_slots - 1 do
+    let a = custom + Layout.c_slots + (i * Layout.slot_size) in
+    Nvm.Device.write_u64 dev (a + Layout.s_owner) 0;
+    Nvm.Device.write_u64 dev (a + Layout.s_head) 0;
+    Nvm.Device.write_u64 dev (a + Layout.s_count) 0
+  done;
+  Nvm.Device.persist_range dev custom Layout.page_size
+
+let attach dev ~custom ~cid kfs =
+  if Nvm.Device.read_u32 dev (custom + Layout.c_magic) <> Layout.custom_magic
+  then failwith "Balloc.attach: bad custom page magic";
+  { dev; custom; cid; kfs; my_slot = Hashtbl.create 8 }
+
+let create dev ~custom ~cid kfs =
+  format dev ~custom;
+  attach dev ~custom ~cid kfs
+
+(* ---- per-thread slot management ---------------------------------------- *)
+
+(* Claim a slot whose lease is free or expired.  The paper pre-allocates
+   "sufficient" slots; with 63 slots per coffer this never fails in our
+   workloads, but we fall back to stealing the most-expired slot. *)
+let claim_slot t =
+  let me = Lease.owner_code () in
+  let tnow = Sim.now () in
+  let rec try_slot i =
+    if i >= Layout.n_slots then None
+    else
+      let a = slot_addr t i in
+      let v = Nvm.Device.read_u64 t.dev (a + Layout.s_owner) in
+      if v = 0 || Lease.expiry_of v <= tnow then begin
+        let desired = Lease.pack ~expiry:(tnow + Lease.default_duration) ~code:me in
+        if Nvm.Device.cas_u64 t.dev (a + Layout.s_owner) ~expected:v ~desired
+        then Some i
+        else try_slot (i + 1)
+      end
+      else try_slot (i + 1)
+  in
+  try_slot 0
+
+let rec my_slot t =
+  let tid = Sim.self_tid () in
+  match Hashtbl.find_opt t.my_slot tid with
+  | Some i ->
+      let a = slot_addr t i in
+      let v = Nvm.Device.read_u64 t.dev (a + Layout.s_owner) in
+      if Lease.code_of v = Lease.owner_code () then begin
+        (* Renew if the lease is past half-life. *)
+        if Lease.expiry_of v - Sim.now () < Lease.default_duration / 2 then
+          ignore
+            (Nvm.Device.cas_u64 t.dev (a + Layout.s_owner) ~expected:v
+               ~desired:
+                 (Lease.pack
+                    ~expiry:(Sim.now () + Lease.default_duration)
+                    ~code:(Lease.owner_code ())));
+        Some i
+      end
+      else begin
+        (* Lease stolen (we must have stalled): forget and re-claim. *)
+        Hashtbl.remove t.my_slot tid;
+        my_slot t
+      end
+  | None -> (
+      match claim_slot t with
+      | Some i ->
+          Hashtbl.replace t.my_slot tid i;
+          Some i
+      | None -> None)
+
+(* ---- free-list plumbing ------------------------------------------------- *)
+
+let read_next t page_addr = Nvm.Device.read_u64 t.dev page_addr
+
+(* Free-list updates are flushed (clwb) but not fenced per operation: a torn
+   free list after a crash is rebuilt by recovery, which resets the
+   allocator anyway; the fence piggybacks on the enclosing operation's
+   commit fence. *)
+let push t ~head_addr ~count_addr page_addr =
+  Nvm.Device.write_u64 t.dev page_addr (Nvm.Device.read_u64 t.dev head_addr);
+  Nvm.Device.clwb t.dev page_addr;
+  Nvm.Device.write_u64 t.dev head_addr page_addr;
+  Nvm.Device.write_u64 t.dev count_addr
+    (Nvm.Device.read_u64 t.dev count_addr + 1);
+  Nvm.Device.clwb t.dev head_addr
+
+let pop t ~head_addr ~count_addr =
+  let head = Nvm.Device.read_u64 t.dev head_addr in
+  if head = 0 then None
+  else begin
+    Nvm.Device.write_u64 t.dev head_addr (read_next t head);
+    Nvm.Device.write_u64 t.dev count_addr
+      (Nvm.Device.read_u64 t.dev count_addr - 1);
+    Nvm.Device.clwb t.dev head_addr;
+    Some head
+  end
+
+(* Move up to [n] pages from the global list into a thread slot (global
+   lease held). *)
+let refill_from_global t slot n =
+  let a = slot_addr t slot in
+  let moved = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !moved < n do
+    match
+      pop t
+        ~head_addr:(t.custom + Layout.c_global_head)
+        ~count_addr:(t.custom + Layout.c_global_count)
+    with
+    | Some page ->
+        push t ~head_addr:(a + Layout.s_head) ~count_addr:(a + Layout.s_count)
+          page;
+        incr moved
+    | None -> continue_ := false
+  done;
+  !moved
+
+(* Ask KernFS for more pages and chain them into the slot. *)
+let enlarge_into_slot t slot =
+  match Treasury.Kernfs.coffer_enlarge t.kfs t.cid ~n:!enlarge_batch with
+  | Error e -> Error e
+  | Ok runs ->
+      let a = slot_addr t slot in
+      List.iter
+        (fun (start, len) ->
+          for p = start to start + len - 1 do
+            push t ~head_addr:(a + Layout.s_head)
+              ~count_addr:(a + Layout.s_count)
+              (p * Layout.page_size)
+          done)
+        runs;
+      Ok ()
+
+(* ---- public allocation API ---------------------------------------------- *)
+
+(* Ablation path: every allocation goes through the coffer-global free list
+   under its lease — the contended design Figure 6 avoids. *)
+let rec alloc_page_global t =
+  let r =
+    Lease.with_lease t.dev (t.custom + Layout.c_global_lease) (fun () ->
+        pop t
+          ~head_addr:(t.custom + Layout.c_global_head)
+          ~count_addr:(t.custom + Layout.c_global_count))
+  in
+  match r with
+  | Some page -> Ok page
+  | None -> (
+      match Treasury.Kernfs.coffer_enlarge t.kfs t.cid ~n:!enlarge_batch with
+      | Error e -> Error e
+      | Ok runs ->
+          Lease.with_lease t.dev (t.custom + Layout.c_global_lease) (fun () ->
+              List.iter
+                (fun (start, len) ->
+                  for p = start to start + len - 1 do
+                    push t
+                      ~head_addr:(t.custom + Layout.c_global_head)
+                      ~count_addr:(t.custom + Layout.c_global_count)
+                      (p * Layout.page_size)
+                  done)
+                runs);
+          alloc_page_global t)
+
+let rec alloc_page t =
+  if !force_global then alloc_page_global t
+  else
+    match my_slot t with
+    | None -> Error Treasury.Errno.EAGAIN
+    | Some slot -> (
+        let a = slot_addr t slot in
+        match
+          pop t ~head_addr:(a + Layout.s_head) ~count_addr:(a + Layout.s_count)
+        with
+        | Some page -> Ok page
+        | None ->
+            (* Refill: first from the coffer-global list, then from KernFS. *)
+            let got =
+              Lease.with_lease t.dev (t.custom + Layout.c_global_lease)
+                (fun () -> refill_from_global t slot !enlarge_batch)
+            in
+            if got > 0 then alloc_page t
+            else (
+              match enlarge_into_slot t slot with
+              | Ok () -> alloc_page t
+              | Error e -> Error e))
+
+(* Allocate and zero (fresh structure pages must not leak old content, and
+   recycled pages carry stale bytes).  Zeroing uses non-temporal stores: one
+   bandwidth-priced streaming memset. *)
+let alloc_zeroed t =
+  match alloc_page t with
+  | Error e -> Error e
+  | Ok page ->
+      Nvm.Device.nt_fill t.dev page Layout.page_size '\000';
+      Nvm.Device.sfence t.dev;
+      Ok page
+
+let free_page t page =
+  if !force_global then
+    Lease.with_lease t.dev (t.custom + Layout.c_global_lease) (fun () ->
+        push t
+          ~head_addr:(t.custom + Layout.c_global_head)
+          ~count_addr:(t.custom + Layout.c_global_count)
+          page)
+  else
+  match my_slot t with
+  | Some slot ->
+      let a = slot_addr t slot in
+      push t ~head_addr:(a + Layout.s_head) ~count_addr:(a + Layout.s_count) page
+  | None ->
+      (* No slot available: hand it to the global list. *)
+      Lease.with_lease t.dev (t.custom + Layout.c_global_lease) (fun () ->
+          push t
+            ~head_addr:(t.custom + Layout.c_global_head)
+            ~count_addr:(t.custom + Layout.c_global_count)
+            page)
+
+(* Pages sitting on free lists (for tests and for recovery accounting). *)
+let free_list_pages t =
+  let acc = ref [] in
+  let rec chase addr =
+    if addr <> 0 then begin
+      acc := addr :: !acc;
+      chase (read_next t addr)
+    end
+  in
+  chase (Nvm.Device.read_u64 t.dev (t.custom + Layout.c_global_head));
+  for i = 0 to Layout.n_slots - 1 do
+    chase (Nvm.Device.read_u64 t.dev (slot_addr t i + Layout.s_head))
+  done;
+  !acc

@@ -1,0 +1,273 @@
+(* The adaptive two-level hash-table directory (paper §5.1).
+
+   direct[0] of a directory inode points to the first-level page: 512
+   pointers to second-level pages, allocated on demand.  Each second-level
+   page stores 16 dentries inline in its first half and a 256-bucket hash
+   table in its second half; each bucket heads a chain of dentry pages with
+   31 dentries each.  New dentries go to the inline area first and spill
+   into the chains only when it is full — that is what keeps huge
+   directories (webproxy/varmail, Figure 9) fast.
+
+   Consistency: a dentry is written completely and flushed before its valid
+   byte is set (and flushed); removal clears the valid byte.  Second-level
+   and chain pages are zeroed before their pointers are published. *)
+
+open Layout
+
+type dentry = {
+  de_addr : int;  (* byte address of the dentry slot *)
+  de_name : string;
+  de_kind : int;  (* Layout.kind_* cache for readdir *)
+  de_coffer : int;  (* 0 = same coffer *)
+  de_inode : int;  (* inode byte address (target coffer root file if cross) *)
+}
+
+let read_dentry dev addr =
+  let name_len = Nvm.Device.read_u16 dev (addr + d_name_len) in
+  if name_len = 0 || name_len > max_name then None
+  else
+    Some
+      {
+        de_addr = addr;
+        de_name = Nvm.Device.read_string dev (addr + d_name) name_len;
+        de_kind = Nvm.Device.read_u8 dev (addr + d_kind);
+        de_coffer = Nvm.Device.read_u64 dev (addr + d_coffer);
+        de_inode = Nvm.Device.read_u64 dev (addr + d_inode);
+      }
+
+let dentry_valid dev addr = Nvm.Device.read_u8 dev (addr + d_valid) = 1
+
+let write_dentry dev addr ~name ~kind ~coffer ~inode =
+  Nvm.Device.write_u8 dev (addr + d_valid) 0;
+  Nvm.Device.write_u8 dev (addr + d_kind) kind;
+  Nvm.Device.write_u16 dev (addr + d_name_len) (String.length name);
+  Nvm.Device.write_u32 dev (addr + d_hash) (dir_hash name);
+  Nvm.Device.write_u64 dev (addr + d_coffer) coffer;
+  Nvm.Device.write_u64 dev (addr + d_inode) inode;
+  Nvm.Device.write_string dev (addr + d_name) name;
+  Nvm.Device.persist_range dev addr dentry_size;
+  (* publish *)
+  Nvm.Device.write_u8 dev (addr + d_valid) 1;
+  Nvm.Device.persist_range dev addr 1
+
+let clear_dentry dev addr =
+  Nvm.Device.write_u8 dev (addr + d_valid) 0;
+  Nvm.Device.persist_range dev addr 1
+
+(* ---- page navigation ----------------------------------------------------- *)
+
+let l1_page dev ~ino = Inode.read_direct dev ~ino 0
+let l1_slot_addr l1 hash = l1 + (l1_index hash * 8)
+let l2_page dev l1 hash = Nvm.Device.read_u64 dev (l1_slot_addr l1 hash)
+let inline_slot l2 i = l2 + (i * dentry_size)
+let bucket_addr l2 hash = l2 + l2_bucket_base + (l2_bucket hash * 8)
+let chain_next dev page = Nvm.Device.read_u64 dev page
+let chain_slot page i = page + (i * dentry_size) (* i in 1..chain_dentries *)
+
+(* Ensure the directory has its first-level page. *)
+let ensure_l1 dev balloc ~ino =
+  let l1 = l1_page dev ~ino in
+  if l1 <> 0 then Ok l1
+  else
+    match Balloc.alloc_zeroed balloc with
+    | Error e -> Error e
+    | Ok page ->
+        Inode.write_direct dev ~ino 0 page;
+        Ok page
+
+let ensure_l2 dev balloc l1 hash =
+  let l2 = l2_page dev l1 hash in
+  if l2 <> 0 then Ok l2
+  else
+    match Balloc.alloc_zeroed balloc with
+    | Error e -> Error e
+    | Ok page ->
+        Nvm.Device.write_u64 dev (l1_slot_addr l1 hash) page;
+        Nvm.Device.persist_range dev (l1_slot_addr l1 hash) 8;
+        Ok page
+
+(* ---- lookup -------------------------------------------------------------- *)
+
+let match_at dev addr ~name ~hash =
+  dentry_valid dev addr
+  && Nvm.Device.read_u32 dev (addr + d_hash) = hash
+  && Nvm.Device.read_u16 dev (addr + d_name_len) = String.length name
+  && Nvm.Device.read_string dev (addr + d_name) (String.length name) = name
+
+let lookup dev ~ino name =
+  let hash = dir_hash name in
+  let l1 = l1_page dev ~ino in
+  if l1 = 0 then None
+  else
+    let l2 = l2_page dev l1 hash in
+    if l2 = 0 then None
+    else
+      let rec inline i =
+        if i >= l2_inline_dentries then chains (Nvm.Device.read_u64 dev (bucket_addr l2 hash))
+        else
+          let a = inline_slot l2 i in
+          if match_at dev a ~name ~hash then read_dentry dev a else inline (i + 1)
+      and chains page =
+        if page = 0 then None
+        else
+          let rec slots i =
+            if i > chain_dentries then chains (chain_next dev page)
+            else
+              let a = chain_slot page i in
+              if match_at dev a ~name ~hash then read_dentry dev a
+              else slots (i + 1)
+          in
+          slots 1
+      in
+      inline 0
+
+(* ---- insert -------------------------------------------------------------- *)
+
+let find_free_inline dev l2 =
+  let rec go i =
+    if i >= l2_inline_dentries then None
+    else if not (dentry_valid dev (inline_slot l2 i)) then Some (inline_slot l2 i)
+    else go (i + 1)
+  in
+  go 0
+
+let find_free_in_chain dev page =
+  let rec go i =
+    if i > chain_dentries then None
+    else if not (dentry_valid dev (chain_slot page i)) then Some (chain_slot page i)
+    else go (i + 1)
+  in
+  go 1
+
+(* Insert assumes the caller holds the directory lease and has checked for
+   duplicates. *)
+let insert dev balloc ~ino ~name ~kind ~coffer ~inode =
+  if not (Treasury.Pathx.valid_name name) then Error Treasury.Errno.EINVAL
+  else
+    let hash = dir_hash name in
+    match ensure_l1 dev balloc ~ino with
+    | Error e -> Error e
+    | Ok l1 -> (
+        match ensure_l2 dev balloc l1 hash with
+        | Error e -> Error e
+        | Ok l2 -> (
+            let slot =
+              match find_free_inline dev l2 with
+              | Some a -> Ok a
+              | None ->
+                  (* spill into the bucket chains *)
+                  let bucket = bucket_addr l2 hash in
+                  let rec hunt page =
+                    if page = 0 then None
+                    else
+                      match find_free_in_chain dev page with
+                      | Some a -> Some a
+                      | None -> hunt (chain_next dev page)
+                  in
+                  (match hunt (Nvm.Device.read_u64 dev bucket) with
+                  | Some a -> Ok a
+                  | None -> (
+                      match Balloc.alloc_zeroed balloc with
+                      | Error e -> Error e
+                      | Ok page ->
+                          (* link new chain page at the bucket head *)
+                          Nvm.Device.write_u64 dev page
+                            (Nvm.Device.read_u64 dev bucket);
+                          Nvm.Device.persist_range dev page 8;
+                          Nvm.Device.write_u64 dev bucket page;
+                          Nvm.Device.persist_range dev bucket 8;
+                          Ok (chain_slot page 1)))
+            in
+            match slot with
+            | Error e -> Error e
+            | Ok addr ->
+                write_dentry dev addr ~name ~kind ~coffer ~inode;
+                Inode.touch_mtime dev ~ino;
+                Ok ()))
+
+let remove dev ~ino name =
+  match lookup dev ~ino name with
+  | None -> Error Treasury.Errno.ENOENT
+  | Some de ->
+      clear_dentry dev de.de_addr;
+      Inode.touch_mtime dev ~ino;
+      Ok ()
+
+(* Update an existing dentry's target in place (used by coffer split: the
+   entry becomes a cross-coffer reference). *)
+let retarget dev ~ino name ~coffer ~inode =
+  match lookup dev ~ino name with
+  | None -> Error Treasury.Errno.ENOENT
+  | Some de ->
+      Nvm.Device.write_u64 dev (de.de_addr + d_coffer) coffer;
+      Nvm.Device.write_u64 dev (de.de_addr + d_inode) inode;
+      Nvm.Device.persist_range dev (de.de_addr + d_coffer) 16;
+      ignore ino;
+      Ok ()
+
+(* ---- iteration ----------------------------------------------------------- *)
+
+let iter dev ~ino f =
+  let l1 = l1_page dev ~ino in
+  if l1 <> 0 then
+    for l1i = 0 to l1_entries - 1 do
+      let l2 = Nvm.Device.read_u64 dev (l1 + (l1i * 8)) in
+      if l2 <> 0 then begin
+        for i = 0 to l2_inline_dentries - 1 do
+          let a = inline_slot l2 i in
+          if dentry_valid dev a then
+            match read_dentry dev a with Some de -> f de | None -> ()
+        done;
+        for b = 0 to l2_buckets - 1 do
+          let rec chase page =
+            if page <> 0 then begin
+              for i = 1 to chain_dentries do
+                let a = chain_slot page i in
+                if dentry_valid dev a then
+                  match read_dentry dev a with Some de -> f de | None -> ()
+              done;
+              chase (chain_next dev page)
+            end
+          in
+          chase (Nvm.Device.read_u64 dev (l2 + l2_bucket_base + (b * 8)))
+        done
+      end
+    done
+
+exception Stop
+
+let is_empty dev ~ino =
+  try
+    iter dev ~ino (fun _ -> raise Stop);
+    true
+  with Stop -> false
+
+let count dev ~ino =
+  let n = ref 0 in
+  iter dev ~ino (fun _ -> incr n);
+  !n
+
+(* All pages used by the directory index itself (L1 page, second-level
+   pages, chain pages) — for deletion and recovery. *)
+let structure_pages dev ~ino =
+  let pages = ref [] in
+  let l1 = l1_page dev ~ino in
+  if l1 <> 0 then begin
+    pages := [ l1 ];
+    for l1i = 0 to l1_entries - 1 do
+      let l2 = Nvm.Device.read_u64 dev (l1 + (l1i * 8)) in
+      if l2 <> 0 then begin
+        pages := l2 :: !pages;
+        for b = 0 to l2_buckets - 1 do
+          let rec chase page =
+            if page <> 0 then begin
+              pages := page :: !pages;
+              chase (chain_next dev page)
+            end
+          in
+          chase (Nvm.Device.read_u64 dev (l2 + l2_bucket_base + (b * 8)))
+        done
+      end
+    done
+  end;
+  !pages

@@ -1,0 +1,94 @@
+(* On-NVM layout constants for ZoFS structures (paper §5, Figure 5).
+
+   All structures are 4 KB pages (ZoFS "only supports 4KB-sized allocation
+   for simplicity").  Byte addresses are device-absolute. *)
+
+let page_size = Nvm.page_size
+
+(* ---- inode page -------------------------------------------------------- *)
+
+let inode_magic = 0x5A494E4F (* "ZINO" *)
+
+let kind_regular = 1
+let kind_directory = 2
+let kind_symlink = 3
+
+let i_magic = 0
+let i_kind = 4
+let i_mode = 8
+let i_uid = 12
+let i_gid = 16
+let i_nlink = 20
+let i_size = 24
+let i_atime = 32
+let i_mtime = 40
+let i_ctime = 48
+let i_lease = 56
+let i_direct = 80 (* 32 × u64 block pointers *)
+let n_direct = 32
+let i_indirect = i_direct + (n_direct * 8) (* 336 *)
+let i_double_indirect = i_indirect + 8 (* 344 *)
+
+(* Symlink targets are stored inline in the inode page ("an inode in ZoFS
+   consumes a 4KB page, thus there is sufficient space to store data of
+   special files"). *)
+let i_symlink_len = 512
+let i_symlink_target = 514
+let max_symlink_target = page_size - i_symlink_target
+
+let ptrs_per_page = page_size / 8 (* 512 *)
+let max_blocks = n_direct + ptrs_per_page + (ptrs_per_page * ptrs_per_page)
+
+(* ---- directory structure ------------------------------------------------ *)
+
+(* A directory inode's direct[0] points to the first-level hash-table page:
+   512 pointers to second-level pages.  A second-level page holds 16 inline
+   dentries in its first half and a 256-bucket second-level hash table in its
+   second half; each bucket chains dentry pages of 31 dentries each. *)
+
+let dentry_size = 128
+let l1_entries = 512
+let l2_inline_dentries = 16 (* 2048 / 128 *)
+let l2_buckets = 256
+let l2_bucket_base = 2048
+let chain_dentries = 31 (* slot 0 of a chain page holds the next pointer *)
+
+(* Dentry field offsets. *)
+let d_valid = 0
+let d_kind = 1
+let d_name_len = 2
+let d_hash = 4
+let d_coffer = 8
+let d_inode = 16
+let d_name = 24
+let max_name = Treasury.Pathx.max_name_length
+
+(* ---- custom page (per-coffer allocator state) --------------------------- *)
+
+let custom_magic = 0x5A435354 (* "ZCST" *)
+
+let c_magic = 0
+let c_global_head = 8
+let c_global_count = 16
+let c_global_lease = 24
+let c_slots = 64
+let slot_size = 64
+let n_slots = (page_size - c_slots) / slot_size (* 63 *)
+
+(* Per-thread free-list slot fields (paper Figure 6: TID, lease, head). *)
+let s_owner = 0 (* combined owner+lease word, CAS-claimed *)
+let s_head = 8
+let s_count = 16
+
+let dir_hash name =
+  (* FNV-1a, the same family the path map uses. *)
+  let h = ref 0x811C9DC5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xFFFFFFFF)
+    name;
+  !h
+
+let l1_index hash = hash land (l1_entries - 1)
+let l2_bucket hash = (hash lsr 9) land (l2_buckets - 1)

@@ -1,0 +1,76 @@
+(* Lease locks (paper §5.2).
+
+   A lease is a single u64 on NVM: [(expiry_ns << 16) | owner_code], 0 when
+   free.  Owners acquire and release with compare-and-swap; the timestamp
+   comes from the simulated clock (the paper uses clock_gettime through the
+   vDSO, which is why taking a timestamp is cheap).  If a thread dies while
+   holding a lease, the lease expires and any other thread can steal it —
+   that is the whole point of leases over plain locks in a file system
+   mapped into untrusted processes. *)
+
+let default_duration = 100_000 (* 100 µs of simulated time *)
+let clock_gettime_cost = 25 (* ns: vDSO call *)
+let backoff = 200 (* ns between acquisition attempts *)
+
+let owner_code () = Sim.self_tid () + 2 (* >= 1 even for the non-sim tid -1 *)
+
+let pack ~expiry ~code = (expiry lsl 16) lor (code land 0xFFFF)
+let expiry_of v = v lsr 16
+let code_of v = v land 0xFFFF
+
+let now () =
+  Sim.advance clock_gettime_cost;
+  Sim.now ()
+
+(* Acquire the lease at [addr]; spins (with simulated backoff) while another
+   thread holds a valid lease. *)
+let acquire ?(duration = default_duration) dev addr =
+  let me = owner_code () in
+  let rec attempt () =
+    let v = Nvm.Device.read_u64 dev addr in
+    let t = now () in
+    if v = 0 || expiry_of v <= t || code_of v = me then begin
+      (* No flush: lease state is coordination only — after a crash every
+         lease has expired by construction. *)
+      let desired = pack ~expiry:(t + duration) ~code:me in
+      if not (Nvm.Device.cas_u64 dev addr ~expected:v ~desired) then begin
+        Sim.advance backoff;
+        attempt ()
+      end
+    end
+    else begin
+      Sim.advance backoff;
+      attempt ()
+    end
+  in
+  attempt ()
+
+(* Renew the current thread's lease (no-op if it was stolen). *)
+let renew ?(duration = default_duration) dev addr =
+  let me = owner_code () in
+  let v = Nvm.Device.read_u64 dev addr in
+  if code_of v = me then begin
+    let t = now () in
+    ignore
+      (Nvm.Device.cas_u64 dev addr ~expected:v
+         ~desired:(pack ~expiry:(t + duration) ~code:me))
+  end
+
+let release dev addr =
+  let me = owner_code () in
+  let v = Nvm.Device.read_u64 dev addr in
+  if code_of v = me then ignore (Nvm.Device.cas_u64 dev addr ~expected:v ~desired:0)
+
+let holds dev addr =
+  let v = Nvm.Device.read_u64 dev addr in
+  code_of v = owner_code () && expiry_of v > Sim.now ()
+
+let with_lease ?duration dev addr f =
+  acquire ?duration dev addr;
+  match f () with
+  | v ->
+      release dev addr;
+      v
+  | exception e ->
+      release dev addr;
+      raise e

@@ -1,0 +1,218 @@
+(* Offline recovery (paper §3.5 and §5.3).
+
+   For each coffer: map it, start the kernel recovery protocol
+   (coffer_recover_begin unmaps it from everyone else and leases it to us),
+   traverse from the coffer root page, validate and collect every in-use
+   page, repair what can be repaired and drop what cannot, then report the
+   in-use set to KernFS, which reclaims the rest.  A final pass validates
+   every cross-coffer reference recorded during the traversals (G3 at
+   fsck time). *)
+
+module K = Treasury.Kernfs
+module E = Treasury.Errno
+module Coffer = Treasury.Coffer
+
+type report = {
+  mutable coffers_scanned : int;
+  mutable pages_in_use : int;
+  mutable pages_reclaimed : int;
+  mutable dentries_dropped : int;
+  mutable inodes_reinitialized : int;
+  mutable cross_refs_checked : int;
+  mutable cross_refs_repaired : int;
+  mutable cross_refs_dropped : int;
+  mutable user_ns : int;  (* simulated time spent in user space *)
+  mutable kernel_ns : int;  (* simulated time spent in kernel calls *)
+}
+
+let fresh_report () =
+  {
+    coffers_scanned = 0;
+    pages_in_use = 0;
+    pages_reclaimed = 0;
+    dentries_dropped = 0;
+    inodes_reinitialized = 0;
+    cross_refs_checked = 0;
+    cross_refs_repaired = 0;
+    cross_refs_dropped = 0;
+    user_ns = 0;
+    kernel_ns = 0;
+  }
+
+type cross_ref = {
+  xr_src_cid : int;
+  xr_dentry : int;  (* dentry byte address *)
+  xr_expected_path : string;
+  xr_target_cid : int;
+  xr_target_inode : int;
+}
+
+let page_of addr = addr / Layout.page_size
+
+(* Traverse one coffer, collecting in-use pages and cross-coffer refs;
+   corrupted dentries are cleared, a corrupted root inode is reinitialized
+   as an empty directory. *)
+let scan_coffer dev kfs report ~cid ~root_file ~coffer_path xrefs =
+  let in_use : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let mark addr = Hashtbl.replace in_use (page_of addr) () in
+  let owned addr =
+    match K.page_owner kfs ~page:(page_of addr) with
+    | Ok owner -> owner = cid
+    | Error _ -> false
+  in
+  let drop_dentry de =
+    Dir.clear_dentry dev de.Dir.de_addr;
+    report.dentries_dropped <- report.dentries_dropped + 1
+  in
+  let rec scan_inode ino cur_path =
+    if (not (owned ino)) || not (Inode.valid dev ~ino) then false
+    else begin
+      mark ino;
+      (match Inode.kind dev ~ino with
+      | Some Inode.Regular ->
+          List.iter
+            (fun p -> if owned p then mark p)
+            (File.data_pages dev ~ino)
+      | Some Inode.Symlink -> ()
+      | Some Inode.Directory ->
+          List.iter
+            (fun p -> if owned p then mark p)
+            (Dir.structure_pages dev ~ino);
+          let to_drop = ref [] in
+          Dir.iter dev ~ino (fun de ->
+              let child_path = Treasury.Pathx.concat cur_path de.Dir.de_name in
+              if de.Dir.de_coffer <> 0 then
+                (* Cross-coffer: validated in the second pass. *)
+                xrefs :=
+                  {
+                    xr_src_cid = cid;
+                    xr_dentry = de.Dir.de_addr;
+                    xr_expected_path = child_path;
+                    xr_target_cid = de.Dir.de_coffer;
+                    xr_target_inode = de.Dir.de_inode;
+                  }
+                  :: !xrefs
+              else if not (scan_inode de.Dir.de_inode child_path) then
+                to_drop := de :: !to_drop);
+          List.iter drop_dentry !to_drop
+      | None -> ());
+      true
+    end
+  in
+  if not (scan_inode root_file coffer_path) then begin
+    (* The coffer's root inode is unrecoverable: reinitialize it empty. *)
+    (match Coffer.read dev ~id:cid with
+    | Some info ->
+        Inode.init dev ~ino:root_file ~kind:Inode.Directory
+          ~mode:info.Coffer.mode ~uid:info.Coffer.uid ~gid:info.Coffer.gid
+    | None ->
+        Inode.init dev ~ino:root_file ~kind:Inode.Directory ~mode:0o755 ~uid:0
+          ~gid:0);
+    report.inodes_reinitialized <- report.inodes_reinitialized + 1;
+    Hashtbl.replace in_use (page_of root_file) ()
+  end;
+  in_use
+
+(* Recover a single coffer; the caller must be able to map it (recovery runs
+   as root).  Returns the pages kept. *)
+let recover_coffer ufs kfs report xrefs (info : Coffer.info) =
+  let dev = K.device kfs in
+  match Ufs.map_coffer ufs info.Coffer.id with
+  | Error _ -> ()
+  | Ok cs ->
+      let t_user0 = Sim.now () in
+      (match K.coffer_recover_begin kfs info.Coffer.id with
+      | Error _ -> ()
+      | Ok runs ->
+          let total_pages =
+            List.fold_left (fun acc (_, l) -> acc + l) 0 runs
+          in
+          let t_kernel0 = Sim.now () in
+          let in_use =
+            Ufs.with_coffer ufs cs ~write:true (fun () ->
+                scan_coffer dev kfs report ~cid:info.Coffer.id
+                  ~root_file:info.Coffer.root_file ~coffer_path:info.Coffer.path
+                  xrefs)
+          in
+          Hashtbl.replace in_use (page_of info.Coffer.custom) ();
+          let t_scan = Sim.now () in
+          let pages = Hashtbl.fold (fun p () acc -> p :: acc) in_use [] in
+          (match K.coffer_recover_end kfs info.Coffer.id ~in_use:pages with
+          | Ok () -> ()
+          | Error _ -> ());
+          (* Reset the allocator: freed pages went back to KernFS. *)
+          Ufs.with_coffer ufs cs ~write:true (fun () ->
+              Balloc.format dev ~custom:info.Coffer.custom);
+          let t_end = Sim.now () in
+          report.coffers_scanned <- report.coffers_scanned + 1;
+          report.pages_in_use <- report.pages_in_use + List.length pages;
+          report.pages_reclaimed <-
+            report.pages_reclaimed + (total_pages - 1 - List.length pages);
+          report.user_ns <- report.user_ns + (t_scan - t_kernel0);
+          report.kernel_ns <-
+            report.kernel_ns + (t_kernel0 - t_user0) + (t_end - t_scan))
+
+(* Validate the recorded cross-coffer references against KernFS metadata
+   (G3 at fsck time).  The path map is kernel-maintained and trusted, so a
+   manipulated dentry whose path still names a registered coffer is
+   repaired from it; a dentry whose target coffer is gone is dropped. *)
+let validate_cross_refs ufs kfs report xrefs =
+  let dev = K.device kfs in
+  List.iter
+    (fun xr ->
+      report.cross_refs_checked <- report.cross_refs_checked + 1;
+      let ok =
+        match K.coffer_stat kfs xr.xr_target_cid with
+        | Error _ -> false
+        | Ok tinfo ->
+            tinfo.Coffer.path = xr.xr_expected_path
+            && tinfo.Coffer.root_file = xr.xr_target_inode
+      in
+      if not ok then begin
+        match Ufs.session_of_cid ufs xr.xr_src_cid with
+        | Error _ -> ()
+        | Ok cs -> (
+            let true_target =
+              match K.coffer_find kfs xr.xr_expected_path with
+              | Error _ -> None
+              | Ok cid -> (
+                  match K.coffer_stat kfs cid with
+                  | Ok tinfo -> Some (cid, tinfo.Coffer.root_file)
+                  | Error _ -> None)
+            in
+            match true_target with
+            | Some (cid, root_file) ->
+                Ufs.with_coffer ufs cs ~write:true (fun () ->
+                    Nvm.Device.write_u64 dev
+                      (xr.xr_dentry + Layout.d_coffer)
+                      cid;
+                    Nvm.Device.write_u64 dev (xr.xr_dentry + Layout.d_inode)
+                      root_file;
+                    Nvm.Device.persist_range dev
+                      (xr.xr_dentry + Layout.d_coffer)
+                      16);
+                report.cross_refs_repaired <- report.cross_refs_repaired + 1
+            | None ->
+                Ufs.with_coffer ufs cs ~write:true (fun () ->
+                    Dir.clear_dentry dev xr.xr_dentry);
+                report.cross_refs_dropped <- report.cross_refs_dropped + 1)
+      end)
+    xrefs
+
+(* Recover every coffer in the file system (offline: run as root with no
+   other process active). *)
+let recover_all kfs =
+  (match K.fs_mount kfs with Ok () | Error _ -> ());
+  let ufs = Ufs.create kfs in
+  let report = fresh_report () in
+  let xrefs = ref [] in
+  (match K.list_coffers kfs with
+  | Error _ -> ()
+  | Ok coffers ->
+      let ordered =
+        List.sort (fun a b -> compare a.Coffer.path b.Coffer.path) coffers
+      in
+      List.iter (fun info -> recover_coffer ufs kfs report xrefs info) ordered);
+  validate_cross_refs ufs kfs report !xrefs;
+  (match K.fs_umount kfs with Ok () | Error _ -> ());
+  report

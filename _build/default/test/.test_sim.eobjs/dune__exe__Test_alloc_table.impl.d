@@ -1,0 +1,1 @@
+test/test_alloc_table.ml: Alcotest Gen Hashtbl List Nvm Option QCheck QCheck_alcotest Treasury

@@ -1,0 +1,1 @@
+test/test_fdtable.ml: Alcotest List QCheck QCheck_alcotest Treasury

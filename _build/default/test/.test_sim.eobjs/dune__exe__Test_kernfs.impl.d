@@ -1,0 +1,1 @@
+test/test_kernfs.ml: Alcotest List Mpk Nvm Printf Sim Treasury

@@ -1,0 +1,1 @@
+test/test_kvdb.ml: Alcotest Fun Gen Hashtbl Kvdb List Nvm Printf QCheck QCheck_alcotest String Testkit Treasury

@@ -1,0 +1,1 @@
+test/test_litedb.ml: Alcotest Buffer Bytes Gen Int32 List Litedb Map Printf QCheck QCheck_alcotest String Testkit Treasury

@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Char Gen List Nvm QCheck QCheck_alcotest Sim String

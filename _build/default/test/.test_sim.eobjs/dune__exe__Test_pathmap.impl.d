@@ -1,0 +1,1 @@
+test/test_pathmap.ml: Alcotest Hashtbl List Nvm Printf QCheck QCheck_alcotest String Treasury

@@ -1,0 +1,1 @@
+test/test_rbtree.ml: Alcotest Int List Map Option QCheck QCheck_alcotest Treasury

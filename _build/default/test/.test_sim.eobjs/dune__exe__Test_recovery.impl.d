@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Gen Hashtbl List Mpk Nvm Option Printf QCheck QCheck_alcotest Sim String Testkit Treasury Zofs

@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Mpk Nvm Option Printf Sim String Testkit Treasury Zofs

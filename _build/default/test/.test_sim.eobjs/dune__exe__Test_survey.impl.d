@@ -1,0 +1,1 @@
+test/test_survey.ml: Alcotest Array Hashtbl List Option Printf Survey Testkit Treasury

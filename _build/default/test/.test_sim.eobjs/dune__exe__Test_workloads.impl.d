@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Printf Sim Treasury Workloads

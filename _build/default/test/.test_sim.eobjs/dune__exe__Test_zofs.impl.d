@@ -1,0 +1,1 @@
+test/test_zofs.ml: Alcotest Bytes Char Gen Hashtbl List Option Printf QCheck QCheck_alcotest Sim String Testkit Treasury Zofs

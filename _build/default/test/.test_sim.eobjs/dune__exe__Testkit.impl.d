@@ -1,0 +1,1 @@
+test/testkit.ml: Alcotest Mpk Nvm Sim Treasury Zofs

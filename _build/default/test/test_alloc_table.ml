@@ -1,0 +1,206 @@
+(* Tests for KernFS's persistent allocation table. *)
+
+module A = Treasury.Alloc_table
+module D = Nvm.Device
+
+let npages = 256
+
+let mk () =
+  (* The table covers [npages] pages and itself lives at byte 0 of a device
+     large enough to hold it. *)
+  let dev = D.create ~perf:Nvm.Perf.free ~size:(npages * Nvm.page_size) () in
+  (dev, A.format dev ~base:0 ~npages)
+
+let runs = Alcotest.(list (pair int int))
+
+let test_format_all_free () =
+  let _, t = mk () in
+  A.verify t;
+  Alcotest.(check int) "all free" npages (A.free_pages t);
+  Alcotest.(check int) "owner 0" 0 (A.owner_of t ~page:13)
+
+let test_alloc_contiguous () =
+  let _, t = mk () in
+  (match A.alloc t ~cid:7 ~n:10 with
+  | Some granted -> Alcotest.check runs "one run" [ (0, 10) ] granted
+  | None -> Alcotest.fail "alloc failed");
+  A.verify t;
+  Alcotest.(check int) "free count" (npages - 10) (A.free_pages t);
+  Alcotest.(check int) "owner" 7 (A.owner_of t ~page:5);
+  Alcotest.(check int) "neighbour free" 0 (A.owner_of t ~page:10)
+
+let test_alloc_first_fit () =
+  let _, t = mk () in
+  ignore (A.alloc t ~cid:1 ~n:10);
+  ignore (A.alloc t ~cid:2 ~n:10);
+  A.free_run t ~start:0 ~len:10;
+  (* first fit reuses the hole at 0 *)
+  (match A.alloc t ~cid:3 ~n:4 with
+  | Some granted -> Alcotest.check runs "reuses hole" [ (0, 4) ] granted
+  | None -> Alcotest.fail "alloc failed");
+  A.verify t
+
+let test_alloc_gathers_runs () =
+  let _, t = mk () in
+  ignore (A.alloc t ~cid:1 ~n:npages);
+  (* Free two disjoint holes of 4 and 6 pages. *)
+  A.free_run t ~start:10 ~len:4;
+  A.free_run t ~start:100 ~len:6;
+  (match A.alloc t ~cid:2 ~n:8 with
+  | Some granted -> Alcotest.check runs "two runs" [ (10, 4); (100, 4) ] granted
+  | None -> Alcotest.fail "alloc failed");
+  A.verify t;
+  Alcotest.(check int) "2 pages left free" 2 (A.free_pages t)
+
+let test_alloc_enospc () =
+  let _, t = mk () in
+  ignore (A.alloc t ~cid:1 ~n:(npages - 4));
+  Alcotest.(check bool) "too big" true (A.alloc t ~cid:2 ~n:5 = None);
+  (* And nothing was consumed by the failed attempt. *)
+  Alcotest.(check int) "free unchanged" 4 (A.free_pages t);
+  A.verify t
+
+let test_free_coalesces () =
+  let _, t = mk () in
+  ignore (A.alloc t ~cid:1 ~n:30);
+  A.free_run t ~start:0 ~len:10;
+  A.free_run t ~start:20 ~len:10;
+  A.free_run t ~start:10 ~len:10;
+  (* middle merges both sides *)
+  A.verify t;
+  Alcotest.(check int) "all free" npages (A.free_pages t);
+  (match A.alloc t ~cid:2 ~n:npages with
+  | Some granted -> Alcotest.check runs "single run" [ (0, npages) ] granted
+  | None -> Alcotest.fail "coalescing failed");
+  A.verify t
+
+let test_reassign () =
+  let _, t = mk () in
+  ignore (A.alloc t ~cid:1 ~n:20);
+  A.reassign t ~start:5 ~len:10 ~cid:2;
+  A.verify t;
+  Alcotest.(check int) "head keeps owner" 1 (A.owner_of t ~page:4);
+  Alcotest.(check int) "moved" 2 (A.owner_of t ~page:9);
+  Alcotest.(check int) "tail keeps owner" 1 (A.owner_of t ~page:16);
+  Alcotest.check runs "runs of 2" [ (5, 10) ] (A.runs_of t ~cid:2);
+  Alcotest.check runs "runs of 1 split" [ (0, 5); (15, 5) ] (A.runs_of t ~cid:1)
+
+let test_runs_of_and_pages_of () =
+  let _, t = mk () in
+  ignore (A.alloc t ~cid:5 ~n:3);
+  ignore (A.alloc t ~cid:6 ~n:2);
+  ignore (A.alloc t ~cid:5 ~n:2);
+  Alcotest.check runs "two runs" [ (0, 3); (5, 2) ] (A.runs_of t ~cid:5);
+  Alcotest.(check (list int)) "pages" [ 0; 1; 2; 5; 6 ] (A.pages_of t ~cid:5);
+  Alcotest.(check int) "count" 5 (A.coffer_page_count t ~cid:5)
+
+let test_free_coffer () =
+  let _, t = mk () in
+  ignore (A.alloc t ~cid:5 ~n:3);
+  ignore (A.alloc t ~cid:6 ~n:2);
+  ignore (A.alloc t ~cid:5 ~n:2);
+  A.free_coffer t ~cid:5;
+  A.verify t;
+  Alcotest.check runs "gone" [] (A.runs_of t ~cid:5);
+  Alcotest.(check int) "six still there" 6 (A.owner_of t ~page:3);
+  Alcotest.(check int) "free" (npages - 2) (A.free_pages t)
+
+let test_persistence_across_reload () =
+  let dev, t = mk () in
+  ignore (A.alloc t ~cid:3 ~n:7);
+  ignore (A.alloc t ~cid:4 ~n:5);
+  A.free_run t ~start:2 ~len:2;
+  (* reload from NVM (clean shutdown) *)
+  let t' = A.load dev ~base:0 ~npages in
+  A.verify t';
+  Alcotest.check runs "cid 3 split survives" [ (0, 2); (4, 3) ] (A.runs_of t' ~cid:3);
+  Alcotest.check runs "cid 4 survives" [ (7, 5) ] (A.runs_of t' ~cid:4);
+  Alcotest.(check int) "owner" 0 (A.owner_of t' ~page:2)
+
+let test_reload_after_crash () =
+  (* Allocation-table updates are persisted before [alloc] returns, so a
+     crash right after must preserve the allocation. *)
+  let dev, t = mk () in
+  ignore (A.alloc t ~cid:9 ~n:16);
+  D.crash ~policy:`Drop_all dev;
+  let t' = A.load dev ~base:0 ~npages in
+  A.verify t';
+  Alcotest.check runs "allocation durable" [ (0, 16) ] (A.runs_of t' ~cid:9)
+
+let qcheck_random_ops_keep_invariants =
+  QCheck.Test.make ~name:"random alloc/free keeps table consistent" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 1 40)
+        (pair (int_range 1 6) (int_range 1 20)))
+    (fun ops ->
+      let _, t = mk () in
+      let owned : (int, (int * int) list) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (cid, n) ->
+          match Hashtbl.find_opt owned cid with
+          | Some ((start, len) :: rest) when n mod 3 = 0 ->
+              (* sometimes free the oldest run of this coffer *)
+              A.free_run t ~start ~len;
+              Hashtbl.replace owned cid rest
+          | _ -> (
+              match A.alloc t ~cid ~n with
+              | Some granted ->
+                  let prev = Option.value ~default:[] (Hashtbl.find_opt owned cid) in
+                  Hashtbl.replace owned cid (prev @ granted)
+              | None -> ()))
+        ops;
+      A.verify t;
+      (* Every tracked coffer's page count matches the table's view. *)
+      Hashtbl.fold
+        (fun cid runs ok ->
+          ok
+          && A.coffer_page_count t ~cid
+             = List.fold_left (fun a (_, l) -> a + l) 0 runs)
+        owned true)
+
+let qcheck_owner_matches_runs =
+  QCheck.Test.make ~name:"owner_of agrees with runs_of" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 20) (pair (int_range 1 5) (int_range 1 10)))
+    (fun ops ->
+      let _, t = mk () in
+      List.iter (fun (cid, n) -> ignore (A.alloc t ~cid ~n)) ops;
+      let ok = ref true in
+      for cid = 1 to 5 do
+        List.iter
+          (fun (start, len) ->
+            for p = start to start + len - 1 do
+              if A.owner_of t ~page:p <> cid then ok := false
+            done)
+          (A.runs_of t ~cid)
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "alloc_table"
+    [
+      ( "alloc",
+        [
+          Alcotest.test_case "format all free" `Quick test_format_all_free;
+          Alcotest.test_case "contiguous" `Quick test_alloc_contiguous;
+          Alcotest.test_case "first fit" `Quick test_alloc_first_fit;
+          Alcotest.test_case "gathers runs" `Quick test_alloc_gathers_runs;
+          Alcotest.test_case "ENOSPC" `Quick test_alloc_enospc;
+        ] );
+      ( "free+reassign",
+        [
+          Alcotest.test_case "coalescing" `Quick test_free_coalesces;
+          Alcotest.test_case "reassign splits" `Quick test_reassign;
+          Alcotest.test_case "runs_of/pages_of" `Quick test_runs_of_and_pages_of;
+          Alcotest.test_case "free_coffer" `Quick test_free_coffer;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "reload" `Quick test_persistence_across_reload;
+          Alcotest.test_case "crash + reload" `Quick test_reload_after_crash;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_random_ops_keep_invariants;
+          QCheck_alcotest.to_alcotest qcheck_owner_matches_runs;
+        ] );
+    ]

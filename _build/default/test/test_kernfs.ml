@@ -1,0 +1,487 @@
+(* Tests for KernFS: the coffer protocol of paper Table 5. *)
+
+module K = Treasury.Kernfs
+module A = Treasury.Alloc_table
+module Coffer = Treasury.Coffer
+module E = Treasury.Errno
+module D = Nvm.Device
+
+let zofs_ctype = 1
+
+let mk () =
+  let dev = D.create ~perf:Nvm.Perf.free ~size:(1024 * Nvm.page_size) () in
+  let mpk = Mpk.create dev in
+  let kfs =
+    K.mkfs dev mpk ~nbuckets:256 ~root_ctype:zofs_ctype ~root_mode:0o777
+      ~root_uid:0 ~root_gid:0 ()
+  in
+  (dev, mpk, kfs)
+
+let as_user ?(uid = 1000) f =
+  let proc = Sim.Proc.create ~uid ~gid:uid () in
+  Sim.run_thread ~proc f
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error %s" (E.to_string e)
+
+let expect_err expected = function
+  | Ok _ -> Alcotest.failf "expected %s" (E.to_string expected)
+  | Error e ->
+      Alcotest.(check string) "errno" (E.to_string expected) (E.to_string e)
+
+let test_mkfs_root_coffer () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let info = ok_or_fail (K.coffer_stat kfs (K.root_coffer kfs)) in
+      Alcotest.(check string) "path" "/" info.Coffer.path;
+      Alcotest.(check int) "ctype" zofs_ctype info.Coffer.ctype;
+      Alcotest.(check int) "mode" 0o777 info.Coffer.mode;
+      Alcotest.(check bool) "has root file page" true (info.Coffer.root_file > 0);
+      Alcotest.(check bool) "has custom page" true (info.Coffer.custom > 0);
+      (* root coffer owns exactly its 3 initial pages *)
+      Alcotest.(check int) "3 pages" 3
+        (A.coffer_page_count (K.alloc_table kfs) ~cid:info.Coffer.id))
+
+let test_fs_mount_required () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      (* coffer_map before fs_mount: the process is unknown. *)
+      expect_err E.EINVAL (K.coffer_map kfs (K.root_coffer kfs)))
+
+let test_coffer_new_and_find () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/data" ~ctype:zofs_ctype ~mode:0o600
+             ~uid:1000 ~gid:1000)
+      in
+      Alcotest.(check string) "path" "/data" c.Coffer.path;
+      Alcotest.(check int) "find" c.Coffer.id (ok_or_fail (K.coffer_find kfs "/data"));
+      let p, cid = ok_or_fail (K.coffer_locate kfs "/data/sub/file") in
+      Alcotest.(check string) "locate prefix" "/data" p;
+      Alcotest.(check int) "locate cid" c.Coffer.id cid)
+
+let test_coffer_new_checks_parent_write () =
+  let dev = D.create ~perf:Nvm.Perf.free ~size:(1024 * Nvm.page_size) () in
+  let mpk = Mpk.create dev in
+  (* Root coffer writable only by root. *)
+  let kfs =
+    K.mkfs dev mpk ~nbuckets:256 ~root_ctype:zofs_ctype ~root_mode:0o755
+      ~root_uid:0 ~root_gid:0 ()
+  in
+  as_user ~uid:1000 (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      expect_err E.EACCES
+        (K.coffer_new kfs ~path:"/mine" ~ctype:zofs_ctype ~mode:0o600 ~uid:1000
+           ~gid:1000))
+
+let test_coffer_map_grants_access () =
+  let dev, mpk, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/d" ~ctype:zofs_ctype ~mode:0o600 ~uid:1000
+             ~gid:1000)
+      in
+      let m = ok_or_fail (K.coffer_map kfs c.Coffer.id) in
+      Alcotest.(check bool) "writable" true m.K.m_writable;
+      Alcotest.(check bool) "pkey in 1..15" true (m.K.m_pkey >= 1 && m.K.m_pkey <= 15);
+      (* Open the region and write to the root-file page. *)
+      Mpk.with_keys mpk [ (m.K.m_pkey, Mpk.Pk_read_write) ] (fun () ->
+          D.write_u64 dev m.K.m_root_file 42;
+          Alcotest.(check int) "rw" 42 (D.read_u64 dev m.K.m_root_file));
+      (* The coffer root page is mapped read-only even with the key open. *)
+      Mpk.with_keys mpk [ (m.K.m_pkey, Mpk.Pk_read_write) ] (fun () ->
+          match D.write_u64 dev (Coffer.root_addr c.Coffer.id) 1 with
+          | () -> Alcotest.fail "root page must be read-only"
+          | exception Nvm.Fault { reason; _ } ->
+              Alcotest.(check string) "reason" "page mapped read-only" reason);
+      (* Without the key: fault. *)
+      (match D.read_u64 dev m.K.m_root_file with
+      | _ -> Alcotest.fail "closed region must fault"
+      | exception Nvm.Fault _ -> ());
+      ok_or_fail (K.coffer_unmap kfs c.Coffer.id);
+      match D.read_u64 dev m.K.m_root_file with
+      | _ -> Alcotest.fail "unmapped coffer must fault"
+      | exception Nvm.Fault _ -> ())
+
+let test_coffer_map_permission_denied () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      (* a coffer owned by somebody else, mode 600 *)
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/other" ~ctype:zofs_ctype ~mode:0o600
+             ~uid:4242 ~gid:4242)
+      in
+      expect_err E.EACCES (K.coffer_map kfs c.Coffer.id))
+
+let test_coffer_map_readonly_for_group () =
+  let dev, mpk, kfs = mk () in
+  let proc = Sim.Proc.create ~uid:1000 ~gid:500 () in
+  Sim.run_thread ~proc (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/shared" ~ctype:zofs_ctype ~mode:0o640
+             ~uid:7 ~gid:500)
+      in
+      let m = ok_or_fail (K.coffer_map kfs c.Coffer.id) in
+      Alcotest.(check bool) "not writable" false m.K.m_writable;
+      Mpk.with_keys mpk [ (m.K.m_pkey, Mpk.Pk_read_write) ] (fun () ->
+          ignore (D.read_u64 dev m.K.m_root_file);
+          match D.write_u64 dev m.K.m_root_file 1 with
+          | () -> Alcotest.fail "read-only mapping must reject writes"
+          | exception Nvm.Fault _ -> ()))
+
+let test_map_exhausts_15_regions () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      for i = 1 to 15 do
+        let c =
+          ok_or_fail
+            (K.coffer_new kfs
+               ~path:(Printf.sprintf "/c%d" i)
+               ~ctype:zofs_ctype ~mode:0o600 ~uid:1000 ~gid:1000)
+        in
+        ignore (ok_or_fail (K.coffer_map kfs c.Coffer.id))
+      done;
+      let extra =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/c16" ~ctype:zofs_ctype ~mode:0o600
+             ~uid:1000 ~gid:1000)
+      in
+      (* Only 15 MPK regions exist (paper §3.4.2). *)
+      expect_err E.EMFILE (K.coffer_map kfs extra.Coffer.id);
+      (* Unmapping one frees a region. *)
+      let first = ok_or_fail (K.coffer_find kfs "/c1") in
+      ok_or_fail (K.coffer_unmap kfs first);
+      ignore (ok_or_fail (K.coffer_map kfs extra.Coffer.id)))
+
+let test_enlarge_and_shrink () =
+  let dev, mpk, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/big" ~ctype:zofs_ctype ~mode:0o600
+             ~uid:1000 ~gid:1000)
+      in
+      let m = ok_or_fail (K.coffer_map kfs c.Coffer.id) in
+      let granted = ok_or_fail (K.coffer_enlarge kfs c.Coffer.id ~n:8) in
+      let total = List.fold_left (fun a (_, l) -> a + l) 0 granted in
+      Alcotest.(check int) "8 pages granted" 8 total;
+      Alcotest.(check int) "11 pages total" 11
+        (A.coffer_page_count (K.alloc_table kfs) ~cid:c.Coffer.id);
+      (* Newly granted pages are writable immediately under the same pkey. *)
+      let start, _ = List.hd granted in
+      Mpk.with_keys mpk [ (m.K.m_pkey, Mpk.Pk_read_write) ] (fun () ->
+          D.write_u64 dev (start * Nvm.page_size) 7);
+      ok_or_fail (K.coffer_shrink kfs c.Coffer.id ~runs:granted);
+      Alcotest.(check int) "back to 3" 3
+        (A.coffer_page_count (K.alloc_table kfs) ~cid:c.Coffer.id);
+      (* Shrunk pages are no longer mapped. *)
+      Mpk.with_keys mpk [ (m.K.m_pkey, Mpk.Pk_read_write) ] (fun () ->
+          match D.read_u64 dev (start * Nvm.page_size) with
+          | _ -> Alcotest.fail "shrunk page must fault"
+          | exception Nvm.Fault _ -> ()))
+
+let test_shrink_rejects_foreign_pages () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c1 =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/a" ~ctype:zofs_ctype ~mode:0o600 ~uid:1000
+             ~gid:1000)
+      in
+      let c2 =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/b" ~ctype:zofs_ctype ~mode:0o600 ~uid:1000
+             ~gid:1000)
+      in
+      let granted = ok_or_fail (K.coffer_enlarge kfs c2.Coffer.id ~n:4) in
+      (* c1 cannot free c2's pages; nor its own root page. *)
+      expect_err E.EINVAL (K.coffer_shrink kfs c1.Coffer.id ~runs:granted);
+      expect_err E.EINVAL
+        (K.coffer_shrink kfs c1.Coffer.id ~runs:[ (c1.Coffer.id, 1) ]))
+
+let test_delete () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/gone" ~ctype:zofs_ctype ~mode:0o600
+             ~uid:1000 ~gid:1000)
+      in
+      ignore (ok_or_fail (K.coffer_enlarge kfs c.Coffer.id ~n:5));
+      let free_before = K.free_pages kfs in
+      ok_or_fail (K.coffer_delete kfs c.Coffer.id);
+      Alcotest.(check int) "8 pages reclaimed" (free_before + 8) (K.free_pages kfs);
+      expect_err E.ENOENT (K.coffer_find kfs "/gone");
+      (* Root coffer is protected. *)
+      expect_err E.EBUSY (K.coffer_delete kfs (K.root_coffer kfs)))
+
+let test_split () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/dir" ~ctype:zofs_ctype ~mode:0o666
+             ~uid:1000 ~gid:1000)
+      in
+      let granted = ok_or_fail (K.coffer_enlarge kfs c.Coffer.id ~n:6) in
+      let start, len = List.hd granted in
+      Alcotest.(check int) "granted one run" 6 len;
+      (* Move 4 of the new pages into a split coffer with a new mode. *)
+      let moved = [ (start, 4) ] in
+      let nc =
+        ok_or_fail
+          (K.coffer_split kfs ~src:c.Coffer.id ~new_path:"/dir/secret"
+             ~ctype:zofs_ctype ~mode:0o600 ~uid:1000 ~gid:1000 ~runs:moved
+             ~root_file:(start * Nvm.page_size)
+             ~custom:((start + 1) * Nvm.page_size))
+      in
+      Alcotest.(check int) "src keeps 3+2" 5
+        (A.coffer_page_count (K.alloc_table kfs) ~cid:c.Coffer.id);
+      Alcotest.(check int) "new has 4+1root" 5
+        (A.coffer_page_count (K.alloc_table kfs) ~cid:nc.Coffer.id);
+      Alcotest.(check int) "registered" nc.Coffer.id
+        (ok_or_fail (K.coffer_find kfs "/dir/secret"));
+      Alcotest.(check int) "new mode" 0o600 nc.Coffer.mode)
+
+let test_split_requires_ownership () =
+  let _, _, kfs = mk () in
+  as_user ~uid:1000 (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/notmine" ~ctype:zofs_ctype ~mode:0o666
+             ~uid:55 ~gid:55)
+      in
+      let granted = ok_or_fail (K.coffer_enlarge kfs c.Coffer.id ~n:2) in
+      expect_err E.EPERM
+        (K.coffer_split kfs ~src:c.Coffer.id ~new_path:"/notmine/x"
+           ~ctype:zofs_ctype ~mode:0o600 ~uid:55 ~gid:55 ~runs:granted
+           ~root_file:0 ~custom:0))
+
+let test_merge () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let a =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/m" ~ctype:zofs_ctype ~mode:0o600 ~uid:1000
+             ~gid:1000)
+      in
+      let b =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/m/sub" ~ctype:zofs_ctype ~mode:0o600
+             ~uid:1000 ~gid:1000)
+      in
+      ignore (ok_or_fail (K.coffer_enlarge kfs b.Coffer.id ~n:4));
+      ok_or_fail (K.coffer_merge kfs ~dst:a.Coffer.id ~src:b.Coffer.id);
+      (* a absorbs b's 2 extra initial pages + 4 enlarged; b's root page is
+         freed. *)
+      Alcotest.(check int) "absorbed" 9
+        (A.coffer_page_count (K.alloc_table kfs) ~cid:a.Coffer.id);
+      expect_err E.ENOENT (K.coffer_find kfs "/m/sub"))
+
+let test_merge_requires_same_perm () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let a =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/p1" ~ctype:zofs_ctype ~mode:0o600 ~uid:1000
+             ~gid:1000)
+      in
+      let b =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/p2" ~ctype:zofs_ctype ~mode:0o666 ~uid:1000
+             ~gid:1000)
+      in
+      expect_err E.EPERM (K.coffer_merge kfs ~dst:a.Coffer.id ~src:b.Coffer.id))
+
+let test_chmod_in_place () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/c" ~ctype:zofs_ctype ~mode:0o600 ~uid:1000
+             ~gid:1000)
+      in
+      ok_or_fail (K.coffer_chmod kfs c.Coffer.id ~mode:0o640 ~uid:1000 ~gid:1000);
+      let info = ok_or_fail (K.coffer_stat kfs c.Coffer.id) in
+      Alcotest.(check int) "new mode" 0o640 info.Coffer.mode)
+
+let test_rename_moves_descendants () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let top =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/top" ~ctype:zofs_ctype ~mode:0o777
+             ~uid:1000 ~gid:1000)
+      in
+      let _child =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/top/child" ~ctype:zofs_ctype ~mode:0o600
+             ~uid:1000 ~gid:1000)
+      in
+      ok_or_fail (K.coffer_rename kfs top.Coffer.id ~new_path:"/renamed");
+      Alcotest.(check int) "top moved" top.Coffer.id
+        (ok_or_fail (K.coffer_find kfs "/renamed"));
+      expect_err E.ENOENT (K.coffer_find kfs "/top");
+      expect_err E.ENOENT (K.coffer_find kfs "/top/child");
+      ignore (ok_or_fail (K.coffer_find kfs "/renamed/child"));
+      (* Root pages record the new paths. *)
+      let info = ok_or_fail (K.coffer_stat kfs top.Coffer.id) in
+      Alcotest.(check string) "root page path" "/renamed" info.Coffer.path)
+
+let test_recover_reclaims_leaked_pages () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/r" ~ctype:zofs_ctype ~mode:0o600 ~uid:1000
+             ~gid:1000)
+      in
+      let granted = ok_or_fail (K.coffer_enlarge kfs c.Coffer.id ~n:6) in
+      let pages =
+        List.concat_map (fun (s, l) -> List.init l (fun i -> s + i)) granted
+      in
+      let keep = [ List.nth pages 0; List.nth pages 1 ] in
+      let runs = ok_or_fail (K.coffer_recover_begin kfs c.Coffer.id) in
+      Alcotest.(check bool) "recover sees all runs" true (List.length runs >= 1);
+      let info = ok_or_fail (K.coffer_stat kfs c.Coffer.id) in
+      Alcotest.(check bool) "in recovery" true info.Coffer.in_recovery;
+      (* While in recovery, mapping is refused. *)
+      expect_err E.EBUSY (K.coffer_map kfs c.Coffer.id);
+      let stat = ok_or_fail (K.coffer_stat kfs c.Coffer.id) in
+      ok_or_fail
+        (K.coffer_recover_end kfs c.Coffer.id
+           ~in_use:
+             (keep
+             @ [
+                 stat.Coffer.root_file / Nvm.page_size;
+                 stat.Coffer.custom / Nvm.page_size;
+               ]));
+      (* 6 granted - 2 kept = 4 reclaimed; 3 original + 2 kept = 5 remain. *)
+      Alcotest.(check int) "remaining pages" 5
+        (A.coffer_page_count (K.alloc_table kfs) ~cid:c.Coffer.id);
+      let info = ok_or_fail (K.coffer_stat kfs c.Coffer.id) in
+      Alcotest.(check bool) "recovery done" false info.Coffer.in_recovery)
+
+let test_remount_preserves_everything () =
+  let dev, mpk, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/persist" ~ctype:zofs_ctype ~mode:0o640
+             ~uid:1000 ~gid:1000)
+      in
+      ignore (ok_or_fail (K.coffer_enlarge kfs c.Coffer.id ~n:4)));
+  (* Clean "reboot": volatile state dropped, remount from NVM. *)
+  let kfs' = K.mount dev mpk in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs');
+      Alcotest.(check int) "root rediscovered" (K.root_coffer kfs)
+        (K.root_coffer kfs');
+      let cid = ok_or_fail (K.coffer_find kfs' "/persist") in
+      let info = ok_or_fail (K.coffer_stat kfs' cid) in
+      Alcotest.(check int) "mode" 0o640 info.Coffer.mode;
+      Alcotest.(check int) "uid" 1000 info.Coffer.uid;
+      Alcotest.(check int) "7 pages" 7
+        (A.coffer_page_count (K.alloc_table kfs') ~cid))
+
+let test_file_mmap_validation () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/mm" ~ctype:zofs_ctype ~mode:0o600 ~uid:1000
+             ~gid:1000)
+      in
+      ignore (ok_or_fail (K.coffer_map kfs c.Coffer.id));
+      let pages =
+        [ c.Coffer.root_file / Nvm.page_size; c.Coffer.custom / Nvm.page_size ]
+      in
+      ok_or_fail (K.file_mmap kfs ~cid:c.Coffer.id ~pages);
+      (* Pages of another coffer are rejected. *)
+      expect_err E.EINVAL
+        (K.file_mmap kfs ~cid:c.Coffer.id ~pages:[ K.root_coffer kfs ]))
+
+let test_syscall_costs_time () =
+  let _, _, kfs = mk () in
+  let elapsed =
+    as_user (fun () ->
+        ok_or_fail (K.fs_mount kfs);
+        let t0 = Sim.now () in
+        ignore (K.coffer_stat kfs (K.root_coffer kfs));
+        Sim.now () - t0)
+  in
+  Alcotest.(check bool) "costs at least the gate" true
+    (elapsed >= Treasury.Gate.enter_cost + Treasury.Gate.exit_cost)
+
+let () =
+  Alcotest.run "kernfs"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "mkfs root coffer" `Quick test_mkfs_root_coffer;
+          Alcotest.test_case "fs_mount required" `Quick test_fs_mount_required;
+          Alcotest.test_case "remount" `Quick test_remount_preserves_everything;
+          Alcotest.test_case "syscall cost" `Quick test_syscall_costs_time;
+        ] );
+      ( "coffer-create-delete",
+        [
+          Alcotest.test_case "new + find + locate" `Quick test_coffer_new_and_find;
+          Alcotest.test_case "parent write checked" `Quick
+            test_coffer_new_checks_parent_write;
+          Alcotest.test_case "delete" `Quick test_delete;
+        ] );
+      ( "mapping",
+        [
+          Alcotest.test_case "map grants access" `Quick test_coffer_map_grants_access;
+          Alcotest.test_case "map denied" `Quick test_coffer_map_permission_denied;
+          Alcotest.test_case "group read-only" `Quick
+            test_coffer_map_readonly_for_group;
+          Alcotest.test_case "15 regions max" `Quick test_map_exhausts_15_regions;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "enlarge/shrink" `Quick test_enlarge_and_shrink;
+          Alcotest.test_case "shrink validation" `Quick
+            test_shrink_rejects_foreign_pages;
+        ] );
+      ( "split-merge-rename",
+        [
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "split ownership" `Quick test_split_requires_ownership;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "merge same perm" `Quick test_merge_requires_same_perm;
+          Alcotest.test_case "chmod in place" `Quick test_chmod_in_place;
+          Alcotest.test_case "rename descendants" `Quick
+            test_rename_moves_descendants;
+        ] );
+      ( "recovery+mmap",
+        [
+          Alcotest.test_case "recover reclaims" `Quick
+            test_recover_reclaims_leaked_pages;
+          Alcotest.test_case "file_mmap" `Quick test_file_mmap_validation;
+        ] );
+    ]

@@ -1,0 +1,369 @@
+(* Tests for the SQLite-like storage engine and the TPC-C driver. *)
+
+open Testkit
+module V = Treasury.Vfs
+module R = Litedb.Record
+
+let okd = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "litedb error: %s" (Treasury.Errno.to_string e)
+
+(* ---- record ----------------------------------------------------------------- *)
+
+let test_record_roundtrip () =
+  let row = [ R.Int 42; R.Str "hello"; R.Real 3.25; R.Int (-7); R.Str "" ] in
+  let row' = R.decode (R.encode row) in
+  Alcotest.(check bool) "roundtrip" true (List.for_all2 R.equal_value row row')
+
+let test_index_key_order () =
+  (* numeric order must survive the string encoding *)
+  let k a = R.index_key [ R.Int a ] in
+  Alcotest.(check bool) "2 < 10" true (k 2 < k 10);
+  Alcotest.(check bool) "999 < 1000" true (k 999 < k 1000);
+  let kk a b = R.index_key [ R.Int a; R.Int b ] in
+  Alcotest.(check bool) "composite" true (kk 1 99 < kk 2 1)
+
+(* ---- pager ------------------------------------------------------------------- *)
+
+let test_pager_txn_commit_rollback () =
+  let w = make_world ~pages:16384 () in
+  in_proc ~uid:0 w (fun fs ->
+      let p = okd (Litedb.Pager.open_ fs "/test.db") in
+      Litedb.Pager.begin_txn p;
+      let pg = Litedb.Pager.alloc_page p in
+      let b = Bytes.make Litedb.Pager.page_size 'a' in
+      Litedb.Pager.write_page p pg b;
+      okd (Litedb.Pager.commit p);
+      (* rollback undoes changes *)
+      Litedb.Pager.begin_txn p;
+      Litedb.Pager.write_page p pg (Bytes.make Litedb.Pager.page_size 'b');
+      Litedb.Pager.rollback p;
+      Alcotest.(check char) "rolled back" 'a'
+        (Bytes.get (Litedb.Pager.read_page p pg) 0))
+
+let test_pager_persists_across_reopen () =
+  let w = make_world ~pages:16384 () in
+  in_proc ~uid:0 w (fun fs ->
+      let p = okd (Litedb.Pager.open_ fs "/p.db") in
+      Litedb.Pager.begin_txn p;
+      let pg = Litedb.Pager.alloc_page p in
+      Litedb.Pager.write_page p pg (Bytes.make Litedb.Pager.page_size 'z');
+      okd (Litedb.Pager.commit p));
+  in_proc ~uid:0 w (fun fs ->
+      let p = okd (Litedb.Pager.open_ fs "/p.db") in
+      Alcotest.(check char) "persisted" 'z' (Bytes.get (Litedb.Pager.read_page p 0) 0))
+
+let test_pager_journal_recovery () =
+  (* A crash after the journal is durable but before the commit point must
+     roll the database back to the pre-transaction state. *)
+  let w = make_world ~pages:16384 () in
+  in_proc ~uid:0 w (fun fs ->
+      let p = okd (Litedb.Pager.open_ fs "/j.db") in
+      Litedb.Pager.begin_txn p;
+      let pg = Litedb.Pager.alloc_page p in
+      Litedb.Pager.write_page p pg (Bytes.make Litedb.Pager.page_size 'A');
+      okd (Litedb.Pager.commit p);
+      (* hand-craft the crash: journal with the before-image ('A'), then
+         partially updated db page ('B'), no journal delete *)
+      let jbuf = Buffer.create 64 in
+      Buffer.add_int32_le jbuf (Int32.of_int pg);
+      Buffer.add_bytes jbuf (Bytes.make Litedb.Pager.page_size 'A');
+      okd (V.write_file fs "/j.db-journal" (Buffer.contents jbuf));
+      let fd = okd (V.openf fs "/j.db" [ Treasury.Fs_types.O_WRONLY ] 0) in
+      ignore
+        (okd
+           (V.pwrite fs fd
+              ~off:(pg * Litedb.Pager.page_size)
+              (String.make Litedb.Pager.page_size 'B')));
+      okd (V.close fs fd));
+  in_proc ~uid:0 w (fun fs ->
+      (* reopen applies the journal *)
+      let p = okd (Litedb.Pager.open_ fs "/j.db") in
+      Alcotest.(check char) "before-image restored" 'A'
+        (Bytes.get (Litedb.Pager.read_page p 0) 0);
+      Alcotest.(check bool) "journal gone" false (V.exists fs "/j.db-journal"))
+
+(* ---- btree -------------------------------------------------------------------- *)
+
+let with_btree f =
+  let w = make_world ~pages:32768 () in
+  in_proc ~uid:0 w (fun fs ->
+      let p = okd (Litedb.Pager.open_ fs "/bt.db") in
+      Litedb.Pager.begin_txn p;
+      let root = Litedb.Btree.create p in
+      let r = f p root in
+      okd (Litedb.Pager.commit p);
+      r)
+
+let test_btree_insert_lookup () =
+  with_btree (fun p root ->
+      let root = ref root in
+      for i = 0 to 499 do
+        root := Litedb.Btree.insert p ~root:!root (Printf.sprintf "%08d" i) (string_of_int i)
+      done;
+      for i = 0 to 499 do
+        Alcotest.(check (option string))
+          (Printf.sprintf "key %d" i)
+          (Some (string_of_int i))
+          (Litedb.Btree.lookup p ~root:!root (Printf.sprintf "%08d" i))
+      done;
+      Alcotest.(check (option string)) "missing" None
+        (Litedb.Btree.lookup p ~root:!root "zz"))
+
+let test_btree_update_in_place () =
+  with_btree (fun p root ->
+      let root = ref root in
+      root := Litedb.Btree.insert p ~root:!root "k" "v1";
+      root := Litedb.Btree.insert p ~root:!root "k" "v2";
+      Alcotest.(check (option string)) "updated" (Some "v2")
+        (Litedb.Btree.lookup p ~root:!root "k");
+      Alcotest.(check int) "no duplicate" 1 (Litedb.Btree.cardinal p ~root:!root))
+
+let test_btree_ordered_iteration () =
+  with_btree (fun p root ->
+      let root = ref root in
+      let keys = [ "delta"; "alpha"; "mike"; "bravo"; "zulu" ] in
+      List.iter (fun k -> root := Litedb.Btree.insert p ~root:!root k k) keys;
+      let seen = ref [] in
+      Litedb.Btree.iter_all p ~root:!root (fun k _ -> seen := k :: !seen);
+      Alcotest.(check (list string)) "sorted"
+        (List.sort compare keys)
+        (List.rev !seen))
+
+let test_btree_range_scan () =
+  with_btree (fun p root ->
+      let root = ref root in
+      for i = 0 to 99 do
+        root := Litedb.Btree.insert p ~root:!root (Printf.sprintf "%04d" i) ""
+      done;
+      let seen = ref 0 in
+      Litedb.Btree.iter_from p ~root:!root ~start:"0050" (fun k _ ->
+          incr seen;
+          k < "0059");
+      Alcotest.(check int) "range" 10 !seen)
+
+let test_btree_delete () =
+  with_btree (fun p root ->
+      let root = ref root in
+      for i = 0 to 99 do
+        root := Litedb.Btree.insert p ~root:!root (Printf.sprintf "%04d" i) ""
+      done;
+      Alcotest.(check bool) "deleted" true (Litedb.Btree.delete p ~root:!root "0042");
+      Alcotest.(check bool) "gone" true
+        (Litedb.Btree.lookup p ~root:!root "0042" = None);
+      Alcotest.(check bool) "again" false (Litedb.Btree.delete p ~root:!root "0042");
+      Alcotest.(check int) "99 left" 99 (Litedb.Btree.cardinal p ~root:!root))
+
+let qcheck_btree_model =
+  QCheck.Test.make ~name:"btree behaves like a Map" ~count:15
+    QCheck.(
+      list_of_size (Gen.int_range 1 300)
+        (pair bool (int_range 0 99)))
+    (fun ops ->
+      let w = make_world ~pages:32768 () in
+      in_proc ~uid:0 w (fun fs ->
+          let p = okd (Litedb.Pager.open_ fs "/bt.db") in
+          Litedb.Pager.begin_txn p;
+          let root = ref (Litedb.Btree.create p) in
+          let module M = Map.Make (String) in
+          let m = ref M.empty in
+          List.iter
+            (fun (ins, k) ->
+              let key = Printf.sprintf "%04d" k in
+              if ins then begin
+                root := Litedb.Btree.insert p ~root:!root key key;
+                m := M.add key key !m
+              end
+              else begin
+                ignore (Litedb.Btree.delete p ~root:!root key);
+                m := M.remove key !m
+              end)
+            ops;
+          let bindings = ref [] in
+          Litedb.Btree.iter_all p ~root:!root (fun k v ->
+              bindings := (k, v) :: !bindings);
+          okd (Litedb.Pager.commit p);
+          List.rev !bindings = M.bindings !m))
+
+(* ---- db (tables + indexes) ----------------------------------------------------- *)
+
+let with_db f =
+  let w = make_world ~pages:65536 () in
+  in_proc ~uid:0 w (fun fs ->
+      let db = okd (Litedb.Db.open_ fs "/rel.db") in
+      f fs db)
+
+let test_table_crud () =
+  with_db (fun _ db ->
+      okd (Litedb.Db.create_table db "people");
+      let rid =
+        okd
+          (Litedb.Db.txn db (fun () ->
+               Ok (Litedb.Db.insert db "people" [ R.Str "ada"; R.Int 36 ])))
+      in
+      (match Litedb.Db.get db "people" rid with
+      | Some [ R.Str "ada"; R.Int 36 ] -> ()
+      | _ -> Alcotest.fail "row mismatch");
+      okd
+        (Litedb.Db.txn db (fun () ->
+             Litedb.Db.update db "people" rid [ R.Str "ada"; R.Int 37 ];
+             Ok ()));
+      (match Litedb.Db.get db "people" rid with
+      | Some [ R.Str "ada"; R.Int 37 ] -> ()
+      | _ -> Alcotest.fail "update mismatch");
+      okd
+        (Litedb.Db.txn db (fun () ->
+             ignore (Litedb.Db.delete db "people" rid);
+             Ok ()));
+      Alcotest.(check bool) "deleted" true (Litedb.Db.get db "people" rid = None))
+
+let test_unique_index () =
+  with_db (fun _ db ->
+      okd (Litedb.Db.create_table db "t");
+      okd (Litedb.Db.create_index db "t_pk" ~table:"t" ~cols:[ 0 ] ~unique:true);
+      okd
+        (Litedb.Db.txn db (fun () ->
+             for i = 1 to 50 do
+               ignore (Litedb.Db.insert db "t" [ R.Int i; R.Str (string_of_int i) ])
+             done;
+             Ok ()));
+      match Litedb.Db.index_find db "t_pk" [ R.Int 37 ] with
+      | Some rid -> (
+          match Litedb.Db.get db "t" rid with
+          | Some [ R.Int 37; R.Str "37" ] -> ()
+          | _ -> Alcotest.fail "index led to wrong row")
+      | None -> Alcotest.fail "index miss")
+
+let test_index_maintained_on_update_delete () =
+  with_db (fun _ db ->
+      okd (Litedb.Db.create_table db "t");
+      okd (Litedb.Db.create_index db "t_pk" ~table:"t" ~cols:[ 0 ] ~unique:true);
+      let rid =
+        okd
+          (Litedb.Db.txn db (fun () -> Ok (Litedb.Db.insert db "t" [ R.Int 1; R.Str "x" ])))
+      in
+      okd
+        (Litedb.Db.txn db (fun () ->
+             Litedb.Db.update db "t" rid [ R.Int 2; R.Str "x" ];
+             Ok ()));
+      Alcotest.(check bool) "old key gone" true
+        (Litedb.Db.index_find db "t_pk" [ R.Int 1 ] = None);
+      Alcotest.(check (option int)) "new key" (Some rid)
+        (Litedb.Db.index_find db "t_pk" [ R.Int 2 ]);
+      okd
+        (Litedb.Db.txn db (fun () ->
+             ignore (Litedb.Db.delete db "t" rid);
+             Ok ()));
+      Alcotest.(check bool) "index cleared" true
+        (Litedb.Db.index_find db "t_pk" [ R.Int 2 ] = None))
+
+let test_db_reopen () =
+  let w = make_world ~pages:65536 () in
+  in_proc ~uid:0 w (fun fs ->
+      let db = okd (Litedb.Db.open_ fs "/rel.db") in
+      okd (Litedb.Db.create_table db "t");
+      okd (Litedb.Db.create_index db "t_pk" ~table:"t" ~cols:[ 0 ] ~unique:true);
+      okd
+        (Litedb.Db.txn db (fun () ->
+             for i = 1 to 200 do
+               ignore (Litedb.Db.insert db "t" [ R.Int i ])
+             done;
+             Ok ())));
+  in_proc ~uid:0 w (fun fs ->
+      let db = okd (Litedb.Db.open_ fs "/rel.db") in
+      match Litedb.Db.index_find db "t_pk" [ R.Int 123 ] with
+      | Some rid -> (
+          match Litedb.Db.get db "t" rid with
+          | Some [ R.Int 123 ] -> ()
+          | _ -> Alcotest.fail "wrong row after reopen")
+      | None -> Alcotest.fail "index lost after reopen")
+
+let test_txn_rollback_on_error () =
+  with_db (fun _ db ->
+      okd (Litedb.Db.create_table db "t");
+      (match
+         Litedb.Db.txn db (fun () ->
+             ignore (Litedb.Db.insert db "t" [ R.Int 1 ]);
+             Error Treasury.Errno.EINVAL)
+       with
+      | Error Treasury.Errno.EINVAL -> ()
+      | _ -> Alcotest.fail "expected propagated error");
+      let count = ref 0 in
+      Litedb.Db.scan db "t" (fun _ _ -> incr count);
+      Alcotest.(check int) "rolled back" 0 !count)
+
+(* ---- TPC-C ----------------------------------------------------------------------- *)
+
+let with_tpcc f =
+  let w = make_world ~pages:131072 () in
+  in_proc ~uid:0 w (fun fs ->
+      let t = okd (Litedb.Tpcc.create fs "/tpcc.db") in
+      f t)
+
+let test_tpcc_new_order () =
+  with_tpcc (fun t ->
+      for _ = 1 to 10 do
+        okd (Litedb.Tpcc.new_order t)
+      done;
+      Alcotest.(check bool) "consistent" true (Litedb.Tpcc.consistency_check t))
+
+let test_tpcc_all_kinds () =
+  with_tpcc (fun t ->
+      List.iter
+        (fun k ->
+          match Litedb.Tpcc.run_txn t k with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "%s failed: %s" (Litedb.Tpcc.kind_name k)
+                (Treasury.Errno.to_string e))
+        [ Litedb.Tpcc.NEW; Litedb.Tpcc.PAY; Litedb.Tpcc.OS; Litedb.Tpcc.DLY; Litedb.Tpcc.SL ])
+
+let test_tpcc_mix_run () =
+  with_tpcc (fun t ->
+      let tps = Litedb.Tpcc.run t ~n:50 () in
+      Alcotest.(check bool) "positive throughput" true (tps > 0.0);
+      Alcotest.(check int) "all committed" 50 (Litedb.Tpcc.committed t);
+      Alcotest.(check int) "no aborts" 0 (Litedb.Tpcc.aborted t);
+      Alcotest.(check bool) "consistent after mix" true
+        (Litedb.Tpcc.consistency_check t))
+
+let () =
+  Alcotest.run "litedb"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "index key order" `Quick test_index_key_order;
+        ] );
+      ( "pager",
+        [
+          Alcotest.test_case "txn commit/rollback" `Quick
+            test_pager_txn_commit_rollback;
+          Alcotest.test_case "persists" `Quick test_pager_persists_across_reopen;
+          Alcotest.test_case "journal recovery" `Quick test_pager_journal_recovery;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "insert/lookup (splits)" `Quick test_btree_insert_lookup;
+          Alcotest.test_case "update in place" `Quick test_btree_update_in_place;
+          Alcotest.test_case "ordered iteration" `Quick test_btree_ordered_iteration;
+          Alcotest.test_case "range scan" `Quick test_btree_range_scan;
+          Alcotest.test_case "delete" `Quick test_btree_delete;
+          QCheck_alcotest.to_alcotest qcheck_btree_model;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "table crud" `Quick test_table_crud;
+          Alcotest.test_case "unique index" `Quick test_unique_index;
+          Alcotest.test_case "index maintenance" `Quick
+            test_index_maintained_on_update_delete;
+          Alcotest.test_case "reopen" `Quick test_db_reopen;
+          Alcotest.test_case "rollback" `Quick test_txn_rollback_on_error;
+        ] );
+      ( "tpcc",
+        [
+          Alcotest.test_case "new order" `Quick test_tpcc_new_order;
+          Alcotest.test_case "all kinds" `Quick test_tpcc_all_kinds;
+          Alcotest.test_case "mixed run" `Slow test_tpcc_mix_run;
+        ] );
+    ]

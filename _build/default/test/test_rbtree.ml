@@ -1,0 +1,139 @@
+(* Tests for the red-black tree used by KernFS space tracking. *)
+
+module R = Treasury.Rbtree
+
+let test_empty () =
+  let t = R.create () in
+  Alcotest.(check bool) "empty" true (R.is_empty t);
+  Alcotest.(check int) "cardinal" 0 (R.cardinal t);
+  Alcotest.(check (option int)) "find" None (R.find_opt t 5);
+  Alcotest.(check (option (pair int int))) "min" None (R.min_binding t);
+  ignore (R.check_invariants t)
+
+let test_insert_find () =
+  let t = R.create () in
+  List.iter (fun k -> R.insert t k (k * 10)) [ 5; 2; 8; 1; 9; 3 ];
+  Alcotest.(check int) "cardinal" 6 (R.cardinal t);
+  Alcotest.(check (option int)) "find 8" (Some 80) (R.find_opt t 8);
+  Alcotest.(check (option int)) "find 4" None (R.find_opt t 4);
+  Alcotest.(check bool) "mem" true (R.mem t 1);
+  ignore (R.check_invariants t)
+
+let test_insert_replaces () =
+  let t = R.create () in
+  R.insert t 1 "a";
+  R.insert t 1 "b";
+  Alcotest.(check int) "no dup" 1 (R.cardinal t);
+  Alcotest.(check (option string)) "replaced" (Some "b") (R.find_opt t 1)
+
+let test_ordered_iteration () =
+  let t = R.create () in
+  List.iter (fun k -> R.insert t k ()) [ 42; 7; 19; 3; 88; 1; 55 ];
+  Alcotest.(check (list int))
+    "sorted"
+    [ 1; 3; 7; 19; 42; 55; 88 ]
+    (List.map fst (R.to_list t))
+
+let test_min_max () =
+  let t = R.create () in
+  List.iter (fun k -> R.insert t k ()) [ 4; 2; 9 ];
+  Alcotest.(check (option (pair int unit))) "min" (Some (2, ())) (R.min_binding t);
+  Alcotest.(check (option (pair int unit))) "max" (Some (9, ())) (R.max_binding t)
+
+let test_geq_leq () =
+  let t = R.create () in
+  List.iter (fun k -> R.insert t k ()) [ 10; 20; 30 ];
+  Alcotest.(check (option (pair int unit))) "geq 15" (Some (20, ())) (R.find_geq t 15);
+  Alcotest.(check (option (pair int unit))) "geq 20" (Some (20, ())) (R.find_geq t 20);
+  Alcotest.(check (option (pair int unit))) "geq 31" None (R.find_geq t 31);
+  Alcotest.(check (option (pair int unit))) "leq 15" (Some (10, ())) (R.find_leq t 15);
+  Alcotest.(check (option (pair int unit))) "leq 10" (Some (10, ())) (R.find_leq t 10);
+  Alcotest.(check (option (pair int unit))) "leq 9" None (R.find_leq t 9)
+
+let test_remove () =
+  let t = R.create () in
+  List.iter (fun k -> R.insert t k ()) [ 5; 2; 8; 1; 9; 3; 7 ];
+  Alcotest.(check bool) "removed" true (R.remove t 5);
+  Alcotest.(check bool) "not there" false (R.remove t 5);
+  Alcotest.(check (option unit)) "gone" None (R.find_opt t 5);
+  Alcotest.(check int) "cardinal" 6 (R.cardinal t);
+  ignore (R.check_invariants t);
+  List.iter (fun k -> ignore (R.remove t k)) [ 1; 2; 3; 7; 8; 9 ];
+  Alcotest.(check bool) "empty again" true (R.is_empty t)
+
+let test_find_first () =
+  let t = R.create () in
+  List.iter (fun k -> R.insert t k (100 - k)) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (option (pair int int)))
+    "first with value < 97" (Some (4, 96))
+    (R.find_first t (fun _ v -> v < 97))
+
+let test_large_sequential () =
+  let t = R.create () in
+  for i = 1 to 10_000 do
+    R.insert t i i
+  done;
+  ignore (R.check_invariants t);
+  Alcotest.(check int) "cardinal" 10_000 (R.cardinal t);
+  for i = 1 to 5000 do
+    ignore (R.remove t (i * 2))
+  done;
+  ignore (R.check_invariants t);
+  Alcotest.(check int) "half left" 5000 (R.cardinal t);
+  Alcotest.(check (option int)) "odd kept" (Some 4999) (R.find_opt t 4999);
+  Alcotest.(check (option int)) "even gone" None (R.find_opt t 5000)
+
+let qcheck_against_map =
+  (* Model-based test: a random op sequence must behave like Stdlib.Map. *)
+  QCheck.Test.make ~name:"rbtree behaves like Map" ~count:200
+    QCheck.(
+      list
+        (pair bool (int_range 0 200))) (* (insert?, key) *)
+    (fun ops ->
+      let module M = Map.Make (Int) in
+      let t = R.create () in
+      let m = ref M.empty in
+      List.iter
+        (fun (ins, k) ->
+          if ins then begin
+            R.insert t k k;
+            m := M.add k k !m
+          end
+          else begin
+            ignore (R.remove t k);
+            m := M.remove k !m
+          end)
+        ops;
+      ignore (R.check_invariants t);
+      R.to_list t = M.bindings !m)
+
+let qcheck_geq_matches_model =
+  QCheck.Test.make ~name:"find_geq matches model" ~count:200
+    QCheck.(pair (list (int_range 0 100)) (int_range 0 100))
+    (fun (keys, probe) ->
+      let t = R.create () in
+      List.iter (fun k -> R.insert t k ()) keys;
+      let expected = List.sort_uniq compare keys |> List.find_opt (fun k -> k >= probe) in
+      R.find_geq t probe = Option.map (fun k -> (k, ())) expected)
+
+let () =
+  Alcotest.run "rbtree"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "insert replaces" `Quick test_insert_replaces;
+          Alcotest.test_case "ordered iteration" `Quick test_ordered_iteration;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "geq/leq" `Quick test_geq_leq;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "find_first" `Quick test_find_first;
+          Alcotest.test_case "large sequential" `Quick test_large_sequential;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_against_map;
+          QCheck_alcotest.to_alcotest qcheck_geq_matches_model;
+        ] );
+    ]

@@ -1,0 +1,256 @@
+(* Crash-consistency and offline-recovery tests (paper §3.5, §5.3, §6.5).
+
+   ZoFS is synchronous: every completed operation must survive a crash —
+   even one that randomly drops any subset of unflushed cache lines. *)
+
+open Testkit
+module V = Treasury.Vfs
+module K = Treasury.Kernfs
+module E = Treasury.Errno
+module D = Nvm.Device
+
+let remount w =
+  let kfs = K.mount w.dev w.mpk in
+  { w with kfs }
+
+let test_completed_writes_survive_crash () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.write_file fs "/a" ~mode:0o777 "alpha");
+      ok_or_fail (V.mkdir fs "/dir" 0o777);
+      ok_or_fail (V.write_file fs "/dir/b" ~mode:0o777 (String.make 5000 'b')));
+  D.crash w.dev;
+  (* random subset of pending lines persisted *)
+  let w = remount w in
+  in_proc ~uid:0 w (fun fs ->
+      Alcotest.(check string) "a" "alpha" (ok_or_fail (V.read_file fs "/a"));
+      Alcotest.(check string) "dir/b" (String.make 5000 'b')
+        (ok_or_fail (V.read_file fs "/dir/b")))
+
+let test_completed_unlink_survives_crash () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.write_file fs "/gone" ~mode:0o777 "x");
+      ok_or_fail (V.unlink fs "/gone"));
+  D.crash ~policy:`Drop_all w.dev;
+  let w = remount w in
+  in_proc ~uid:0 w (fun fs -> expect_err E.ENOENT (V.stat fs "/gone"))
+
+let test_recover_all_preserves_files () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.mkdir fs "/data" 0o777);
+      for i = 1 to 20 do
+        ok_or_fail
+          (V.write_file fs (Printf.sprintf "/data/f%d" i) ~mode:0o777
+             (Printf.sprintf "content-%d" i))
+      done;
+      (* a private file in its own coffer too *)
+      ok_or_fail (V.write_file fs "/data/secret" ~mode:0o600 "top"));
+  D.crash w.dev;
+  let w = remount w in
+  let report = Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs) in
+  Alcotest.(check bool) "scanned >= 2 coffers" true
+    (report.Zofs.Recovery.coffers_scanned >= 2);
+  in_proc ~uid:0 w (fun fs ->
+      for i = 1 to 20 do
+        Alcotest.(check string)
+          (Printf.sprintf "f%d" i)
+          (Printf.sprintf "content-%d" i)
+          (ok_or_fail (V.read_file fs (Printf.sprintf "/data/f%d" i)))
+      done;
+      Alcotest.(check string) "secret" "top"
+        (ok_or_fail (V.read_file fs "/data/secret")))
+
+let test_recovery_reclaims_free_list_pages () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      (* Create and delete files: deleted pages sit on per-thread free
+         lists, still assigned to the coffer. *)
+      for i = 1 to 30 do
+        ok_or_fail
+          (V.write_file fs (Printf.sprintf "/churn%d" i) ~mode:0o777
+             (String.make 8192 'x'))
+      done;
+      for i = 1 to 30 do
+        ok_or_fail (V.unlink fs (Printf.sprintf "/churn%d" i))
+      done);
+  let free_before = Sim.run_thread (fun () -> K.free_pages w.kfs) in
+  let report = Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs) in
+  let free_after = Sim.run_thread (fun () -> K.free_pages w.kfs) in
+  Alcotest.(check bool) "pages reclaimed" true
+    (report.Zofs.Recovery.pages_reclaimed > 0);
+  Alcotest.(check bool) "kernel free pool grew" true (free_after > free_before)
+
+let test_recovery_drops_corrupted_dentry () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.write_file fs "/keep" ~mode:0o777 "keep");
+      ok_or_fail (V.write_file fs "/corrupt" ~mode:0o777 "dead"));
+  (* Corrupt /corrupt's inode magic from kernel mode (simulating a stray
+     write that slipped through). *)
+  Sim.run_thread (fun () ->
+      Mpk.with_kernel w.mpk (fun () ->
+          Mpk.with_write_window w.mpk (fun () ->
+              let root = K.root_coffer w.kfs in
+              let info =
+                match Treasury.Coffer.read w.dev ~id:root with
+                | Some i -> i
+                | None -> Alcotest.fail "no root"
+              in
+              let dir_ino = info.Treasury.Coffer.root_file in
+              match Zofs.Dir.lookup w.dev ~ino:dir_ino "corrupt" with
+              | Some de ->
+                  Nvm.Device.write_u32 w.dev de.Zofs.Dir.de_inode 0xDEAD;
+                  Nvm.Device.persist_all w.dev
+              | None -> Alcotest.fail "dentry missing")));
+  let report = Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs) in
+  Alcotest.(check bool) "dropped a dentry" true
+    (report.Zofs.Recovery.dentries_dropped >= 1);
+  in_proc ~uid:0 w (fun fs ->
+      Alcotest.(check string) "intact file survives" "keep"
+        (ok_or_fail (V.read_file fs "/keep"));
+      expect_err E.ENOENT (V.stat fs "/corrupt"))
+
+let test_recovery_validates_cross_refs () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.write_file fs "/victim" ~mode:0o600 "private");
+      ok_or_fail (V.write_file fs "/decoy" ~mode:0o640 "decoy"));
+  (* Point /decoy's cross-coffer dentry at /victim's coffer: a manipulated
+     cross-coffer reference (wrong path→cid binding). *)
+  Sim.run_thread (fun () ->
+      Mpk.with_kernel w.mpk (fun () ->
+          Mpk.with_write_window w.mpk (fun () ->
+              let root = K.root_coffer w.kfs in
+              let info = Option.get (Treasury.Coffer.read w.dev ~id:root) in
+              let dir_ino = info.Treasury.Coffer.root_file in
+              let victim_cid =
+                match K.coffer_find w.kfs "/victim" with
+                | Ok c -> c
+                | Error _ -> Alcotest.fail "victim coffer"
+              in
+              match Zofs.Dir.lookup w.dev ~ino:dir_ino "decoy" with
+              | Some de ->
+                  Nvm.Device.write_u64 w.dev
+                    (de.Zofs.Dir.de_addr + Zofs.Layout.d_coffer)
+                    victim_cid;
+                  Nvm.Device.persist_all w.dev
+              | None -> Alcotest.fail "decoy dentry")));
+  let report = Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs) in
+  Alcotest.(check bool) "cross refs checked" true
+    (report.Zofs.Recovery.cross_refs_checked >= 1);
+  (* The decoy coffer still exists in the trusted path map, so the
+     manipulated dentry is repaired, not dropped. *)
+  Alcotest.(check bool) "bad ref repaired" true
+    (report.Zofs.Recovery.cross_refs_repaired >= 1);
+  in_proc ~uid:0 w (fun fs ->
+      Alcotest.(check string) "decoy restored" "decoy"
+        (ok_or_fail (V.read_file fs "/decoy"));
+      Alcotest.(check string) "victim untouched" "private"
+        (ok_or_fail (V.read_file fs "/victim")))
+
+let test_recovery_drops_dangling_cross_ref () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.write_file fs "/doomed" ~mode:0o640 "x"));
+  (* Delete the coffer behind /doomed directly in the kernel, leaving the
+     parent dentry dangling. *)
+  Sim.run_thread (fun () ->
+      ignore (K.fs_mount w.kfs);
+      let cid =
+        match K.coffer_find w.kfs "/doomed" with
+        | Ok c -> c
+        | Error _ -> Alcotest.fail "doomed coffer"
+      in
+      (match K.coffer_delete w.kfs cid with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "delete: %s" (E.to_string e));
+      ignore (K.fs_umount w.kfs));
+  let report = Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs) in
+  Alcotest.(check bool) "dangling ref dropped" true
+    (report.Zofs.Recovery.cross_refs_dropped >= 1);
+  in_proc ~uid:0 w (fun fs -> expect_err E.ENOENT (V.stat fs "/doomed"))
+
+let test_recovery_reinitializes_corrupt_root_inode () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.write_file fs "/solo" ~mode:0o600 "alone"));
+  Sim.run_thread (fun () ->
+      Mpk.with_kernel w.mpk (fun () ->
+          Mpk.with_write_window w.mpk (fun () ->
+              let cid =
+                match K.coffer_find w.kfs "/solo" with
+                | Ok c -> c
+                | Error _ -> Alcotest.fail "solo coffer"
+              in
+              let info = Option.get (Treasury.Coffer.read w.dev ~id:cid) in
+              Nvm.Device.write_u32 w.dev info.Treasury.Coffer.root_file 0;
+              Nvm.Device.persist_all w.dev)));
+  let report = Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs) in
+  Alcotest.(check bool) "reinitialized" true
+    (report.Zofs.Recovery.inodes_reinitialized >= 1)
+
+let qcheck_crash_recovery_preserves_completed_ops =
+  QCheck.Test.make
+    ~name:"completed ops survive random crashes + recovery" ~count:15
+    QCheck.(
+      pair int64
+        (list_of_size (Gen.int_range 1 25)
+           (triple (int_range 0 7) bool (string_of_size (Gen.int_range 0 200)))))
+    (fun (seed, ops) ->
+      let w = make_world () in
+      let model : (string, string) Hashtbl.t = Hashtbl.create 16 in
+      in_proc ~uid:0 w (fun fs ->
+          List.iter
+            (fun (n, create, data) ->
+              let path = Printf.sprintf "/file%d" n in
+              if create then begin
+                match V.write_file fs path ~mode:0o777 data with
+                | Ok () -> Hashtbl.replace model path data
+                | Error _ -> ()
+              end
+              else begin
+                (match V.unlink fs path with Ok () | Error _ -> ());
+                Hashtbl.remove model path
+              end)
+            ops);
+      (* Crash with a seed-dependent subset of pending lines persisted. *)
+      ignore seed;
+      D.crash w.dev;
+      let kfs = K.mount w.dev w.mpk in
+      let w = { w with kfs } in
+      ignore (Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs));
+      in_proc ~uid:0 w (fun fs ->
+          Hashtbl.fold
+            (fun path data ok -> ok && V.read_file fs path = Ok data)
+            model true))
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "crash-consistency",
+        [
+          Alcotest.test_case "completed writes survive" `Quick
+            test_completed_writes_survive_crash;
+          Alcotest.test_case "completed unlink survives" `Quick
+            test_completed_unlink_survives_crash;
+          QCheck_alcotest.to_alcotest
+            qcheck_crash_recovery_preserves_completed_ops;
+        ] );
+      ( "fsck",
+        [
+          Alcotest.test_case "preserves files" `Quick
+            test_recover_all_preserves_files;
+          Alcotest.test_case "reclaims free-list pages" `Quick
+            test_recovery_reclaims_free_list_pages;
+          Alcotest.test_case "drops corrupted dentry" `Quick
+            test_recovery_drops_corrupted_dentry;
+          Alcotest.test_case "validates cross refs" `Quick
+            test_recovery_validates_cross_refs;
+          Alcotest.test_case "drops dangling cross ref" `Quick
+            test_recovery_drops_dangling_cross_ref;
+          Alcotest.test_case "reinitializes root inode" `Quick
+            test_recovery_reinitializes_corrupt_root_inode;
+        ] );
+    ]

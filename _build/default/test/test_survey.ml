@@ -1,0 +1,194 @@
+(* Tests for the permission-survey substrate (Tables 3–4 of the paper). *)
+
+open Testkit
+module V = Treasury.Vfs
+module Ft = Treasury.Fs_types
+
+let okd = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "survey error: %s" (Treasury.Errno.to_string e)
+
+let find_row rows ~kind ~perm =
+  List.find_opt
+    (fun r -> r.Survey.Appdirs.r_kind = kind && r.Survey.Appdirs.r_perm = perm)
+    rows
+
+let test_scan_counts_small_tree () =
+  let w = make_world ~pages:8192 () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.mkdir fs "/app" 0o750);
+      for i = 1 to 5 do
+        ok_or_fail (V.write_file fs (Printf.sprintf "/app/f%d" i) ~mode:0o640 "xx")
+      done;
+      ok_or_fail (V.write_file fs "/app/readme" ~mode:0o644 "hello");
+      let rows = Survey.Appdirs.scan fs ~system:"test" "/app" in
+      (match find_row rows ~kind:Ft.Regular ~perm:0o640 with
+      | Some r ->
+          Alcotest.(check int) "640 count" 5 r.Survey.Appdirs.r_count;
+          Alcotest.(check int) "640 bytes" 10 r.Survey.Appdirs.r_bytes
+      | None -> Alcotest.fail "640 row missing");
+      match find_row rows ~kind:Ft.Regular ~perm:0o644 with
+      | Some r -> Alcotest.(check int) "644 count" 1 r.Survey.Appdirs.r_count
+      | None -> Alcotest.fail "644 row missing")
+
+let test_mysql_shape () =
+  let w = make_world ~pages:32768 () in
+  in_proc ~uid:970 w (fun fs ->
+      okd (Survey.Appdirs.populate_mysql fs "/mysql");
+      let rows = Survey.Appdirs.scan fs ~system:"MySQL" "/mysql" in
+      (match find_row rows ~kind:Ft.Directory ~perm:0o750 with
+      | Some r -> Alcotest.(check int) "6 dirs" 6 r.Survey.Appdirs.r_count
+      | None -> Alcotest.fail "no 750 dirs");
+      (match find_row rows ~kind:Ft.Regular ~perm:0o640 with
+      | Some r -> Alcotest.(check int) "358 tables" 358 r.Survey.Appdirs.r_count
+      | None -> Alcotest.fail "no 640 files");
+      match find_row rows ~kind:Ft.Regular ~perm:0o644 with
+      | Some r ->
+          Alcotest.(check int) "1 flag file" 1 r.Survey.Appdirs.r_count;
+          Alcotest.(check int) "flag is empty" 0 r.Survey.Appdirs.r_bytes
+      | None -> Alcotest.fail "no 644 flag")
+
+let test_postgres_shape () =
+  let w = make_world ~pages:65536 () in
+  in_proc ~uid:969 w (fun fs ->
+      okd (Survey.Appdirs.populate_postgres fs "/pg");
+      let rows = Survey.Appdirs.scan fs ~system:"PostgreSQL" "/pg" in
+      (match find_row rows ~kind:Ft.Directory ~perm:0o700 with
+      | Some r -> Alcotest.(check int) "28 dirs" 28 r.Survey.Appdirs.r_count
+      | None -> Alcotest.fail "no 700 dirs");
+      match find_row rows ~kind:Ft.Regular ~perm:0o600 with
+      | Some r -> Alcotest.(check int) "1807 files" 1807 r.Survey.Appdirs.r_count
+      | None -> Alcotest.fail "no 600 files")
+
+(* ---- FSL synthesis + grouping ---------------------------------------------- *)
+
+let test_fsl_marginals_match_table4 () =
+  let files = Survey.Fsl.generate () in
+  Alcotest.(check int) "total files" Survey.Fsl.total_files (Array.length files);
+  Alcotest.(check int) "726,751 files" 726_751 (Array.length files);
+  let m = Survey.Fsl.marginals files in
+  let count kind perm =
+    Option.value ~default:0 (Hashtbl.find_opt m (kind, perm))
+  in
+  Alcotest.(check int) "regular 644" 538_538 (count Survey.Fsl.Regular 0o644);
+  Alcotest.(check int) "regular 600" 105_226 (count Survey.Fsl.Regular 0o600);
+  Alcotest.(check int) "regular 440" 8 (count Survey.Fsl.Regular 0o440);
+  Alcotest.(check int) "symlink 666" 6_468 (count Survey.Fsl.Symlink 0o666);
+  Alcotest.(check int) "dirs 644" 65_127 (count Survey.Fsl.Directory 0o644);
+  Alcotest.(check int) "regular total" 648_691
+    (Survey.Fsl.count_kind files Survey.Fsl.Regular);
+  Alcotest.(check int) "symlink total" 6_486
+    (Survey.Fsl.count_kind files Survey.Fsl.Symlink);
+  Alcotest.(check int) "dir total" 71_574
+    (Survey.Fsl.count_kind files Survey.Fsl.Directory)
+
+let test_grouping_rule_on_hand_built_tree () =
+  (* root(644) ── a(644) ── f1(644): same group
+                └─ b(600) ── f2(600): b starts a group, f2 joins it
+                └─ f3(666): its own group *)
+  let mk id parent kind perm =
+    { Survey.Fsl.id; parent; kind; perm; uid = 1; gid = 1; size = 10 }
+  in
+  let files =
+    [|
+      mk 0 (-1) Survey.Fsl.Directory 0o644;
+      mk 1 0 Survey.Fsl.Directory 0o644;
+      mk 2 1 Survey.Fsl.Regular 0o644;
+      mk 3 0 Survey.Fsl.Directory 0o600;
+      mk 4 3 Survey.Fsl.Regular 0o600;
+      mk 5 0 Survey.Fsl.Regular 0o666;
+    |]
+  in
+  let s = Survey.Grouping.analyze files in
+  Alcotest.(check int) "3 groups" 3 s.Survey.Grouping.n_groups;
+  Alcotest.(check int) "largest group" 3 s.Survey.Grouping.largest_files;
+  Alcotest.(check int) "one single-file group" 1
+    s.Survey.Grouping.single_file_groups
+
+let test_grouping_uses_rw_class () =
+  (* 755 dir and 644 file share the rw class (644): one group. *)
+  let mk id parent kind perm =
+    { Survey.Fsl.id; parent; kind; perm; uid = 1; gid = 1; size = 1 }
+  in
+  let files =
+    [| mk 0 (-1) Survey.Fsl.Directory 0o755; mk 1 0 Survey.Fsl.Regular 0o644 |]
+  in
+  let s = Survey.Grouping.analyze files in
+  Alcotest.(check int) "one group" 1 s.Survey.Grouping.n_groups
+
+let test_grouping_separates_owners () =
+  (* same permission, different uid: distinct groups *)
+  let files =
+    [|
+      { Survey.Fsl.id = 0; parent = -1; kind = Survey.Fsl.Directory; perm = 0o644; uid = 1; gid = 1; size = 0 };
+      { Survey.Fsl.id = 1; parent = 0; kind = Survey.Fsl.Regular; perm = 0o644; uid = 2; gid = 2; size = 5 };
+    |]
+  in
+  let s = Survey.Grouping.analyze files in
+  Alcotest.(check int) "two groups" 2 s.Survey.Grouping.n_groups
+
+let test_fsl_grouping_shape () =
+  (* The paper finds 4,449 groups with the largest holding ~1/3 of all
+     files and single-file groups covering only ~0.6%.  The synthetic
+     snapshot must land in the same regime. *)
+  let files = Survey.Fsl.generate () in
+  let s = Survey.Grouping.analyze files in
+  Alcotest.(check bool)
+    (Printf.sprintf "groups in the thousands (%d)" s.Survey.Grouping.n_groups)
+    true
+    (s.Survey.Grouping.n_groups > 500 && s.Survey.Grouping.n_groups < 50_000);
+  let frac =
+    float_of_int s.Survey.Grouping.largest_files
+    /. float_of_int (Array.length files)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "largest group holds a big chunk (%.2f)" frac)
+    true (frac > 0.10);
+  let single_frac =
+    float_of_int s.Survey.Grouping.single_file_total
+    /. float_of_int (Array.length files)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "single-file groups are rare (%.4f)" single_frac)
+    true (single_frac < 0.05)
+
+(* ---- MobiGen ------------------------------------------------------------------ *)
+
+let test_mobigen_facebook () =
+  let c = Survey.Mobigen.analyze (Survey.Mobigen.facebook ()) in
+  Alcotest.(check int) "64,282 calls" 64_282 c.Survey.Mobigen.total;
+  Alcotest.(check int) "no chmod" 0 c.Survey.Mobigen.chmods;
+  Alcotest.(check int) "no chown" 0 c.Survey.Mobigen.chowns
+
+let test_mobigen_twitter () =
+  let c = Survey.Mobigen.analyze (Survey.Mobigen.twitter ()) in
+  Alcotest.(check int) "25,306 calls" 25_306 c.Survey.Mobigen.total;
+  Alcotest.(check int) "16 chmods" 16 c.Survey.Mobigen.chmods;
+  Alcotest.(check int) "no chown" 0 c.Survey.Mobigen.chowns;
+  Alcotest.(check int) "all in shadow pattern" 16 c.Survey.Mobigen.shadow_patterns
+
+let () =
+  Alcotest.run "survey"
+    [
+      ( "appdirs",
+        [
+          Alcotest.test_case "scan counts" `Quick test_scan_counts_small_tree;
+          Alcotest.test_case "mysql shape" `Quick test_mysql_shape;
+          Alcotest.test_case "postgres shape" `Slow test_postgres_shape;
+        ] );
+      ( "fsl",
+        [
+          Alcotest.test_case "marginals = Table 4" `Slow
+            test_fsl_marginals_match_table4;
+          Alcotest.test_case "grouping rule" `Quick
+            test_grouping_rule_on_hand_built_tree;
+          Alcotest.test_case "rw class" `Quick test_grouping_uses_rw_class;
+          Alcotest.test_case "owners separate" `Quick test_grouping_separates_owners;
+          Alcotest.test_case "grouping shape" `Slow test_fsl_grouping_shape;
+        ] );
+      ( "mobigen",
+        [
+          Alcotest.test_case "facebook" `Quick test_mobigen_facebook;
+          Alcotest.test_case "twitter" `Quick test_mobigen_twitter;
+        ] );
+    ]

@@ -1,0 +1,587 @@
+(* End-to-end tests of ZoFS through FSLibs (dispatcher + µFS + KernFS). *)
+
+open Testkit
+module V = Treasury.Vfs
+module Ft = Treasury.Fs_types
+module E = Treasury.Errno
+
+let test_write_read_roundtrip () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.write_file fs "/hello.txt" "hello coffer world");
+      Alcotest.(check string) "read back" "hello coffer world"
+        (ok_or_fail (V.read_file fs "/hello.txt")))
+
+let test_open_missing () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      expect_err E.ENOENT (V.openf fs "/missing" [ Ft.O_RDONLY ] 0))
+
+let test_create_excl () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.write_file fs "/f" "x");
+      expect_err E.EEXIST
+        (V.openf fs "/f" [ Ft.O_CREAT; Ft.O_EXCL; Ft.O_WRONLY ] 0o644))
+
+let test_sequential_and_random_io () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      let fd = ok_or_fail (V.openf fs "/io" [ Ft.O_CREAT; Ft.O_RDWR ] 0o644) in
+      (* write 10000 bytes crossing block boundaries *)
+      let data = String.init 10_000 (fun i -> Char.chr (i mod 251)) in
+      Alcotest.(check int) "written" 10_000 (ok_or_fail (V.write fs fd data));
+      (* pread in the middle *)
+      let buf = Bytes.create 100 in
+      let n = ok_or_fail (V.pread fs fd ~off:4090 buf 0 100) in
+      Alcotest.(check int) "pread len" 100 n;
+      Alcotest.(check string) "pread data" (String.sub data 4090 100)
+        (Bytes.to_string buf);
+      (* pwrite overwrite *)
+      ignore (ok_or_fail (V.pwrite fs fd ~off:5000 "OVERWRITE"));
+      let buf = Bytes.create 9 in
+      ignore (ok_or_fail (V.pread fs fd ~off:5000 buf 0 9));
+      Alcotest.(check string) "overwritten" "OVERWRITE" (Bytes.to_string buf);
+      ok_or_fail (V.close fs fd))
+
+let test_append_mode () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.append_file fs "/log" "one ");
+      ok_or_fail (V.append_file fs "/log" "two ");
+      ok_or_fail (V.append_file fs "/log" "three");
+      Alcotest.(check string) "appended" "one two three"
+        (ok_or_fail (V.read_file fs "/log")))
+
+let test_lseek () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.write_file fs "/s" "0123456789");
+      let fd = ok_or_fail (V.openf fs "/s" [ Ft.O_RDONLY ] 0) in
+      Alcotest.(check int) "seek set" 4
+        (ok_or_fail (V.lseek fs fd 4 Ft.SEEK_SET));
+      let b = Bytes.create 2 in
+      ignore (ok_or_fail (V.read fs fd b 0 2));
+      Alcotest.(check string) "after seek" "45" (Bytes.to_string b);
+      Alcotest.(check int) "seek cur" 8 (ok_or_fail (V.lseek fs fd 2 Ft.SEEK_CUR));
+      Alcotest.(check int) "seek end" 9
+        (ok_or_fail (V.lseek fs fd (-1) Ft.SEEK_END));
+      ok_or_fail (V.close fs fd))
+
+let test_large_file_indirect_blocks () =
+  let w = make_world ~pages:16384 () in
+  in_proc w (fun fs ->
+      (* 300 KB: direct (128 KB) + indirect range *)
+      let chunk = String.init 4096 (fun i -> Char.chr (i mod 256)) in
+      let fd = ok_or_fail (V.openf fs "/big" [ Ft.O_CREAT; Ft.O_RDWR ] 0o644) in
+      for _ = 1 to 75 do
+        ignore (ok_or_fail (V.write fs fd chunk))
+      done;
+      let st = ok_or_fail (V.fstat fs fd) in
+      Alcotest.(check int) "size" (75 * 4096) st.Ft.st_size;
+      (* verify a block deep in the indirect range *)
+      let buf = Bytes.create 4096 in
+      ignore (ok_or_fail (V.pread fs fd ~off:(70 * 4096) buf 0 4096));
+      Alcotest.(check string) "indirect data" chunk (Bytes.to_string buf);
+      ok_or_fail (V.close fs fd))
+
+let test_sparse_holes_read_zero () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      let fd = ok_or_fail (V.openf fs "/sparse" [ Ft.O_CREAT; Ft.O_RDWR ] 0o644) in
+      ignore (ok_or_fail (V.pwrite fs fd ~off:(8 * 4096) "end"));
+      let st = ok_or_fail (V.fstat fs fd) in
+      Alcotest.(check int) "size covers hole" ((8 * 4096) + 3) st.Ft.st_size;
+      let buf = Bytes.make 10 'x' in
+      ignore (ok_or_fail (V.pread fs fd ~off:4096 buf 0 10));
+      Alcotest.(check string) "hole is zeros" (String.make 10 '\000')
+        (Bytes.to_string buf);
+      ok_or_fail (V.close fs fd))
+
+let test_truncate () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.write_file fs "/t" (String.make 9000 'a'));
+      ok_or_fail (V.truncate fs "/t" 100);
+      Alcotest.(check string) "shrunk" (String.make 100 'a')
+        (ok_or_fail (V.read_file fs "/t"));
+      (* growing again exposes zeros, not stale bytes *)
+      ok_or_fail (V.truncate fs "/t" 200);
+      let s = ok_or_fail (V.read_file fs "/t") in
+      Alcotest.(check string) "zeros after regrow"
+        (String.make 100 'a' ^ String.make 100 '\000')
+        s)
+
+let test_o_trunc () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.write_file fs "/t2" "long old content");
+      ok_or_fail (V.write_file fs "/t2" "new");
+      Alcotest.(check string) "truncated by O_TRUNC" "new"
+        (ok_or_fail (V.read_file fs "/t2")))
+
+let test_mkdir_tree_and_readdir () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.mkdir fs "/a" 0o755);
+      ok_or_fail (V.mkdir fs "/a/b" 0o755);
+      ok_or_fail (V.write_file fs "/a/b/f1" "1");
+      ok_or_fail (V.write_file fs "/a/b/f2" "2");
+      ok_or_fail (V.mkdir fs "/a/b/sub" 0o755);
+      let names =
+        ok_or_fail (V.readdir fs "/a/b")
+        |> List.map (fun d -> d.Ft.d_name)
+        |> List.sort compare
+      in
+      Alcotest.(check (list string)) "entries" [ "f1"; "f2"; "sub" ] names;
+      let kinds =
+        ok_or_fail (V.readdir fs "/a/b")
+        |> List.map (fun d -> (d.Ft.d_name, d.Ft.d_kind = Ft.Directory))
+        |> List.sort compare
+      in
+      Alcotest.(check (list (pair string bool)))
+        "kinds"
+        [ ("f1", false); ("f2", false); ("sub", true) ]
+        kinds)
+
+let test_mkdir_exists () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.mkdir fs "/d" 0o755);
+      expect_err E.EEXIST (V.mkdir fs "/d" 0o755);
+      expect_err E.ENOENT (V.mkdir fs "/no/such/parent" 0o755))
+
+let test_enoent_intermediate () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      expect_err E.ENOENT (V.stat fs "/nope/deeper");
+      ok_or_fail (V.write_file fs "/plain" "x");
+      expect_err E.ENOTDIR (V.stat fs "/plain/child"))
+
+let test_unlink () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.write_file fs "/dead" "x");
+      ok_or_fail (V.unlink fs "/dead");
+      expect_err E.ENOENT (V.stat fs "/dead");
+      expect_err E.ENOENT (V.unlink fs "/dead");
+      ok_or_fail (V.mkdir fs "/adir" 0o755);
+      expect_err E.EISDIR (V.unlink fs "/adir"))
+
+let test_rmdir () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.mkdir fs "/r" 0o755);
+      ok_or_fail (V.write_file fs "/r/f" "x");
+      expect_err E.ENOTEMPTY (V.rmdir fs "/r");
+      ok_or_fail (V.unlink fs "/r/f");
+      ok_or_fail (V.rmdir fs "/r");
+      expect_err E.ENOENT (V.stat fs "/r");
+      ok_or_fail (V.write_file fs "/file" "x");
+      expect_err E.ENOTDIR (V.rmdir fs "/file"))
+
+let test_rename_same_dir () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.write_file fs "/old" "content");
+      ok_or_fail (V.rename fs "/old" "/new");
+      expect_err E.ENOENT (V.stat fs "/old");
+      Alcotest.(check string) "moved" "content" (ok_or_fail (V.read_file fs "/new")))
+
+let test_rename_across_dirs_same_coffer () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.mkdir fs "/d1" 0o777);
+      ok_or_fail (V.mkdir fs "/d2" 0o777);
+      ok_or_fail (V.write_file fs "/d1/f" "move me");
+      ok_or_fail (V.rename fs "/d1/f" "/d2/g");
+      Alcotest.(check string) "moved" "move me"
+        (ok_or_fail (V.read_file fs "/d2/g"));
+      expect_err E.ENOENT (V.stat fs "/d1/f"))
+
+let test_rename_replaces_destination () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.write_file fs "/src" "SRC");
+      ok_or_fail (V.write_file fs "/dst" "DST");
+      ok_or_fail (V.rename fs "/src" "/dst");
+      Alcotest.(check string) "replaced" "SRC" (ok_or_fail (V.read_file fs "/dst")))
+
+let test_stat_fields () =
+  let w = make_world () in
+  in_proc ~uid:1234 w (fun fs ->
+      ok_or_fail (V.write_file fs "/statme" ~mode:0o777 "12345");
+      let st = ok_or_fail (V.stat fs "/statme") in
+      Alcotest.(check int) "size" 5 st.Ft.st_size;
+      Alcotest.(check bool) "regular" true (st.Ft.st_kind = Ft.Regular);
+      Alcotest.(check int) "uid" 1234 st.Ft.st_uid;
+      let std = ok_or_fail (V.stat fs "/") in
+      Alcotest.(check bool) "root dir" true (std.Ft.st_kind = Ft.Directory))
+
+let test_symlink_follow () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.mkdir fs "/real" 0o755);
+      ok_or_fail (V.write_file fs "/real/data" "through the link");
+      ok_or_fail (V.symlink fs ~target:"/real" ~link:"/lnk");
+      Alcotest.(check string) "read via symlink" "through the link"
+        (ok_or_fail (V.read_file fs "/lnk/data"));
+      Alcotest.(check string) "readlink" "/real"
+        (ok_or_fail (V.readlink fs "/lnk"));
+      let st = ok_or_fail (V.lstat fs "/lnk") in
+      Alcotest.(check bool) "lstat sees link" true (st.Ft.st_kind = Ft.Symlink);
+      let st = ok_or_fail (V.stat fs "/lnk") in
+      Alcotest.(check bool) "stat follows" true (st.Ft.st_kind = Ft.Directory))
+
+let test_symlink_relative () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.mkdir fs "/dir" 0o755);
+      ok_or_fail (V.write_file fs "/dir/target" "rel");
+      ok_or_fail (V.symlink fs ~target:"target" ~link:"/dir/ln");
+      Alcotest.(check string) "relative link" "rel"
+        (ok_or_fail (V.read_file fs "/dir/ln")))
+
+let test_symlink_loop () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.symlink fs ~target:"/b" ~link:"/a");
+      ok_or_fail (V.symlink fs ~target:"/a" ~link:"/b");
+      expect_err E.ELOOP (V.stat fs "/a"))
+
+let test_many_files_in_one_dir () =
+  (* Exercises the two-level hash directory: inline slots spill into chain
+     pages (16 inline per second-level page). *)
+  let w = make_world ~pages:16384 () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.mkdir fs "/big" 0o755);
+      for i = 1 to 800 do
+        ok_or_fail (V.write_file fs (Printf.sprintf "/big/file%04d" i) "x")
+      done;
+      Alcotest.(check int) "readdir sees all" 800
+        (List.length (ok_or_fail (V.readdir fs "/big")));
+      (* spot-check lookups *)
+      for i = 1 to 800 do
+        if i mod 97 = 0 then
+          ignore (ok_or_fail (V.stat fs (Printf.sprintf "/big/file%04d" i)))
+      done;
+      (* delete half, re-check *)
+      for i = 1 to 400 do
+        ok_or_fail (V.unlink fs (Printf.sprintf "/big/file%04d" i))
+      done;
+      Alcotest.(check int) "after unlink" 400
+        (List.length (ok_or_fail (V.readdir fs "/big"))))
+
+let test_different_perm_creates_sub_coffer () =
+  let w = make_world () in
+  let root_cid = Treasury.Kernfs.root_coffer w.kfs in
+  in_proc w (fun fs ->
+      (* root dir coffer is 0o777 uid 0; a 0o600 file owned by uid 1000
+         cannot share it *)
+      ok_or_fail (V.write_file fs "/secret" ~mode:0o600 "classified");
+      Alcotest.(check string) "readable by owner" "classified"
+        (ok_or_fail (V.read_file fs "/secret")));
+  (* The file got its own coffer, registered in the path map. *)
+  Sim.run_thread (fun () ->
+      let cid = ok_or_fail (Treasury.Kernfs.coffer_find w.kfs "/secret") in
+      Alcotest.(check bool) "distinct coffer" true (cid <> root_cid);
+      let info = ok_or_fail (Treasury.Kernfs.coffer_stat w.kfs cid) in
+      Alcotest.(check int) "coffer mode" 0o600 info.Treasury.Coffer.mode;
+      Alcotest.(check int) "coffer uid" 1000 info.Treasury.Coffer.uid)
+
+let test_cross_coffer_isolation_between_users () =
+  let w = make_world () in
+  (* user A creates a private file *)
+  in_proc ~uid:100 w (fun fs ->
+      ok_or_fail (V.write_file fs "/private" ~mode:0o600 "A's data"));
+  (* user B cannot open it *)
+  in_proc ~uid:200 w (fun fs ->
+      expect_err E.EACCES (V.openf fs "/private" [ Ft.O_RDONLY ] 0));
+  (* but A still can *)
+  in_proc ~uid:100 w (fun fs ->
+      Alcotest.(check string) "owner reads" "A's data"
+        (ok_or_fail (V.read_file fs "/private")))
+
+let test_same_perm_files_share_coffer () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      (* root creates files matching the root coffer's permission *)
+      ok_or_fail (V.write_file fs "/shared1" ~mode:0o777 "a");
+      ok_or_fail (V.write_file fs "/shared2" ~mode:0o777 "b"));
+  Sim.run_thread (fun () ->
+      expect_err E.ENOENT (Treasury.Kernfs.coffer_find w.kfs "/shared1");
+      expect_err E.ENOENT (Treasury.Kernfs.coffer_find w.kfs "/shared2"))
+
+let test_chmod_same_class_no_split () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.write_file fs "/f" ~mode:0o777 "x");
+      (* execute-bit-only change: no rw change, stays in coffer *)
+      ok_or_fail (V.chmod fs "/f" 0o776);
+      let st = ok_or_fail (V.stat fs "/f") in
+      Alcotest.(check int) "mode updated" 0o776 st.Ft.st_mode);
+  Sim.run_thread (fun () ->
+      expect_err E.ENOENT (Treasury.Kernfs.coffer_find w.kfs "/f"))
+
+let test_chmod_splits_coffer () =
+  let w = make_world () in
+  in_proc ~uid:1000 w (fun fs ->
+      ok_or_fail (V.mkdir fs "/home" 0o755);
+      ok_or_fail (V.write_file fs "/home/doc" ~mode:0o755 "contents");
+      (* /home and /home/doc share a coffer (same perm, same owner). *)
+      ok_or_fail (V.chmod fs "/home/doc" 0o600);
+      let st = ok_or_fail (V.stat fs "/home/doc") in
+      Alcotest.(check int) "new mode" 0o600 st.Ft.st_mode;
+      Alcotest.(check string) "data intact" "contents"
+        (ok_or_fail (V.read_file fs "/home/doc")));
+  Sim.run_thread (fun () ->
+      let cid = ok_or_fail (Treasury.Kernfs.coffer_find w.kfs "/home/doc") in
+      let info = ok_or_fail (Treasury.Kernfs.coffer_stat w.kfs cid) in
+      Alcotest.(check int) "split coffer mode" 0o600 info.Treasury.Coffer.mode)
+
+let test_chmod_back_merges_into_parent_coffer () =
+  (* Split a file out with chmod, then chmod it back: the coffer merges into
+     the parent's and the dentry becomes a same-coffer entry again. *)
+  let w = make_world () in
+  in_proc ~uid:1000 w (fun fs ->
+      ok_or_fail (V.mkdir fs "/home" 0o755);
+      ok_or_fail (V.write_file fs "/home/doc" ~mode:0o644 "keep me");
+      ok_or_fail (V.chmod fs "/home/doc" 0o600));
+  let split_cid =
+    Sim.run_thread (fun () ->
+        ok_or_fail (Treasury.Kernfs.coffer_find w.kfs "/home/doc"))
+  in
+  Alcotest.(check bool) "split happened" true (split_cid > 0);
+  in_proc ~uid:1000 w (fun fs ->
+      ok_or_fail (V.chmod fs "/home/doc" 0o644);
+      Alcotest.(check string) "data survives the merge" "keep me"
+        (ok_or_fail (V.read_file fs "/home/doc"));
+      let st = ok_or_fail (V.stat fs "/home/doc") in
+      Alcotest.(check int) "mode" 0o644 st.Ft.st_mode);
+  Sim.run_thread (fun () ->
+      expect_err E.ENOENT (Treasury.Kernfs.coffer_find w.kfs "/home/doc"))
+
+let test_chmod_other_user_rejected () =
+  let w = make_world () in
+  in_proc ~uid:100 w (fun fs ->
+      ok_or_fail (V.write_file fs "/mine" ~mode:0o666 "x"));
+  in_proc ~uid:200 w (fun fs -> expect_err E.EPERM (V.chmod fs "/mine" 0o600))
+
+let test_one_coffer_variant_chmod_stays_local () =
+  let w = make_world () in
+  let variant = { Zofs.Ufs.default_variant with Zofs.Ufs.one_coffer = true } in
+  in_proc ~uid:1000 ~variant w (fun fs ->
+      ok_or_fail (V.write_file fs "/f" ~mode:0o666 "x");
+      ok_or_fail (V.chmod fs "/f" 0o600);
+      let st = ok_or_fail (V.stat fs "/f") in
+      Alcotest.(check int) "mode" 0o600 st.Ft.st_mode);
+  (* no coffer was created for /f despite the permission change *)
+  Sim.run_thread (fun () ->
+      expect_err E.ENOENT (Treasury.Kernfs.coffer_find w.kfs "/f"))
+
+let test_two_processes_share_file () =
+  let w = make_world () in
+  (* process 1 writes, process 2 reads the same coffer concurrently *)
+  let world = Sim.create () in
+  let p1 = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let p2 = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let read_back = ref "" in
+  Sim.spawn world ~proc:p1 ~name:"writer" (fun () ->
+      let fs = vfs w in
+      ok_or_fail (V.write_file fs "/shared" ~mode:0o777 "from p1"));
+  Sim.spawn world ~proc:p2 ~at:1_000_000 ~name:"reader" (fun () ->
+      let fs = vfs w in
+      read_back := ok_or_fail (V.read_file fs "/shared"));
+  Sim.run world;
+  Alcotest.(check string) "cross-process read" "from p1" !read_back
+
+let test_concurrent_appends_interleave_safely () =
+  let w = make_world () in
+  let world = Sim.create () in
+  let proc = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let fs = ref None in
+  Sim.spawn world ~proc ~name:"setup" (fun () ->
+      let v = vfs w in
+      ok_or_fail (V.write_file v "/applog" ~mode:0o777 "");
+      fs := Some v);
+  Sim.run world;
+  let v = Option.get !fs in
+  let world = Sim.create () in
+  for i = 1 to 4 do
+    Sim.spawn world ~proc ~name:(Printf.sprintf "appender%d" i) (fun () ->
+        for _ = 1 to 10 do
+          ignore (ok_or_fail (V.append_file v "/applog" (String.make 10 (Char.chr (Char.code '0' + i)))))
+        done)
+  done;
+  Sim.run world;
+  Sim.run_thread ~proc (fun () ->
+      let content = ok_or_fail (V.read_file v "/applog") in
+      Alcotest.(check int) "no lost appends" 400 (String.length content))
+
+let test_fd_semantics_through_dispatcher () =
+  let w = make_world () in
+  let disp_holder = ref None in
+  Sim.run_thread (fun () ->
+      let disp = fslib w in
+      disp_holder := Some disp;
+      let fs = Treasury.Dispatcher.as_vfs disp in
+      ok_or_fail (V.write_file fs "/f" "0123456789");
+      let fd = ok_or_fail (V.openf fs "/f" [ Ft.O_RDONLY ] 0) in
+      let fd2 = ok_or_fail (Treasury.Dispatcher.dup disp fd) in
+      let b = Bytes.create 3 in
+      ignore (ok_or_fail (V.read fs fd b 0 3));
+      (* dup shares the offset *)
+      ignore (ok_or_fail (V.read fs fd2 b 0 3));
+      Alcotest.(check string) "shared offset" "345" (Bytes.to_string b);
+      ok_or_fail (V.close fs fd);
+      ignore (ok_or_fail (V.read fs fd2 b 0 3));
+      Alcotest.(check string) "fd2 alive after fd close" "678"
+        (Bytes.to_string b);
+      ok_or_fail (V.close fs fd2))
+
+let test_cwd_and_relative_paths () =
+  let w = make_world () in
+  Sim.run_thread (fun () ->
+      let disp = fslib w in
+      let fs = Treasury.Dispatcher.as_vfs disp in
+      ok_or_fail (V.mkdir fs "/work" 0o755);
+      ok_or_fail (V.write_file fs "/work/notes" "hi");
+      ok_or_fail (Treasury.Dispatcher.chdir disp "/work");
+      Alcotest.(check string) "getcwd" "/work" (Treasury.Dispatcher.getcwd disp);
+      Alcotest.(check string) "relative open" "hi"
+        (ok_or_fail (V.read_file fs "notes"));
+      ok_or_fail (V.write_file fs "local" "created relative");
+      Alcotest.(check string) "relative create visible absolutely"
+        "created relative"
+        (ok_or_fail (V.read_file fs "/work/local")))
+
+let test_write_to_readonly_fd_rejected () =
+  let w = make_world () in
+  in_proc w (fun fs ->
+      ok_or_fail (V.write_file fs "/ro" "x");
+      let fd = ok_or_fail (V.openf fs "/ro" [ Ft.O_RDONLY ] 0) in
+      expect_err E.EBADF (V.write fs fd "nope");
+      ok_or_fail (V.close fs fd))
+
+let test_group_readonly_access () =
+  let w = make_world () in
+  (* owner writes a group-readable file *)
+  in_proc ~uid:100 w (fun fs ->
+      ok_or_fail (V.write_file fs "/grp" ~mode:0o640 "group data"));
+  (* same-gid user may read but not write *)
+  let proc = Sim.Proc.create ~uid:300 ~gid:300 ~groups:[ 100 ] () in
+  Sim.run_thread ~proc (fun () ->
+      let fs = vfs w in
+      Alcotest.(check string) "group read" "group data"
+        (ok_or_fail (V.read_file fs "/grp"));
+      expect_err E.EACCES (V.openf fs "/grp" [ Ft.O_WRONLY ] 0))
+
+let qcheck_fs_matches_model =
+  (* Model-based: random create/write/unlink sequences must match an
+     in-memory model. *)
+  QCheck.Test.make ~name:"zofs behaves like a map of paths to contents"
+    ~count:30
+    QCheck.(
+      list_of_size (Gen.int_range 1 40)
+        (triple (int_range 0 9) bool (string_of_size (Gen.int_range 0 100))))
+    (fun ops ->
+      let w = make_world () in
+      in_proc ~uid:0 w (fun fs ->
+          let model : (string, string) Hashtbl.t = Hashtbl.create 16 in
+          List.iter
+            (fun (n, create, data) ->
+              let path = Printf.sprintf "/file%d" n in
+              if create then begin
+                match V.write_file fs path ~mode:0o777 data with
+                | Ok () -> Hashtbl.replace model path data
+                | Error _ -> ()
+              end
+              else begin
+                (match V.unlink fs path with Ok () | Error _ -> ());
+                Hashtbl.remove model path
+              end)
+            ops;
+          Hashtbl.fold
+            (fun path data ok ->
+              ok && V.read_file fs path = Ok data)
+            model true
+          && List.for_all
+               (fun n ->
+                 let path = Printf.sprintf "/file%d" n in
+                 Hashtbl.mem model path || not (V.exists fs path))
+               [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]))
+
+let () =
+  Alcotest.run "zofs"
+    [
+      ( "files",
+        [
+          Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+          Alcotest.test_case "open missing" `Quick test_open_missing;
+          Alcotest.test_case "O_EXCL" `Quick test_create_excl;
+          Alcotest.test_case "sequential+random io" `Quick
+            test_sequential_and_random_io;
+          Alcotest.test_case "append mode" `Quick test_append_mode;
+          Alcotest.test_case "lseek" `Quick test_lseek;
+          Alcotest.test_case "indirect blocks" `Quick
+            test_large_file_indirect_blocks;
+          Alcotest.test_case "sparse holes" `Quick test_sparse_holes_read_zero;
+          Alcotest.test_case "truncate" `Quick test_truncate;
+          Alcotest.test_case "O_TRUNC" `Quick test_o_trunc;
+          Alcotest.test_case "read-only fd" `Quick test_write_to_readonly_fd_rejected;
+        ] );
+      ( "directories",
+        [
+          Alcotest.test_case "mkdir tree + readdir" `Quick
+            test_mkdir_tree_and_readdir;
+          Alcotest.test_case "mkdir exists" `Quick test_mkdir_exists;
+          Alcotest.test_case "enoent/enotdir" `Quick test_enoent_intermediate;
+          Alcotest.test_case "unlink" `Quick test_unlink;
+          Alcotest.test_case "rmdir" `Quick test_rmdir;
+          Alcotest.test_case "large directory" `Slow test_many_files_in_one_dir;
+        ] );
+      ( "rename",
+        [
+          Alcotest.test_case "same dir" `Quick test_rename_same_dir;
+          Alcotest.test_case "across dirs" `Quick
+            test_rename_across_dirs_same_coffer;
+          Alcotest.test_case "replaces destination" `Quick
+            test_rename_replaces_destination;
+        ] );
+      ( "metadata",
+        [
+          Alcotest.test_case "stat fields" `Quick test_stat_fields;
+          Alcotest.test_case "symlink follow" `Quick test_symlink_follow;
+          Alcotest.test_case "symlink relative" `Quick test_symlink_relative;
+          Alcotest.test_case "symlink loop" `Quick test_symlink_loop;
+        ] );
+      ( "coffers",
+        [
+          Alcotest.test_case "different perm → sub-coffer" `Quick
+            test_different_perm_creates_sub_coffer;
+          Alcotest.test_case "user isolation" `Quick
+            test_cross_coffer_isolation_between_users;
+          Alcotest.test_case "same perm shares coffer" `Quick
+            test_same_perm_files_share_coffer;
+          Alcotest.test_case "chmod same class" `Quick test_chmod_same_class_no_split;
+          Alcotest.test_case "chmod splits" `Quick test_chmod_splits_coffer;
+          Alcotest.test_case "chmod back merges" `Quick
+            test_chmod_back_merges_into_parent_coffer;
+          Alcotest.test_case "chmod foreign" `Quick test_chmod_other_user_rejected;
+          Alcotest.test_case "one-coffer variant" `Quick
+            test_one_coffer_variant_chmod_stays_local;
+          Alcotest.test_case "group read-only" `Quick test_group_readonly_access;
+        ] );
+      ( "processes",
+        [
+          Alcotest.test_case "two processes share" `Quick
+            test_two_processes_share_file;
+          Alcotest.test_case "concurrent appends" `Quick
+            test_concurrent_appends_interleave_safely;
+          Alcotest.test_case "fd semantics" `Quick
+            test_fd_semantics_through_dispatcher;
+          Alcotest.test_case "cwd + relative paths" `Quick
+            test_cwd_and_relative_paths;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_fs_matches_model ]);
+    ]

@@ -1,0 +1,46 @@
+(* Shared setup for ZoFS integration tests: device + MPK + KernFS + ZoFS +
+   a per-process FSLibs dispatcher exposed through the Vfs interface. *)
+
+module K = Treasury.Kernfs
+module E = Treasury.Errno
+
+type world = {
+  dev : Nvm.Device.t;
+  mpk : Mpk.t;
+  kfs : K.t;
+}
+
+(* Create a formatted ZoFS world.  [root_mode] defaults to 0o777 so arbitrary
+   test users can create files under "/". *)
+let make_world ?(pages = 4096) ?(perf = Nvm.Perf.free) ?(root_mode = 0o777) () =
+  let dev = Nvm.Device.create ~perf ~size:(pages * Nvm.page_size) () in
+  let mpk = Mpk.create dev in
+  let kfs =
+    K.mkfs dev mpk ~nbuckets:512 ~root_ctype:Zofs.Ufs.ctype ~root_mode
+      ~root_uid:0 ~root_gid:0 ()
+  in
+  Zofs.Ufs.mkfs kfs;
+  { dev; mpk; kfs }
+
+(* An FSLibs instance (dispatcher + ZoFS µFS) for the calling process. *)
+let fslib ?variant w =
+  let disp = Treasury.Dispatcher.create w.kfs in
+  let ufs = Zofs.Ufs.create ?variant w.kfs in
+  Treasury.Dispatcher.register_ufs disp (module Zofs.Ufs) ufs;
+  disp
+
+let vfs ?variant w = Treasury.Dispatcher.as_vfs (fslib ?variant w)
+
+(* Run [f] in a fresh simulated process/thread with its own FSLibs. *)
+let in_proc ?(uid = 1000) ?variant w f =
+  let proc = Sim.Proc.create ~uid ~gid:uid () in
+  Sim.run_thread ~proc (fun () -> f (vfs ?variant w))
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error %s" (E.to_string e)
+
+let expect_err expected = function
+  | Ok _ -> Alcotest.failf "expected error %s" (E.to_string expected)
+  | Error e ->
+      Alcotest.(check string) "errno" (E.to_string expected) (E.to_string e)
