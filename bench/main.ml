@@ -732,6 +732,32 @@ let ablations () =
     [ "Batch pages"; "Mops/s" ]
     (List.map batch_row [ 4; 16; 64 ])
 
+(* ==== Persistence-instruction efficiency ======================================== *)
+
+(* How many clwb/sfence each system issues for the same create/write/unlink
+   sequence, and how many of those were redundant (flushing an already-clean
+   line, fencing with nothing in flight) — the perf smells the checker in
+   lib/check lints for. *)
+let persist () =
+  Report.section "Persistence instructions (100 x 4KB create/write + unlink)";
+  let block = String.make 4096 'p' in
+  List.iter
+    (fun sys ->
+      Sim.run_thread ~proc:(root_proc ()) (fun () ->
+          let inst = FL.make ~pages:16384 sys in
+          D.reset_stats inst.FL.device;
+          for i = 0 to 99 do
+            ok
+              (V.write_file inst.FL.fs
+                 (Printf.sprintf "/p%d" i)
+                 ~mode:0o644 block)
+          done;
+          for i = 0 to 99 do
+            ok (V.unlink inst.FL.fs (Printf.sprintf "/p%d" i))
+          done;
+          Report.device_persistence ~label:(FL.label sys) inst.FL.device))
+    [ FL.Ext4_dax; FL.Pmfs; FL.Nova; FL.Zofs ]
+
 (* ==== Bechamel: real host time of each experiment's kernel op ================= *)
 
 let bechamel () =
@@ -843,6 +869,7 @@ let experiments =
     ("table9", table9);
     ("safety", safety);
     ("ablations", ablations);
+    ("persist", persist);
     ("bechamel", bechamel);
   ]
 

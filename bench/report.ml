@@ -42,6 +42,16 @@ let commas n =
     s;
   Buffer.contents b
 
+(* One flush/fence-efficiency line for a device: total counts plus how many
+   were redundant (clwb of a clean line, sfence with nothing in flight). *)
+let device_persistence ~label dev =
+  Printf.printf "  %-16s %s flushes (%s redundant), %s fences (%s redundant)\n"
+    label
+    (commas (Nvm.Device.stat_flushes dev))
+    (commas (Nvm.Device.stat_redundant_flushes dev))
+    (commas (Nvm.Device.stat_fences dev))
+    (commas (Nvm.Device.stat_redundant_fences dev))
+
 let bytes_human n =
   if n >= 1 lsl 30 then Printf.sprintf "%.1fGB" (float_of_int n /. 1073741824.0)
   else if n >= 1 lsl 20 then Printf.sprintf "%.1fMB" (float_of_int n /. 1048576.0)

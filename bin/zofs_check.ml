@@ -1,0 +1,117 @@
+(* Run the workload suite under the analysis checkers (lib/check).
+
+   Every fxmark microbenchmark and filebench personality is executed on
+   ZoFS with the persistence, guideline, and lock checkers attached; the
+   process exits nonzero if any checker records a violation.  This is the
+   dynamic-analysis complement to `dune runtest`: the tests prove the rules
+   fire on buggy code, this proves the real tree is silent under them.
+
+     zofs_check [--mode off|log|fail] [--threads N] [--ops N] [--quick]
+                [WORKLOAD ...]
+
+   With no workload names, the full suite runs.  `--quick` (used by the
+   @check dune alias) shrinks thread/op counts for CI latency. *)
+
+module FL = Workloads.Fslab
+module Fx = Workloads.Fxmark
+module Fb = Workloads.Filebench
+
+let mode_of_string = function
+  | "off" -> Check.Off
+  | "log" -> Check.Log
+  | "fail" -> Check.Fail
+  | s ->
+      Printf.eprintf "zofs_check: unknown mode %S (want off|log|fail)\n" s;
+      exit 2
+
+let usage () =
+  prerr_endline
+    "usage: zofs_check [--mode off|log|fail] [--threads N] [--ops N] [--quick] \
+     [WORKLOAD ...]";
+  exit 2
+
+let () =
+  let mode = ref Check.Fail in
+  let threads = ref 4 in
+  let ops = ref 40 in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--mode" :: m :: rest ->
+        mode := mode_of_string m;
+        parse rest
+    | "--threads" :: n :: rest ->
+        threads := int_of_string n;
+        parse rest
+    | "--ops" :: n :: rest ->
+        ops := int_of_string n;
+        parse rest
+    | "--quick" :: rest ->
+        threads := 2;
+        ops := 12;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | s :: _ when String.length s > 0 && s.[0] = '-' ->
+        Printf.eprintf "zofs_check: unknown option %s\n" s;
+        usage ()
+    | s :: rest ->
+        names := s :: !names;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let suite =
+    List.map
+      (fun w ->
+        ( w.Fx.wname,
+          fun () -> w.Fx.run FL.Zofs ~nthreads:!threads ~ops:!ops ))
+      Fx.all
+    @ List.map
+        (fun p ->
+          ( p.Fb.pname,
+            fun () -> p.Fb.run FL.Zofs ~nthreads:!threads ~ops:!ops ))
+        Fb.all
+  in
+  let suite =
+    match !names with
+    | [] -> suite
+    | wanted ->
+        List.filter (fun (n, _) -> List.mem n wanted) suite
+        |> function
+        | [] ->
+            Printf.eprintf "zofs_check: no such workload (have: %s)\n"
+              (String.concat " " (List.map fst suite));
+            exit 2
+        | l -> l
+  in
+  Check.enable_auto ~persist:!mode ~guideline:!mode ~lock:!mode;
+  Printf.printf "zofs_check: %d workloads, %d threads, %d ops/thread, mode %s\n%!"
+    (List.length suite) !threads !ops
+    (match !mode with Check.Off -> "off" | Check.Log -> "log" | Check.Fail -> "fail");
+  let total_violations = ref 0 in
+  List.iter
+    (fun (name, run) ->
+      Check.reset_report ();
+      let outcome =
+        match run () with
+        | (_ : Workloads.Runner.result) -> Ok ()
+        | exception Check.Violation v -> Error v
+      in
+      let r = Check.report () in
+      let nv = List.length r.Check.r_violations in
+      total_violations := !total_violations + nv;
+      (match outcome with
+      | Ok () when nv = 0 ->
+          Printf.printf "  %-12s ok (%d lints)\n%!" name
+            (List.fold_left (fun a (_, n) -> a + n) 0 r.Check.r_lints)
+      | Ok () -> Printf.printf "  %-12s %d violation(s)\n%!" name nv
+      | Error v ->
+          Printf.printf "  %-12s FAILED: %s\n%!" name (Check.string_of_violation v));
+      if nv > 0 then Check.print_report ())
+    suite;
+  Check.disable_auto ();
+  Check.detach ();
+  if !total_violations > 0 then begin
+    Printf.printf "zofs_check: %d violation(s)\n" !total_violations;
+    exit 1
+  end
+  else print_endline "zofs_check: clean"

@@ -9,6 +9,13 @@ type perm = Pk_none | Pk_read | Pk_read_write
 let pte_mapped = 0x01
 let pte_writable = 0x02
 
+(* Trace events for the guideline checker (lib/check): every PKRU update and
+   every [with_keys] window boundary, tagged with the perms installed. *)
+type trace_event =
+  | M_wrpkru of { perms : (pkey * perm) list }
+  | M_scope_enter of { perms : (pkey * perm) list }
+  | M_scope_exit
+
 type t = {
   dev : Nvm.Device.t;
   tables : (int, Bytes.t) Hashtbl.t;  (* pid -> per-page PTE bytes *)
@@ -16,6 +23,7 @@ type t = {
   kernel_depth : (int, int) Hashtbl.t;  (* tid -> nesting *)
   write_window : (int, int) Hashtbl.t;  (* tid -> nesting *)
   mutable faults : int;
+  mutable trace : (trace_event -> unit) option;
 }
 
 (* PKRU encoding, as on x86: two bits per key; bit0 = access-disable,
@@ -107,12 +115,17 @@ let create dev =
       kernel_depth = Hashtbl.create 64;
       write_window = Hashtbl.create 64;
       faults = 0;
+      trace = None;
     }
   in
   Nvm.Device.set_protection_hook dev (fun ~addr ~write -> check t ~addr ~write);
   t
 
 let device t = t.dev
+let set_trace_hook t f = t.trace <- Some f
+let clear_trace_hook t = t.trace <- None
+
+let emit t ev = match t.trace with Some f -> f ev | None -> ()
 
 let map_page t ~pid ~page ~writable ~pkey =
   if pkey < 0 || pkey >= nkeys then invalid_arg "Mpk.map_page: bad pkey";
@@ -141,7 +154,8 @@ let page_pkey t ~pid ~page =
 
 let wrpkru t perms =
   Hashtbl.replace t.pkru (Sim.self_tid ()) (pkru_of_perms perms);
-  Sim.advance wrpkru_cost
+  Sim.advance wrpkru_cost;
+  (match t.trace with Some f -> f (M_wrpkru { perms }) | None -> ())
 
 let rdpkru t = perms_of_pkru (current_pkru t)
 
@@ -150,9 +164,11 @@ let with_keys t perms f =
   let saved = current_pkru t in
   Hashtbl.replace t.pkru tid (pkru_of_perms perms);
   Sim.advance wrpkru_cost;
+  (match t.trace with Some f -> f (M_scope_enter { perms }) | None -> ());
   let restore () =
     Hashtbl.replace t.pkru tid saved;
-    Sim.advance wrpkru_cost
+    Sim.advance wrpkru_cost;
+    emit t M_scope_exit
   in
   match f () with
   | v ->

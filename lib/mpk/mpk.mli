@@ -69,3 +69,16 @@ val with_write_window : t -> (unit -> 'a) -> 'a
 
 val fault_count : t -> int
 (** Number of protection faults delivered so far (for safety tests). *)
+
+(** {1 Trace hook (analysis tooling)} *)
+
+(** Fired on every PKRU update so the guideline checker ({!module:Check}) can
+    track open coffer windows per thread: G1 (access with no window open) and
+    G2 (two coffers writable at once) are both properties of this stream. *)
+type trace_event =
+  | M_wrpkru of { perms : (pkey * perm) list }  (** raw {!wrpkru} *)
+  | M_scope_enter of { perms : (pkey * perm) list }  (** {!with_keys} entry *)
+  | M_scope_exit  (** {!with_keys} exit (PKRU restored) *)
+
+val set_trace_hook : t -> (trace_event -> unit) -> unit
+val clear_trace_hook : t -> unit

@@ -60,6 +60,18 @@ exception Fault of { addr : int; write : bool; reason : string }
 module Device = struct
   type line_state = Dirty | Flushing
 
+  (* Trace events for analysis tooling (lib/check).  Unlike the protection
+     hook, the trace hook observes every access *after* it happened and must
+     never fault; it exists so checkers can mirror the device's per-line
+     persistence state without reaching into the implementation. *)
+  type trace_event =
+    | T_store of { addr : int; len : int }
+    | T_nt_store of { addr : int; len : int }
+    | T_load of { addr : int; len : int }
+    | T_clwb of { addr : int }
+    | T_fence of { nflushing : int }
+    | T_reset
+
   type t = {
     dev_size : int;
     npages : int;
@@ -69,6 +81,7 @@ module Device = struct
     pending : (int, line_state) Hashtbl.t;  (* line index -> state *)
     mutable flushing : int list;  (* lines initiated but not fenced *)
     mutable hook : (addr:int -> write:bool -> unit) option;
+    mutable trace : (trace_event -> unit) option;
     crash_rng : Sim.Rng.t;
     read_chan : Sim.Resource.t;
     write_chan : Sim.Resource.t;
@@ -77,6 +90,8 @@ module Device = struct
     mutable n_writes : int;
     mutable n_flushes : int;
     mutable n_fences : int;
+    mutable n_redundant_flushes : int;  (* clwb of a clean/already-flushing line *)
+    mutable n_redundant_fences : int;  (* sfence with nothing flushing *)
   }
 
   let create ?(perf = Perf.optane) ?(seed = 7L) ~size () =
@@ -91,6 +106,7 @@ module Device = struct
       pending = Hashtbl.create 4096;
       flushing = [];
       hook = None;
+      trace = None;
       crash_rng = Sim.Rng.create seed;
       read_chan = Sim.Resource.create ~name:"nvm-read-bw" ();
       write_chan = Sim.Resource.create ~name:"nvm-write-bw" ();
@@ -99,6 +115,8 @@ module Device = struct
       n_writes = 0;
       n_flushes = 0;
       n_fences = 0;
+      n_redundant_flushes = 0;
+      n_redundant_fences = 0;
     }
 
   let size d = d.dev_size
@@ -106,6 +124,19 @@ module Device = struct
   let perf d = d.dev_perf
   let set_protection_hook d f = d.hook <- Some f
   let clear_protection_hook d = d.hook <- None
+  let set_trace_hook d f = d.trace <- Some f
+  let clear_trace_hook d = d.trace <- None
+
+  (* Constructor application stays inside the [Some] branch so that tracing
+     disabled (the common case) allocates nothing. *)
+  let trace_store d addr len =
+    match d.trace with Some f -> f (T_store { addr; len }) | None -> ()
+
+  let trace_nt_store d addr len =
+    match d.trace with Some f -> f (T_nt_store { addr; len }) | None -> ()
+
+  let trace_load d addr len =
+    match d.trace with Some f -> f (T_load { addr; len }) | None -> ()
 
   let vol_page d i =
     match d.vol.(i) with
@@ -230,24 +261,28 @@ module Device = struct
   let read_u8 d addr =
     check_protection d addr false;
     charge_read d addr 1;
+    trace_load d addr 1;
     let page, off = scalar_loc d addr 1 in
     Char.code (Bytes.get (vol_page d page) off)
 
   let read_u16 d addr =
     check_protection d addr false;
     charge_read d addr 2;
+    trace_load d addr 2;
     let page, off = scalar_loc d addr 2 in
     Bytes.get_uint16_le (vol_page d page) off
 
   let read_u32 d addr =
     check_protection d addr false;
     charge_read d addr 4;
+    trace_load d addr 4;
     let page, off = scalar_loc d addr 4 in
     Int32.to_int (Bytes.get_int32_le (vol_page d page) off) land 0xFFFFFFFF
 
   let read_u64 d addr =
     check_protection d addr false;
     charge_read d addr 8;
+    trace_load d addr 8;
     let page, off = scalar_loc d addr 8 in
     Int64.to_int (Bytes.get_int64_le (vol_page d page) off)
 
@@ -256,28 +291,32 @@ module Device = struct
     charge_store d addr 1;
     let page, off = scalar_loc d addr 1 in
     Bytes.set (vol_page d page) off (Char.chr (v land 0xFF));
-    mark_dirty d addr 1
+    mark_dirty d addr 1;
+    trace_store d addr 1
 
   let write_u16 d addr v =
     check_protection d addr true;
     charge_store d addr 2;
     let page, off = scalar_loc d addr 2 in
     Bytes.set_uint16_le (vol_page d page) off (v land 0xFFFF);
-    mark_dirty d addr 2
+    mark_dirty d addr 2;
+    trace_store d addr 2
 
   let write_u32 d addr v =
     check_protection d addr true;
     charge_store d addr 4;
     let page, off = scalar_loc d addr 4 in
     Bytes.set_int32_le (vol_page d page) off (Int32.of_int v);
-    mark_dirty d addr 4
+    mark_dirty d addr 4;
+    trace_store d addr 4
 
   let write_u64 d addr v =
     check_protection d addr true;
     charge_store d addr 8;
     let page, off = scalar_loc d addr 8 in
     Bytes.set_int64_le (vol_page d page) off (Int64.of_int v);
-    mark_dirty d addr 8
+    mark_dirty d addr 8;
+    trace_store d addr 8
 
   (* Atomic compare-and-swap (lock cmpxchg): the compare and the store are a
      single linearization point — all simulated-time charging happens first,
@@ -292,6 +331,7 @@ module Device = struct
     if current = expected then begin
       Bytes.set_int64_le b off (Int64.of_int desired);
       mark_dirty d addr 8;
+      trace_store d addr 8;
       true
     end
     else false
@@ -301,6 +341,7 @@ module Device = struct
     if len > 0 then begin
       check_protection d addr false;
       charge_read d addr len;
+      trace_load d addr len;
       let remaining = ref len and src = ref addr and dst = ref boff in
       while !remaining > 0 do
         let page = !src / page_size and off = !src mod page_size in
@@ -333,7 +374,8 @@ module Device = struct
         dst := !dst + n;
         remaining := !remaining - n
       done;
-      mark_dirty d addr len
+      mark_dirty d addr len;
+      trace_store d addr len
     end
 
   let write_string d addr s =
@@ -352,7 +394,8 @@ module Device = struct
         dst := !dst + n;
         remaining := !remaining - n
       done;
-      mark_dirty d addr len
+      mark_dirty d addr len;
+      trace_store d addr len
     end
 
   let copy_within d ~src ~dst ~len =
@@ -377,7 +420,8 @@ module Device = struct
         Hashtbl.replace d.pending line Flushing;
         d.flushing <- line :: d.flushing;
         charge_writeback d line_size
-    | Some Flushing | None -> ());
+    | Some Flushing | None -> d.n_redundant_flushes <- d.n_redundant_flushes + 1);
+    (match d.trace with Some f -> f (T_clwb { addr }) | None -> ());
     if Sim.in_sim () then Sim.advance 4
 
   let flush_range d addr len =
@@ -391,6 +435,10 @@ module Device = struct
   let sfence d =
     d.n_fences <- d.n_fences + 1;
     let had_flushing = d.flushing <> [] in
+    if not had_flushing then d.n_redundant_fences <- d.n_redundant_fences + 1;
+    (match d.trace with
+    | Some f -> f (T_fence { nflushing = List.length d.flushing })
+    | None -> ());
     List.iter
       (fun line ->
         persist_line_now d line;
@@ -413,7 +461,8 @@ module Device = struct
     | Some Dirty | None ->
         Hashtbl.replace d.pending line Flushing;
         d.flushing <- line :: d.flushing;
-        charge_writeback d line_size)
+        charge_writeback d line_size);
+    trace_nt_store d addr 8
 
   let nt_write_string d addr s =
     let len = String.length s in
@@ -439,7 +488,8 @@ module Device = struct
             Hashtbl.replace d.pending line Flushing;
             d.flushing <- line :: d.flushing
       done;
-      charge_writeback d len
+      charge_writeback d len;
+      trace_nt_store d addr len
     end
 
   let persist_range d addr len =
@@ -470,14 +520,16 @@ module Device = struct
             Hashtbl.replace d.pending line Flushing;
             d.flushing <- line :: d.flushing
       done;
-      charge_writeback d len
+      charge_writeback d len;
+      trace_nt_store d addr len
     end
 
   let persist_all d =
     let lines = Hashtbl.fold (fun line _ acc -> line :: acc) d.pending [] in
     List.iter (fun line -> persist_line_now d line) lines;
     Hashtbl.reset d.pending;
-    d.flushing <- []
+    d.flushing <- [];
+    (match d.trace with Some f -> f T_reset | None -> ())
 
   let pending_lines d = Hashtbl.length d.pending
 
@@ -495,6 +547,7 @@ module Device = struct
       d.pending;
     Hashtbl.reset d.pending;
     d.flushing <- [];
+    (match d.trace with Some f -> f T_reset | None -> ());
     (* Volatile view := persistent view. *)
     for i = 0 to d.npages - 1 do
       match (d.vol.(i), d.shadow.(i)) with
@@ -548,10 +601,14 @@ module Device = struct
   let stat_writes d = d.n_writes
   let stat_flushes d = d.n_flushes
   let stat_fences d = d.n_fences
+  let stat_redundant_flushes d = d.n_redundant_flushes
+  let stat_redundant_fences d = d.n_redundant_fences
 
   let reset_stats d =
     d.n_reads <- 0;
     d.n_writes <- 0;
     d.n_flushes <- 0;
-    d.n_fences <- 0
+    d.n_fences <- 0;
+    d.n_redundant_flushes <- 0;
+    d.n_redundant_fences <- 0
 end

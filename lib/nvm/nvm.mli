@@ -68,6 +68,21 @@ module Device : sig
 
   val clear_protection_hook : t -> unit
 
+  (** Trace events observed by analysis tooling ({!module:Check}).  The trace
+      hook fires after each access/persistence operation completes, so a
+      checker can mirror the device's dirty → flushing → durable line state
+      without access to the implementation. *)
+  type trace_event =
+    | T_store of { addr : int; len : int }  (** cached store *)
+    | T_nt_store of { addr : int; len : int }  (** non-temporal store *)
+    | T_load of { addr : int; len : int }
+    | T_clwb of { addr : int }
+    | T_fence of { nflushing : int }  (** lines persisted by this fence *)
+    | T_reset  (** all pending lines resolved (crash / persist_all) *)
+
+  val set_trace_hook : t -> (trace_event -> unit) -> unit
+  val clear_trace_hook : t -> unit
+
   (** {2 Loads and stores (volatile view)}
 
       Scalars are little-endian and must not cross a page boundary. *)
@@ -153,5 +168,14 @@ module Device : sig
   val stat_writes : t -> int
   val stat_flushes : t -> int
   val stat_fences : t -> int
+
+  val stat_redundant_flushes : t -> int
+  (** [clwb]s that found their line clean or already flushing — wasted
+      persistence ops the paper's flush-then-fence discipline tries to
+      avoid. *)
+
+  val stat_redundant_fences : t -> int
+  (** [sfence]s issued with no write-back in flight. *)
+
   val reset_stats : t -> unit
 end

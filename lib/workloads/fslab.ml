@@ -43,6 +43,9 @@ type instance = {
 let make_zofs ?(root_mode = 0o755) ~pages ~perf () =
   let dev = Nvm.Device.create ~perf ~size:(pages * Nvm.page_size) () in
   let mpk = Mpk.create dev in
+  (* No-op unless zofs_check enabled the checkers; attaching before mkfs
+     lets the checker see the root structures get registered. *)
+  Check.auto_attach dev mpk;
   (* Root is 0755: its rw-permission class (0644) matches the 0644 files
      the workloads create, so they share the root coffer as the paper's
      grouping analysis predicts. *)

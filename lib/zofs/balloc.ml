@@ -40,7 +40,12 @@ let format dev ~custom =
     Nvm.Device.write_u64 dev (a + Layout.s_head) 0;
     Nvm.Device.write_u64 dev (a + Layout.s_count) 0
   done;
-  Nvm.Device.persist_range dev custom Layout.page_size
+  Nvm.Device.persist_range dev custom Layout.page_size;
+  (* The global lease guards head+count, but releasing it is not a publish
+     point: free-list updates are clwb'd without a per-op fence (below). *)
+  Check.register_lease dev ~publish:false
+    ~lease:(custom + Layout.c_global_lease)
+    ~addr:(custom + Layout.c_global_head) ~len:16
 
 let attach dev ~custom ~cid kfs =
   if Nvm.Device.read_u32 dev (custom + Layout.c_magic) <> Layout.custom_magic
@@ -230,6 +235,9 @@ let alloc_zeroed t =
       Ok page
 
 let free_page t page =
+  (* Whatever structure lived here is gone; its lease (if any) no longer
+     guards the page, and the free-list chaining below writes into it. *)
+  Check.on_free t.dev page Layout.page_size;
   if !force_global then
     Lease.with_lease t.dev (t.custom + Layout.c_global_lease) (fun () ->
         push t

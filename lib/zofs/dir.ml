@@ -25,15 +25,21 @@ type dentry = {
 let read_dentry dev addr =
   let name_len = Nvm.Device.read_u16 dev (addr + d_name_len) in
   if name_len = 0 || name_len > max_name then None
-  else
+  else begin
+    let de_coffer = Nvm.Device.read_u64 dev (addr + d_coffer) in
+    let de_inode = Nvm.Device.read_u64 dev (addr + d_inode) in
+    (* A cross-coffer target address came out of another protection domain
+       and is untrusted until validated against KernFS (guideline G3). *)
+    if de_coffer <> 0 then Check.taint_cross dev de_inode;
     Some
       {
         de_addr = addr;
         de_name = Nvm.Device.read_string dev (addr + d_name) name_len;
         de_kind = Nvm.Device.read_u8 dev (addr + d_kind);
-        de_coffer = Nvm.Device.read_u64 dev (addr + d_coffer);
-        de_inode = Nvm.Device.read_u64 dev (addr + d_inode);
+        de_coffer;
+        de_inode;
       }
+  end
 
 let dentry_valid dev addr = Nvm.Device.read_u8 dev (addr + d_valid) = 1
 
@@ -47,6 +53,7 @@ let write_dentry dev addr ~name ~kind ~coffer ~inode =
   Nvm.Device.write_string dev (addr + d_name) name;
   Nvm.Device.persist_range dev addr dentry_size;
   (* publish *)
+  Check.publish dev ~label:"dentry-insert" addr dentry_size;
   Nvm.Device.write_u8 dev (addr + d_valid) 1;
   Nvm.Device.persist_range dev addr 1
 

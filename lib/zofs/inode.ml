@@ -26,6 +26,9 @@ let fs_kind = function
 
 let init dev ~ino ~kind ~mode ~uid ~gid =
   let now = Sim.now () in
+  (* The inode lease protects the whole inode page; the page may be a
+     recycled one, so this also retires any stale registration. *)
+  Check.register_lease dev ~lease:(ino + i_lease) ~addr:ino ~len:page_size;
   Nvm.Device.write_u32 dev (ino + i_magic) inode_magic;
   Nvm.Device.write_u32 dev (ino + i_kind) (kind_code kind);
   Nvm.Device.write_u32 dev (ino + i_mode) mode;
@@ -42,7 +45,8 @@ let init dev ~ino ~kind ~mode ~uid ~gid =
   done;
   Nvm.Device.write_u64 dev (ino + i_indirect) 0;
   Nvm.Device.write_u64 dev (ino + i_double_indirect) 0;
-  Nvm.Device.persist_range dev ino (i_double_indirect + 8)
+  Nvm.Device.persist_range dev ino (i_double_indirect + 8);
+  Check.publish dev ~label:"inode-commit" ino page_size
 
 let valid dev ~ino = Nvm.Device.read_u32 dev (ino + i_magic) = inode_magic
 

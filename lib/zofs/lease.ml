@@ -26,24 +26,29 @@ let now () =
    thread holds a valid lease. *)
 let acquire ?(duration = default_duration) dev addr =
   let me = owner_code () in
-  let rec attempt () =
+  (* After a CAS-failure backoff the previous timestamp is at most
+     [backoff] ns stale — well within lease granularity — so the retry
+     reuses it instead of paying clock_gettime_cost a second time. *)
+  let rec attempt ~fresh_clock =
     let v = Nvm.Device.read_u64 dev addr in
-    let t = now () in
+    let t = if fresh_clock then now () else Sim.now () in
     if v = 0 || expiry_of v <= t || code_of v = me then begin
       (* No flush: lease state is coordination only — after a crash every
          lease has expired by construction. *)
       let desired = pack ~expiry:(t + duration) ~code:me in
-      if not (Nvm.Device.cas_u64 dev addr ~expected:v ~desired) then begin
+      if Nvm.Device.cas_u64 dev addr ~expected:v ~desired then
+        Check.on_lease_acquired dev addr
+      else begin
         Sim.advance backoff;
-        attempt ()
+        attempt ~fresh_clock:false
       end
     end
     else begin
       Sim.advance backoff;
-      attempt ()
+      attempt ~fresh_clock:true
     end
   in
-  attempt ()
+  attempt ~fresh_clock:true
 
 (* Renew the current thread's lease (no-op if it was stolen). *)
 let renew ?(duration = default_duration) dev addr =
@@ -58,6 +63,7 @@ let renew ?(duration = default_duration) dev addr =
 
 let release dev addr =
   let me = owner_code () in
+  Check.on_lease_release dev addr;
   let v = Nvm.Device.read_u64 dev addr in
   if code_of v = me then ignore (Nvm.Device.cas_u64 dev addr ~expected:v ~desired:0)
 

@@ -156,6 +156,9 @@ let rec map_coffer t cid =
           in
           Hashtbl.replace t.sessions cid cs;
           Hashtbl.replace t.by_path info.Coffer.path cid;
+          (* The root-file address now comes from the kernel's mapping, not
+             from whatever dentry pointed here: validated (G3). *)
+          Check.validate_cross t.dev cs.cs_root_file;
           Ok cs
       | None ->
           ignore (K.coffer_unmap t.kfs cid);
@@ -166,7 +169,11 @@ let rec map_coffer t cid =
 
 let session_of_cid t cid =
   match Hashtbl.find_opt t.sessions cid with
-  | Some cs -> Ok cs
+  | Some cs ->
+      (* Session cache hit: the kernel-backed session vouches for the root
+         file, exactly like a fresh map_coffer would (G3). *)
+      Check.validate_cross t.dev cs.cs_root_file;
+      Ok cs
   | None -> map_coffer t cid
 
 (* Deepest coffer covering [path]: ZoFS parses the path backwards against

@@ -189,6 +189,29 @@ let test_rdpkru () =
         "pkru reflects wrpkru" true
         (Mpk.rdpkru mpk = [ (2, Mpk.Pk_read); (7, Mpk.Pk_read_write) ]))
 
+let test_rdpkru_interleaved_threads () =
+  (* rdpkru must round-trip each thread's own register even when wrpkru
+     calls from two threads of the same process interleave in time. *)
+  let _dev, mpk = mk () in
+  let proc = Sim.Proc.create ~uid:1000 ~gid:1000 () in
+  let w = Sim.create () in
+  let a = ref [] and b = ref [] in
+  Sim.spawn w ~proc ~name:"t1" (fun () ->
+      Mpk.wrpkru mpk [ (1, Mpk.Pk_read_write) ];
+      Sim.advance 100;
+      (* t2's wrpkru has happened in between *)
+      Mpk.wrpkru mpk [ (1, Mpk.Pk_read) ];
+      a := Mpk.rdpkru mpk);
+  Sim.spawn w ~proc ~at:50 ~name:"t2" (fun () ->
+      Mpk.wrpkru mpk [ (2, Mpk.Pk_read_write) ];
+      Sim.advance 100;
+      b := Mpk.rdpkru mpk);
+  Sim.run w;
+  Alcotest.(check bool) "t1 sees only its own writes" true
+    (!a = [ (1, Mpk.Pk_read) ]);
+  Alcotest.(check bool) "t2 sees only its own writes" true
+    (!b = [ (2, Mpk.Pk_read_write) ])
+
 let test_pkey_range_checked () =
   let _dev, mpk = mk () in
   in_proc (fun _ ->
@@ -238,6 +261,8 @@ let () =
             test_with_keys_exclusive;
           Alcotest.test_case "per-thread PKRU" `Quick test_per_thread_pkru;
           Alcotest.test_case "rdpkru" `Quick test_rdpkru;
+          Alcotest.test_case "rdpkru interleaved threads" `Quick
+            test_rdpkru_interleaved_threads;
           Alcotest.test_case "pkey range" `Quick test_pkey_range_checked;
           Alcotest.test_case "wrpkru cost" `Quick test_wrpkru_cost;
         ] );
