@@ -287,6 +287,7 @@ let table4 () =
 let fxmark_systems = [ FL.Zofs; FL.Pmfs; FL.Nova; FL.Ext4_dax ]
 
 let series_table ~title ~row_label runs =
+  Report.record_series ~title runs;
   let header = row_label :: List.map string_of_int !thread_counts in
   let rows =
     List.map
@@ -887,6 +888,14 @@ let () =
     end
     else args
   in
+  (* --obs: per-experiment latency histograms + layer split, and
+     BENCH_obs.json / trace.json at the end.  --json: one machine-readable
+     BENCH_<experiment>.json per experiment. *)
+  let obs_on = List.mem "--obs" args in
+  let json_on = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--obs" && a <> "--json") args in
+  if obs_on then Obs.enable ();
+  if json_on then Report.json_enable ".";
   let selected = if args = [] then List.map fst experiments else args in
   print_endline
     "ZoFS reproduction benchmark harness (simulated NVM; see DESIGN.md)";
@@ -894,8 +903,32 @@ let () =
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f ->
+          let before = if obs_on then Some (Obs.Snapshot.take ()) else None in
+          Report.json_start name;
           let t0 = Unix.gettimeofday () in
           f ();
+          (match before with
+          | Some b ->
+              let d = Obs.Snapshot.diff b (Obs.Snapshot.take ()) in
+              print_string (Obs.Snapshot.render ~title:(name ^ " — obs") d);
+              Report.json_field "obs" (Obs.Snapshot.to_json d)
+          | None -> ());
+          Report.json_finish ();
           Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t0)
       | None -> Printf.eprintf "unknown experiment %s\n" name)
-    selected
+    selected;
+  if obs_on then begin
+    let write_file path s =
+      let oc = open_out path in
+      output_string oc s;
+      output_char oc '\n';
+      close_out oc
+    in
+    write_file "BENCH_obs.json"
+      (Obs.Json.to_string (Obs.Snapshot.to_json (Obs.Snapshot.take ())));
+    write_file "trace.json" (Obs.Json.to_string (Obs.Trace.to_json ()));
+    Printf.printf
+      "obs: wrote BENCH_obs.json and trace.json (%d spans, %d dropped, %d \
+       still open)\n"
+      (Obs.Trace.recorded ()) (Obs.Trace.dropped ()) (Obs.Trace.open_spans ())
+  end

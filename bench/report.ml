@@ -1,4 +1,51 @@
-(* Plain-text table rendering for the benchmark harness. *)
+(* Plain-text table rendering for the benchmark harness, plus optional
+   machine-readable JSON recording: with [json_enable dir] every experiment
+   bracketed by [json_start]/[json_finish] also lands in
+   [dir]/BENCH_<experiment>.json — tables, device-persistence stats, and any
+   extra fields (e.g. an obs snapshot) — so future PRs can diff a perf
+   trajectory instead of scraping ASCII tables. *)
+
+module J = Obs.Json
+
+let json_dir = ref None
+let json_current = ref None  (* experiment name while recording *)
+let json_items = ref []  (* rev: recorded tables of the experiment *)
+let json_fields = ref []  (* rev: extra top-level fields *)
+
+let json_enable dir = json_dir := Some dir
+
+let json_start name =
+  if !json_dir <> None then begin
+    json_current := Some name;
+    json_items := [];
+    json_fields := []
+  end
+
+let json_recording () = !json_current <> None
+
+let json_add item = if json_recording () then json_items := item :: !json_items
+
+let json_field k v =
+  if json_recording () then json_fields := (k, v) :: !json_fields
+
+let json_finish () =
+  match (!json_dir, !json_current) with
+  | Some dir, Some name ->
+      let j =
+        J.Obj
+          ([
+             ("experiment", J.Str name);
+             ("tables", J.Arr (List.rev !json_items));
+           ]
+          @ List.rev !json_fields)
+      in
+      let path = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+      let oc = open_out path in
+      output_string oc (J.to_string j);
+      output_char oc '\n';
+      close_out oc;
+      json_current := None
+  | _ -> ()
 
 let hrule widths =
   "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
@@ -24,7 +71,18 @@ let table ~title header rows =
   print_endline (render_row widths header);
   print_endline (hrule widths);
   List.iter (fun row -> print_endline (render_row widths row)) rows;
-  print_endline (hrule widths)
+  print_endline (hrule widths);
+  json_add
+    (J.Obj
+       [
+         ("kind", J.Str "table");
+         ("title", J.Str title);
+         ("header", J.Arr (List.map (fun c -> J.Str c) header));
+         ( "rows",
+           J.Arr
+             (List.map (fun r -> J.Arr (List.map (fun c -> J.Str c) r)) rows)
+         );
+       ])
 
 let section name =
   Printf.printf "\n=== %s %s\n" name (String.make (max 1 (72 - String.length name)) '=')
@@ -50,7 +108,45 @@ let device_persistence ~label dev =
     (commas (Nvm.Device.stat_flushes dev))
     (commas (Nvm.Device.stat_redundant_flushes dev))
     (commas (Nvm.Device.stat_fences dev))
-    (commas (Nvm.Device.stat_redundant_fences dev))
+    (commas (Nvm.Device.stat_redundant_fences dev));
+  let num n = J.Num (float_of_int n) in
+  json_add
+    (J.Obj
+       [
+         ("kind", J.Str "device_persistence");
+         ("label", J.Str label);
+         ("reads", num (Nvm.Device.stat_reads dev));
+         ("writes", num (Nvm.Device.stat_writes dev));
+         ("flushes", num (Nvm.Device.stat_flushes dev));
+         ("redundant_flushes", num (Nvm.Device.stat_redundant_flushes dev));
+         ("fences", num (Nvm.Device.stat_fences dev));
+         ("redundant_fences", num (Nvm.Device.stat_redundant_fences dev));
+       ])
+
+(* Numeric throughput-vs-threads series (label, [(nthreads, value)]), so the
+   JSON carries real numbers and not just the formatted table cells. *)
+let record_series ~title runs =
+  json_add
+    (J.Obj
+       [
+         ("kind", J.Str "series");
+         ("title", J.Str title);
+         ( "series",
+           J.Arr
+             (List.map
+                (fun (label, points) ->
+                  J.Obj
+                    [
+                      ("label", J.Str label);
+                      ( "points",
+                        J.Arr
+                          (List.map
+                             (fun (n, v) ->
+                               J.Arr [ J.Num (float_of_int n); J.Num v ])
+                             points) );
+                    ])
+                runs) );
+       ])
 
 let bytes_human n =
   if n >= 1 lsl 30 then Printf.sprintf "%.1fGB" (float_of_int n /. 1073741824.0)

@@ -1,0 +1,79 @@
+(* CI gate for the observability layer (`dune build @obs`).
+
+   Runs one FxMark and one Filebench workload with obs enabled, then checks
+   the invariants the exporter promises: every span balanced, the Chrome
+   trace structurally well-formed (also after a print/parse round-trip),
+   syscalls recorded, and the layer attribution consistent (the four buckets
+   never exceed the total).  Non-zero exit on any violation. *)
+
+module FL = Workloads.Fslab
+module Fx = Workloads.Fxmark
+module Fb = Workloads.Filebench
+
+let failed = ref false
+
+let checkpoint label ok detail =
+  Printf.printf "  %-40s %s%s\n" label
+    (if ok then "ok" else "FAIL")
+    (if detail = "" || ok then "" else ": " ^ detail);
+  if not ok then failed := true
+
+let cval name = Obs.Counter.value (Obs.Counter.make name)
+
+let () =
+  let quick = Array.to_list Sys.argv |> List.mem "--quick" in
+  let fx_ops = if quick then 40 else 100 in
+  let fb_ops = if quick then 25 else 60 in
+  Obs.enable ();
+  (* MWCL creates files under a shared directory lease (lease-wait bucket),
+     varmail is fsync-heavy (media bucket); 4 threads so leases contend. *)
+  let r1 = Fx.mwcl.Fx.run FL.Zofs ~nthreads:4 ~ops:fx_ops in
+  let r2 = Fb.varmail.Fb.run FL.Zofs ~nthreads:4 ~ops:fb_ops in
+  Printf.printf "zofs_obs: MWCL %.3f Mops/s, varmail %.1f kops/s\n"
+    r1.Workloads.Runner.mops_per_sec
+    (r2.Workloads.Runner.mops_per_sec *. 1000.0);
+
+  checkpoint "spans recorded"
+    (Obs.Trace.recorded () > 0)
+    "trace ring is empty";
+  checkpoint "all spans balanced"
+    (Obs.Trace.open_spans () = 0)
+    (Printf.sprintf "%d span(s) still open" (Obs.Trace.open_spans ()));
+  let j = Obs.Trace.to_json () in
+  (match Obs.Trace.validate j with
+  | Ok () -> checkpoint "trace JSON well-formed" true ""
+  | Error m -> checkpoint "trace JSON well-formed" false m);
+  (match Obs.Json.of_string (Obs.Json.to_string j) with
+  | Error m -> checkpoint "trace JSON round-trips" false m
+  | Ok j2 -> (
+      match Obs.Trace.validate j2 with
+      | Ok () -> checkpoint "trace JSON round-trips" true ""
+      | Error m -> checkpoint "trace JSON round-trips" false m));
+
+  checkpoint "syscalls observed" (cval "syscall.count" > 0) "";
+  checkpoint "gate crossings observed" (cval "gate.crossings" > 0) "";
+  checkpoint "lease acquires observed" (cval "lease.acquires" > 0) "";
+  checkpoint "media time observed" (cval "nvm.media_ns" > 0) "";
+  let total = cval "layer.total_ns" in
+  let parts =
+    cval "layer.fslib_ns" + cval "layer.kernfs_ns" + cval "layer.media_ns"
+    + cval "layer.lease_ns"
+  in
+  checkpoint "layer buckets sum to total"
+    (total > 0 && parts <= total)
+    (Printf.sprintf "fslib+kernfs+media+lease = %d, total = %d" parts total);
+
+  (* Snapshot JSON round-trip: what zofs_stat consumes. *)
+  let snap = Obs.Snapshot.take () in
+  (match Obs.Snapshot.of_json (Obs.Snapshot.to_json snap) with
+  | Ok back ->
+      checkpoint "snapshot JSON round-trips"
+        (Obs.Snapshot.render back = Obs.Snapshot.render snap)
+        "render differs after round-trip"
+  | Error m -> checkpoint "snapshot JSON round-trips" false m);
+
+  if !failed then begin
+    print_endline "zofs_obs: FAILED";
+    exit 1
+  end
+  else print_endline "zofs_obs: all observability invariants hold"

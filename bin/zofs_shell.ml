@@ -19,6 +19,9 @@ type world = {
 }
 
 let make_world ~image ~pages =
+  (* The shell always runs with observability on: every syscall it issues
+     lands in the metric registry and the `stats' command renders them. *)
+  Obs.enable ();
   let dev, fresh =
     match image with
     | Some path when Sys.file_exists path ->
@@ -45,7 +48,19 @@ let make_world ~image ~pages =
       Treasury.Dispatcher.register_ufs d (module Zofs.Ufs) ufs;
       disp := Some d);
   let disp = Option.get !disp in
+  Obs.attach_device dev;
   { dev; kfs; disp; fs = Treasury.Dispatcher.as_vfs disp; proc }
+
+let commas n =
+  let s = string_of_int n in
+  let len = String.length s in
+  let b = Buffer.create (len + len / 3) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char b ',';
+      Buffer.add_char b c)
+    s;
+  Buffer.contents b
 
 let show = function
   | Ok () -> ()
@@ -70,6 +85,7 @@ let help () =
     \  fsck                offline recovery\n\
     \  save FILE           save NVM image to a host file\n\
     \  time                simulated time consumed so far\n\
+    \  stats               observability: syscall latencies + device stats\n\
     \  help / exit\n"
 
 let run_command w line =
@@ -148,6 +164,18 @@ let run_command w line =
       | [ "save"; path ] ->
           Nvm.Device.save_image w.dev path;
           Printf.printf "saved NVM image to %s\n" path
+      | [ "stats" ] ->
+          print_string
+            (Obs.Snapshot.render ~title:"shell session" (Obs.Snapshot.take ()));
+          Printf.printf
+            "device: %s reads, %s writes, %s flushes (%s redundant), %s \
+             fences (%s redundant)\n"
+            (commas (Nvm.Device.stat_reads w.dev))
+            (commas (Nvm.Device.stat_writes w.dev))
+            (commas (Nvm.Device.stat_flushes w.dev))
+            (commas (Nvm.Device.stat_redundant_flushes w.dev))
+            (commas (Nvm.Device.stat_fences w.dev))
+            (commas (Nvm.Device.stat_redundant_fences w.dev))
       | [ "time" ] ->
           Printf.printf "%.1f us simulated\n" (float_of_int (Sim.now ()) /. 1000.0)
       | [ "exit" ] | [ "quit" ] -> raise Exit

@@ -1,0 +1,55 @@
+(* Render a saved observability snapshot back into the human-readable
+   tables:
+
+     dune exec bin/zofs_stat.exe -- BENCH_obs.json
+     dune exec bin/zofs_stat.exe -- BENCH_fig8.json   # uses its "obs" field
+
+   Accepts either a bare snapshot (as written to BENCH_obs.json by
+   `bench/main.exe --obs`) or a per-experiment BENCH_<exp>.json wrapper
+   whose "obs" field holds the snapshot. *)
+
+let usage () =
+  prerr_endline "usage: zofs_stat [--title TITLE] SNAPSHOT.json";
+  exit 2
+
+let () =
+  let title = ref None and file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--title" :: t :: rest ->
+        title := Some t;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+        Printf.eprintf "zofs_stat: unknown option %s\n" a;
+        usage ()
+    | a :: rest ->
+        if !file <> None then usage ();
+        file := Some a;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let file = match !file with Some f -> f | None -> usage () in
+  let contents =
+    try In_channel.with_open_bin file In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "zofs_stat: %s\n" msg;
+      exit 1
+  in
+  match Obs.Json.of_string contents with
+  | Error msg ->
+      Printf.eprintf "zofs_stat: %s: bad JSON: %s\n" file msg;
+      exit 1
+  | Ok j -> (
+      let snap_json =
+        match Obs.Json.member "obs" j with Some o -> o | None -> j
+      in
+      match Obs.Snapshot.of_json snap_json with
+      | Error msg ->
+          Printf.eprintf "zofs_stat: %s: not an obs snapshot: %s\n" file msg;
+          exit 1
+      | Ok snap ->
+          let title =
+            match !title with Some t -> t | None -> Filename.basename file
+          in
+          print_string (Obs.Snapshot.render ~title snap))

@@ -309,16 +309,16 @@ let lock_store t addr len =
 
 let on_nvm_event t (ev : Nvm.Device.trace_event) =
   match ev with
-  | T_store { addr; len } ->
+  | T_store { addr; len; _ } ->
       persist_store t addr len ~nt:false;
       guideline_access t addr ~write:true;
       lock_store t addr len
-  | T_nt_store { addr; len } ->
+  | T_nt_store { addr; len; _ } ->
       persist_store t addr len ~nt:true;
       guideline_access t addr ~write:true;
       lock_store t addr len
-  | T_load { addr; len = _ } -> guideline_access t addr ~write:false
-  | T_clwb { addr } -> persist_clwb t addr
+  | T_load { addr; _ } -> guideline_access t addr ~write:false
+  | T_clwb { addr; _ } -> persist_clwb t addr
   | T_fence _ -> persist_fence t
   | T_reset -> persist_reset t
 

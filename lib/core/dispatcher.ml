@@ -125,6 +125,7 @@ let rec dispatch_path :
 let name _ = "zofs-fslibs"
 
 let openf t path flags mode =
+  Obs.with_syscall "open" @@ fun () ->
   let* fd_target =
     dispatch_path t path ~depth:0
       ~on_ufs:(fun (U ((module F), u)) p ->
@@ -140,56 +141,67 @@ let openf t path flags mode =
   Ok (Fd_table.alloc t.fds ~append fd_target)
 
 let mkdir t path mode =
+  Obs.with_syscall "mkdir" @@ fun () ->
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.mkdir u p mode)
     ~on_kernel:(fun fs p -> Vfs.mkdir fs p mode)
 
 let rmdir t path =
+  Obs.with_syscall "rmdir" @@ fun () ->
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.rmdir u p)
     ~on_kernel:(fun fs p -> Vfs.rmdir fs p)
 
 let unlink t path =
+  Obs.with_syscall "unlink" @@ fun () ->
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.unlink u p)
     ~on_kernel:(fun fs p -> Vfs.unlink fs p)
 
 let stat t path =
+  Obs.with_syscall "stat" @@ fun () ->
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.stat u p)
     ~on_kernel:(fun fs p -> Vfs.stat fs p)
 
 let lstat t path =
+  Obs.with_syscall "lstat" @@ fun () ->
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.lstat u p)
     ~on_kernel:(fun fs p -> Vfs.lstat fs p)
 
 let readdir t path =
+  Obs.with_syscall "readdir" @@ fun () ->
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.readdir u p)
     ~on_kernel:(fun fs p -> Vfs.readdir fs p)
 
 let chmod t path mode =
+  Obs.with_syscall "chmod" @@ fun () ->
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.chmod u p mode)
     ~on_kernel:(fun fs p -> Vfs.chmod fs p mode)
 
 let chown t path uid gid =
+  Obs.with_syscall "chown" @@ fun () ->
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.chown u p uid gid)
     ~on_kernel:(fun fs p -> Vfs.chown fs p uid gid)
 
 let readlink t path =
+  Obs.with_syscall "readlink" @@ fun () ->
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.readlink u p)
     ~on_kernel:(fun fs p -> Vfs.readlink fs p)
 
 let symlink t ~target ~link =
+  Obs.with_syscall "symlink" @@ fun () ->
   dispatch_path t link ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.symlink u ~target ~link:p)
     ~on_kernel:(fun fs p -> Vfs.symlink fs ~target ~link:p)
 
 let rename t src dst =
+  Obs.with_syscall "rename" @@ fun () ->
   (* Both paths must land in the same file system. *)
   match (resolve_user_path t src, resolve_user_path t dst) with
   | To_kernel a, To_kernel b -> (
@@ -206,6 +218,7 @@ let rename t src dst =
   | _ -> Error Errno.EXDEV
 
 let truncate t path len =
+  Obs.with_syscall "truncate" @@ fun () ->
   let* fd = openf t path [ Fs_types.O_WRONLY ] 0 in
   let finish r =
     match Fd_table.close t.fds fd with
@@ -243,6 +256,7 @@ let ufs_of_ctype t ctype =
   | None -> Error Errno.ENOSYS
 
 let close t fd =
+  Obs.with_syscall "close" @@ fun () ->
   let* closed = Fd_table.close t.fds fd in
   match closed with
   | None -> Ok ()
@@ -255,6 +269,7 @@ let close t fd =
       | None -> Error Errno.EBADF)
 
 let read t fd buf boff len =
+  Obs.with_syscall "read" @@ fun () ->
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -271,6 +286,7 @@ let read t fd buf boff len =
           | None -> Error Errno.EBADF))
 
 let pread t fd ~off buf boff len =
+  Obs.with_syscall "pread" @@ fun () ->
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -282,6 +298,7 @@ let pread t fd ~off buf boff len =
           | None -> Error Errno.EBADF))
 
 let write t fd data =
+  Obs.with_syscall "write" @@ fun () ->
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -298,6 +315,7 @@ let write t fd data =
           | None -> Error Errno.EBADF))
 
 let pwrite t fd ~off data =
+  Obs.with_syscall "pwrite" @@ fun () ->
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -310,6 +328,7 @@ let pwrite t fd ~off data =
           | None -> Error Errno.EBADF))
 
 let fstat t fd =
+  Obs.with_syscall "fstat" @@ fun () ->
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -321,6 +340,7 @@ let fstat t fd =
           | None -> Error Errno.EBADF))
 
 let fsync t fd =
+  Obs.with_syscall "fsync" @@ fun () ->
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -332,6 +352,7 @@ let fsync t fd =
           | None -> Error Errno.EBADF))
 
 let ftruncate t fd len =
+  Obs.with_syscall "ftruncate" @@ fun () ->
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -343,6 +364,7 @@ let ftruncate t fd len =
           | None -> Error Errno.EBADF))
 
 let lseek t fd pos whence =
+  Obs.with_syscall "lseek" @@ fun () ->
   with_ofd t fd (fun ofd ->
       let* size =
         match whence with
@@ -366,6 +388,7 @@ let lseek t fd pos whence =
 (* ---- process-level calls ------------------------------------------------ *)
 
 let chdir t path =
+  Obs.with_syscall "chdir" @@ fun () ->
   let abs = if Pathx.is_absolute path then Pathx.normalize path else Pathx.concat t.cwd path in
   let* st = stat t abs in
   if st.Fs_types.st_kind = Fs_types.Directory then begin
@@ -375,9 +398,10 @@ let chdir t path =
   else Error Errno.ENOTDIR
 
 let getcwd t = t.cwd
-let dup t fd = Fd_table.dup t.fds fd
+let dup t fd = Obs.with_syscall "dup" @@ fun () -> Fd_table.dup t.fds fd
 
 let dup2 t fd nfd =
+  Obs.with_syscall "dup2" @@ fun () ->
   let* nfd, displaced = Fd_table.dup2 t.fds fd nfd in
   (match displaced with
   | Some (Fd_table.Ufs { ctype; handle }) -> (

@@ -13,6 +13,7 @@ let create mpk = { mpk; dev = Mpk.device mpk; syscalls = 0 }
 
 let syscall t f =
   t.syscalls <- t.syscalls + 1;
+  Obs.with_kernel_crossing @@ fun () ->
   Sim.advance enter_cost;
   Nvm.Device.pollute_cache t.dev;
   let r = Mpk.with_kernel t.mpk (fun () -> Mpk.with_write_window t.mpk f) in

@@ -23,7 +23,9 @@ type t = {
   kernel_depth : (int, int) Hashtbl.t;  (* tid -> nesting *)
   write_window : (int, int) Hashtbl.t;  (* tid -> nesting *)
   mutable faults : int;
-  mutable trace : (trace_event -> unit) option;
+  mutable subs : (int * (trace_event -> unit)) list;  (* delivery order *)
+  mutable next_sub_id : int;
+  mutable legacy_sub : int option;  (* set_trace_hook's managed slot *)
 }
 
 (* PKRU encoding, as on x86: two bits per key; bit0 = access-disable,
@@ -115,17 +117,42 @@ let create dev =
       kernel_depth = Hashtbl.create 64;
       write_window = Hashtbl.create 64;
       faults = 0;
-      trace = None;
+      subs = [];
+      next_sub_id = 0;
+      legacy_sub = None;
     }
   in
   Nvm.Device.set_protection_hook dev (fun ~addr ~write -> check t ~addr ~write);
   t
 
 let device t = t.dev
-let set_trace_hook t f = t.trace <- Some f
-let clear_trace_hook t = t.trace <- None
 
-let emit t ev = match t.trace with Some f -> f ev | None -> ()
+(* Multi-subscriber trace dispatch, mirroring Nvm.Device: independent
+   analysis layers (lib/check, lib/obs) compose, and [set_trace_hook] keeps
+   its replace-semantics API as one managed subscription slot. *)
+let add_trace_subscriber t f =
+  let id = t.next_sub_id in
+  t.next_sub_id <- id + 1;
+  t.subs <- t.subs @ [ (id, f) ];
+  id
+
+let remove_trace_subscriber t id =
+  t.subs <- List.filter (fun (i, _) -> i <> id) t.subs
+
+let set_trace_hook t f =
+  (match t.legacy_sub with
+  | Some id -> remove_trace_subscriber t id
+  | None -> ());
+  t.legacy_sub <- Some (add_trace_subscriber t f)
+
+let clear_trace_hook t =
+  match t.legacy_sub with
+  | Some id ->
+      remove_trace_subscriber t id;
+      t.legacy_sub <- None
+  | None -> ()
+
+let emit t ev = List.iter (fun (_, f) -> f ev) t.subs
 
 let map_page t ~pid ~page ~writable ~pkey =
   if pkey < 0 || pkey >= nkeys then invalid_arg "Mpk.map_page: bad pkey";
@@ -155,7 +182,7 @@ let page_pkey t ~pid ~page =
 let wrpkru t perms =
   Hashtbl.replace t.pkru (Sim.self_tid ()) (pkru_of_perms perms);
   Sim.advance wrpkru_cost;
-  (match t.trace with Some f -> f (M_wrpkru { perms }) | None -> ())
+  if t.subs != [] then emit t (M_wrpkru { perms })
 
 let rdpkru t = perms_of_pkru (current_pkru t)
 
@@ -164,7 +191,7 @@ let with_keys t perms f =
   let saved = current_pkru t in
   Hashtbl.replace t.pkru tid (pkru_of_perms perms);
   Sim.advance wrpkru_cost;
-  (match t.trace with Some f -> f (M_scope_enter { perms }) | None -> ());
+  if t.subs != [] then emit t (M_scope_enter { perms });
   let restore () =
     Hashtbl.replace t.pkru tid saved;
     Sim.advance wrpkru_cost;

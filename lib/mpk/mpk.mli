@@ -80,5 +80,16 @@ type trace_event =
   | M_scope_enter of { perms : (pkey * perm) list }  (** {!with_keys} entry *)
   | M_scope_exit  (** {!with_keys} exit (PKRU restored) *)
 
+val add_trace_subscriber : t -> (trace_event -> unit) -> int
+(** Register a trace subscriber; events are delivered to every subscriber in
+    registration order.  Returns an id for {!remove_trace_subscriber}. *)
+
+val remove_trace_subscriber : t -> int -> unit
+(** Unregister; unknown ids are ignored. *)
+
 val set_trace_hook : t -> (trace_event -> unit) -> unit
+(** Legacy single-hook API, kept as one managed subscription slot: setting
+    replaces only the hook previously installed through this function, and
+    composes with {!add_trace_subscriber} subscriptions. *)
+
 val clear_trace_hook : t -> unit

@@ -60,16 +60,19 @@ exception Fault of { addr : int; write : bool; reason : string }
 module Device = struct
   type line_state = Dirty | Flushing
 
-  (* Trace events for analysis tooling (lib/check).  Unlike the protection
-     hook, the trace hook observes every access *after* it happened and must
-     never fault; it exists so checkers can mirror the device's per-line
-     persistence state without reaching into the implementation. *)
+  (* Trace events for analysis tooling (lib/check, lib/obs).  Unlike the
+     protection hook, a trace subscriber observes every access *after* it
+     happened and must never fault; it exists so checkers can mirror the
+     device's per-line persistence state without reaching into the
+     implementation.  [ns] is the simulated time the operation was charged
+     (including any bandwidth-channel wait), measured only while at least
+     one subscriber is attached. *)
   type trace_event =
-    | T_store of { addr : int; len : int }
-    | T_nt_store of { addr : int; len : int }
-    | T_load of { addr : int; len : int }
-    | T_clwb of { addr : int }
-    | T_fence of { nflushing : int }
+    | T_store of { addr : int; len : int; ns : int }
+    | T_nt_store of { addr : int; len : int; ns : int }
+    | T_load of { addr : int; len : int; ns : int }
+    | T_clwb of { addr : int; ns : int }
+    | T_fence of { nflushing : int; ns : int }
     | T_reset
 
   type t = {
@@ -81,7 +84,9 @@ module Device = struct
     pending : (int, line_state) Hashtbl.t;  (* line index -> state *)
     mutable flushing : int list;  (* lines initiated but not fenced *)
     mutable hook : (addr:int -> write:bool -> unit) option;
-    mutable trace : (trace_event -> unit) option;
+    mutable subs : (int * (trace_event -> unit)) list;  (* delivery order *)
+    mutable next_sub_id : int;
+    mutable legacy_sub : int option;  (* set_trace_hook's managed slot *)
     crash_rng : Sim.Rng.t;
     read_chan : Sim.Resource.t;
     write_chan : Sim.Resource.t;
@@ -106,7 +111,9 @@ module Device = struct
       pending = Hashtbl.create 4096;
       flushing = [];
       hook = None;
-      trace = None;
+      subs = [];
+      next_sub_id = 0;
+      legacy_sub = None;
       crash_rng = Sim.Rng.create seed;
       read_chan = Sim.Resource.create ~name:"nvm-read-bw" ();
       write_chan = Sim.Resource.create ~name:"nvm-write-bw" ();
@@ -124,19 +131,48 @@ module Device = struct
   let perf d = d.dev_perf
   let set_protection_hook d f = d.hook <- Some f
   let clear_protection_hook d = d.hook <- None
-  let set_trace_hook d f = d.trace <- Some f
-  let clear_trace_hook d = d.trace <- None
+  (* Trace dispatch is multi-subscriber so independent layers compose (the
+     persistence checker of lib/check and the metrics of lib/obs can both
+     listen).  [set_trace_hook] keeps its replace-semantics API as one
+     managed subscription slot. *)
+  let add_trace_subscriber d f =
+    let id = d.next_sub_id in
+    d.next_sub_id <- id + 1;
+    d.subs <- d.subs @ [ (id, f) ];
+    id
 
-  (* Constructor application stays inside the [Some] branch so that tracing
-     disabled (the common case) allocates nothing. *)
-  let trace_store d addr len =
-    match d.trace with Some f -> f (T_store { addr; len }) | None -> ()
+  let remove_trace_subscriber d id =
+    d.subs <- List.filter (fun (i, _) -> i <> id) d.subs
 
-  let trace_nt_store d addr len =
-    match d.trace with Some f -> f (T_nt_store { addr; len }) | None -> ()
+  let set_trace_hook d f =
+    (match d.legacy_sub with
+    | Some id -> remove_trace_subscriber d id
+    | None -> ());
+    d.legacy_sub <- Some (add_trace_subscriber d f)
 
-  let trace_load d addr len =
-    match d.trace with Some f -> f (T_load { addr; len }) | None -> ()
+  let clear_trace_hook d =
+    match d.legacy_sub with
+    | Some id ->
+        remove_trace_subscriber d id;
+        d.legacy_sub <- None
+    | None -> ()
+
+  let emit d ev = List.iter (fun (_, f) -> f ev) d.subs
+
+  (* Cost measurement starts here when any subscriber is attached; with none
+     attached the untraced path neither reads the clock nor allocates.
+     Constructor application stays inside the traced branch for the same
+     reason. *)
+  let t_begin d = if d.subs == [] then 0 else Sim.now ()
+
+  let trace_store d addr len t0 =
+    if d.subs != [] then emit d (T_store { addr; len; ns = Sim.now () - t0 })
+
+  let trace_nt_store d addr len t0 =
+    if d.subs != [] then emit d (T_nt_store { addr; len; ns = Sim.now () - t0 })
+
+  let trace_load d addr len t0 =
+    if d.subs != [] then emit d (T_load { addr; len; ns = Sim.now () - t0 })
 
   let vol_page d i =
     match d.vol.(i) with
@@ -260,69 +296,78 @@ module Device = struct
 
   let read_u8 d addr =
     check_protection d addr false;
+    let t0 = t_begin d in
     charge_read d addr 1;
-    trace_load d addr 1;
+    trace_load d addr 1 t0;
     let page, off = scalar_loc d addr 1 in
     Char.code (Bytes.get (vol_page d page) off)
 
   let read_u16 d addr =
     check_protection d addr false;
+    let t0 = t_begin d in
     charge_read d addr 2;
-    trace_load d addr 2;
+    trace_load d addr 2 t0;
     let page, off = scalar_loc d addr 2 in
     Bytes.get_uint16_le (vol_page d page) off
 
   let read_u32 d addr =
     check_protection d addr false;
+    let t0 = t_begin d in
     charge_read d addr 4;
-    trace_load d addr 4;
+    trace_load d addr 4 t0;
     let page, off = scalar_loc d addr 4 in
     Int32.to_int (Bytes.get_int32_le (vol_page d page) off) land 0xFFFFFFFF
 
   let read_u64 d addr =
     check_protection d addr false;
+    let t0 = t_begin d in
     charge_read d addr 8;
-    trace_load d addr 8;
+    trace_load d addr 8 t0;
     let page, off = scalar_loc d addr 8 in
     Int64.to_int (Bytes.get_int64_le (vol_page d page) off)
 
   let write_u8 d addr v =
     check_protection d addr true;
+    let t0 = t_begin d in
     charge_store d addr 1;
     let page, off = scalar_loc d addr 1 in
     Bytes.set (vol_page d page) off (Char.chr (v land 0xFF));
     mark_dirty d addr 1;
-    trace_store d addr 1
+    trace_store d addr 1 t0
 
   let write_u16 d addr v =
     check_protection d addr true;
+    let t0 = t_begin d in
     charge_store d addr 2;
     let page, off = scalar_loc d addr 2 in
     Bytes.set_uint16_le (vol_page d page) off (v land 0xFFFF);
     mark_dirty d addr 2;
-    trace_store d addr 2
+    trace_store d addr 2 t0
 
   let write_u32 d addr v =
     check_protection d addr true;
+    let t0 = t_begin d in
     charge_store d addr 4;
     let page, off = scalar_loc d addr 4 in
     Bytes.set_int32_le (vol_page d page) off (Int32.of_int v);
     mark_dirty d addr 4;
-    trace_store d addr 4
+    trace_store d addr 4 t0
 
   let write_u64 d addr v =
     check_protection d addr true;
+    let t0 = t_begin d in
     charge_store d addr 8;
     let page, off = scalar_loc d addr 8 in
     Bytes.set_int64_le (vol_page d page) off (Int64.of_int v);
     mark_dirty d addr 8;
-    trace_store d addr 8
+    trace_store d addr 8 t0
 
   (* Atomic compare-and-swap (lock cmpxchg): the compare and the store are a
      single linearization point — all simulated-time charging happens first,
      so no other thread can interleave between them. *)
   let cas_u64 d addr ~expected ~desired =
     check_protection d addr true;
+    let t0 = t_begin d in
     charge_store d addr 8;
     if Sim.in_sim () then Sim.advance 20 (* lock prefix overhead *);
     let page, off = scalar_loc d addr 8 in
@@ -331,7 +376,7 @@ module Device = struct
     if current = expected then begin
       Bytes.set_int64_le b off (Int64.of_int desired);
       mark_dirty d addr 8;
-      trace_store d addr 8;
+      trace_store d addr 8 t0;
       true
     end
     else false
@@ -340,8 +385,9 @@ module Device = struct
     check_bounds d addr len;
     if len > 0 then begin
       check_protection d addr false;
+      let t0 = t_begin d in
       charge_read d addr len;
-      trace_load d addr len;
+      trace_load d addr len t0;
       let remaining = ref len and src = ref addr and dst = ref boff in
       while !remaining > 0 do
         let page = !src / page_size and off = !src mod page_size in
@@ -364,6 +410,7 @@ module Device = struct
     check_bounds d addr len;
     if len > 0 then begin
       check_protection d addr true;
+      let t0 = t_begin d in
       charge_store d addr len;
       let remaining = ref len and src = ref boff and dst = ref addr in
       while !remaining > 0 do
@@ -375,7 +422,7 @@ module Device = struct
         remaining := !remaining - n
       done;
       mark_dirty d addr len;
-      trace_store d addr len
+      trace_store d addr len t0
     end
 
   let write_string d addr s =
@@ -385,6 +432,7 @@ module Device = struct
     check_bounds d addr len;
     if len > 0 then begin
       check_protection d addr true;
+      let t0 = t_begin d in
       charge_store d addr len;
       let remaining = ref len and dst = ref addr in
       while !remaining > 0 do
@@ -395,7 +443,7 @@ module Device = struct
         remaining := !remaining - n
       done;
       mark_dirty d addr len;
-      trace_store d addr len
+      trace_store d addr len t0
     end
 
   let copy_within d ~src ~dst ~len =
@@ -414,6 +462,7 @@ module Device = struct
   let clwb d addr =
     check_bounds d addr 1;
     d.n_flushes <- d.n_flushes + 1;
+    let t0 = t_begin d in
     let line = addr / line_size in
     (match Hashtbl.find_opt d.pending line with
     | Some Dirty ->
@@ -421,7 +470,12 @@ module Device = struct
         d.flushing <- line :: d.flushing;
         charge_writeback d line_size
     | Some Flushing | None -> d.n_redundant_flushes <- d.n_redundant_flushes + 1);
-    (match d.trace with Some f -> f (T_clwb { addr }) | None -> ());
+    (* The event fires before the trailing advance (keeping its ordering
+       relative to the line-state change), so that known constant is folded
+       into the reported cost instead of measured. *)
+    (if d.subs != [] then
+       let tail = if Sim.in_sim () then 4 else 0 in
+       emit d (T_clwb { addr; ns = Sim.now () - t0 + tail }));
     if Sim.in_sim () then Sim.advance 4
 
   let flush_range d addr len =
@@ -436,9 +490,14 @@ module Device = struct
     d.n_fences <- d.n_fences + 1;
     let had_flushing = d.flushing <> [] in
     if not had_flushing then d.n_redundant_fences <- d.n_redundant_fences + 1;
-    (match d.trace with
-    | Some f -> f (T_fence { nflushing = List.length d.flushing })
-    | None -> ());
+    (if d.subs != [] then
+       let p = d.dev_perf in
+       let tail =
+         if Sim.in_sim () then
+           p.Perf.fence_cost + if had_flushing then p.Perf.write_latency else 0
+         else 0
+       in
+       emit d (T_fence { nflushing = List.length d.flushing; ns = tail }));
     List.iter
       (fun line ->
         persist_line_now d line;
@@ -452,6 +511,7 @@ module Device = struct
 
   let nt_write_u64 d addr v =
     check_protection d addr true;
+    let t0 = t_begin d in
     charge_store d addr 8;
     let page, off = scalar_loc d addr 8 in
     Bytes.set_int64_le (vol_page d page) off (Int64.of_int v);
@@ -462,13 +522,14 @@ module Device = struct
         Hashtbl.replace d.pending line Flushing;
         d.flushing <- line :: d.flushing;
         charge_writeback d line_size);
-    trace_nt_store d addr 8
+    trace_nt_store d addr 8 t0
 
   let nt_write_string d addr s =
     let len = String.length s in
     check_bounds d addr len;
     if len > 0 then begin
       check_protection d addr true;
+      let t0 = t_begin d in
       d.n_writes <- d.n_writes + 1;
       if Sim.in_sim () then Sim.advance d.dev_perf.Perf.hit_cost;
       let remaining = ref len and src = ref 0 and dst = ref addr in
@@ -489,7 +550,7 @@ module Device = struct
             d.flushing <- line :: d.flushing
       done;
       charge_writeback d len;
-      trace_nt_store d addr len
+      trace_nt_store d addr len t0
     end
 
   let persist_range d addr len =
@@ -502,6 +563,7 @@ module Device = struct
     check_bounds d addr len;
     if len > 0 then begin
       check_protection d addr true;
+      let t0 = t_begin d in
       d.n_writes <- d.n_writes + 1;
       if Sim.in_sim () then Sim.advance d.dev_perf.Perf.hit_cost;
       let remaining = ref len and dst = ref addr in
@@ -521,7 +583,7 @@ module Device = struct
             d.flushing <- line :: d.flushing
       done;
       charge_writeback d len;
-      trace_nt_store d addr len
+      trace_nt_store d addr len t0
     end
 
   let persist_all d =
@@ -529,7 +591,7 @@ module Device = struct
     List.iter (fun line -> persist_line_now d line) lines;
     Hashtbl.reset d.pending;
     d.flushing <- [];
-    (match d.trace with Some f -> f T_reset | None -> ())
+    if d.subs != [] then emit d T_reset
 
   let pending_lines d = Hashtbl.length d.pending
 
@@ -547,7 +609,7 @@ module Device = struct
       d.pending;
     Hashtbl.reset d.pending;
     d.flushing <- [];
-    (match d.trace with Some f -> f T_reset | None -> ());
+    if d.subs != [] then emit d T_reset;
     (* Volatile view := persistent view. *)
     for i = 0 to d.npages - 1 do
       match (d.vol.(i), d.shadow.(i)) with

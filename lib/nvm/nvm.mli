@@ -68,19 +68,35 @@ module Device : sig
 
   val clear_protection_hook : t -> unit
 
-  (** Trace events observed by analysis tooling ({!module:Check}).  The trace
-      hook fires after each access/persistence operation completes, so a
-      checker can mirror the device's dirty → flushing → durable line state
-      without access to the implementation. *)
+  (** Trace events observed by analysis tooling (the checkers of
+      [lib/check], the metrics of [lib/obs]).  An event fires after each
+      access/persistence operation completes, so a checker can mirror the
+      device's dirty → flushing → durable line state without access to the
+      implementation.  [ns] is the simulated time charged to the operation,
+      including any bandwidth-channel wait; it is measured only while at
+      least one subscriber is attached (and is 0 outside a simulation). *)
   type trace_event =
-    | T_store of { addr : int; len : int }  (** cached store *)
-    | T_nt_store of { addr : int; len : int }  (** non-temporal store *)
-    | T_load of { addr : int; len : int }
-    | T_clwb of { addr : int }
-    | T_fence of { nflushing : int }  (** lines persisted by this fence *)
+    | T_store of { addr : int; len : int; ns : int }  (** cached store *)
+    | T_nt_store of { addr : int; len : int; ns : int }
+        (** non-temporal store *)
+    | T_load of { addr : int; len : int; ns : int }
+    | T_clwb of { addr : int; ns : int }
+    | T_fence of { nflushing : int; ns : int }
+        (** lines persisted by this fence *)
     | T_reset  (** all pending lines resolved (crash / persist_all) *)
 
+  val add_trace_subscriber : t -> (trace_event -> unit) -> int
+  (** Register a trace subscriber; events are delivered to every subscriber
+      in registration order.  Returns an id for {!remove_trace_subscriber}. *)
+
+  val remove_trace_subscriber : t -> int -> unit
+  (** Unregister; unknown ids are ignored. *)
+
   val set_trace_hook : t -> (trace_event -> unit) -> unit
+  (** Legacy single-hook API, kept as one managed subscription slot: setting
+      replaces only the hook previously installed through this function, and
+      composes with {!add_trace_subscriber} subscriptions. *)
+
   val clear_trace_hook : t -> unit
 
   (** {2 Loads and stores (volatile view)}

@@ -1,0 +1,906 @@
+(* Observability layer (see obs.mli).
+
+   Design constraints, in order:
+   - deterministic: never calls Sim.advance, so enabling obs cannot change
+     any simulated result;
+   - cheap when off: every entry point checks one bool ref first;
+   - zero dependencies: includes its own minimal JSON reader/printer so the
+     trace and snapshot files can be validated and re-rendered offline. *)
+
+let on = ref false
+let spans_on = ref true
+
+let enabled () = !on
+
+(* ---- minimal JSON ------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let num_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Num f -> Buffer.add_string b (num_to_string f)
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | Arr l ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char b ',';
+            write b v)
+          l;
+        Buffer.add_char b ']'
+    | Obj l ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\":";
+            write b v)
+          l;
+        Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 1024 in
+    write b v;
+    Buffer.contents b
+
+  exception Parse of string
+
+  (* Recursive-descent parser over the input string. *)
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let next () =
+      if !pos >= n then fail "unexpected end of input";
+      let c = s.[!pos] in
+      incr pos;
+      c
+    in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          incr pos;
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if next () <> c then fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      String.iter (fun c -> if next () <> c then fail "bad literal") word;
+      v
+    in
+    let add_utf8 b cp =
+      if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+        Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+      end
+    in
+    let parse_string () =
+      let b = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+            (match next () with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+                let hex = String.init 4 (fun _ -> next ()) in
+                (match int_of_string_opt ("0x" ^ hex) with
+                | Some cp -> add_utf8 b cp
+                | None -> fail "bad \\u escape")
+            | _ -> fail "bad escape");
+            go ()
+        | c -> Buffer.add_char b c; go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' ->
+          incr pos;
+          Str (parse_string ())
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then (incr pos; Obj [])
+          else begin
+            let rec members acc =
+              skip_ws ();
+              expect '"';
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match next () with
+              | ',' -> members ((k, v) :: acc)
+              | '}' -> Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then (incr pos; Arr [])
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match next () with
+              | ',' -> elements (v :: acc)
+              | ']' -> Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements []
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse msg -> Error msg
+
+  let member k = function
+    | Obj l -> List.assoc_opt k l
+    | _ -> None
+end
+
+(* ---- histograms --------------------------------------------------------- *)
+
+module Hist = struct
+  (* Values 0..15 get exact buckets 0..15; for v >= 16 the bucket is keyed
+     by (msb octave, top-3-bits sub-bucket): 8 sub-buckets per power of two,
+     ~12.5% relative error.  63-bit range needs 16 + 59*8 = 488 buckets. *)
+  let nbuckets = 496
+
+  let msb v =
+    let rec go v m = if v <= 1 then m else go (v lsr 1) (m + 1) in
+    go v 0
+
+  let bucket_index v =
+    if v < 16 then max 0 v
+    else
+      let m = msb v in
+      16 + ((m - 4) * 8) + ((v lsr (m - 3)) land 7)
+
+  let bucket_bounds b =
+    if b < 16 then (b, b)
+    else
+      let oct = (b - 16) / 8 and sub = (b - 16) mod 8 in
+      let shift = oct + 1 in
+      let lo = (8 + sub) lsl shift in
+      (lo, lo + (1 lsl shift) - 1)
+
+  type t = {
+    counts : int array;
+    mutable n : int;
+    mutable mn : int;
+    mutable mx : int;
+    mutable sm : int;
+  }
+
+  let create () = { counts = Array.make nbuckets 0; n = 0; mn = 0; mx = 0; sm = 0 }
+
+  let add t v =
+    let v = max 0 v in
+    let b = bucket_index v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    if t.n = 0 || v < t.mn then t.mn <- v;
+    if v > t.mx then t.mx <- v;
+    t.n <- t.n + 1;
+    t.sm <- t.sm + v
+
+  let count t = t.n
+  let min_value t = t.mn
+  let max_value t = t.mx
+  let sum t = t.sm
+  let mean t = if t.n = 0 then 0.0 else float_of_int t.sm /. float_of_int t.n
+
+  let percentile t q =
+    if t.n = 0 then 0
+    else begin
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int t.n))) in
+      let rank = min rank t.n in
+      let cum = ref 0 and res = ref t.mx in
+      (try
+         for b = 0 to nbuckets - 1 do
+           cum := !cum + t.counts.(b);
+           if !cum >= rank then begin
+             let _, hi = bucket_bounds b in
+             res := max t.mn (min hi t.mx);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !res
+    end
+
+  let merge a b =
+    let t = create () in
+    Array.blit a.counts 0 t.counts 0 nbuckets;
+    Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) b.counts;
+    t.n <- a.n + b.n;
+    t.sm <- a.sm + b.sm;
+    t.mn <-
+      (if a.n = 0 then b.mn else if b.n = 0 then a.mn else min a.mn b.mn);
+    t.mx <- max a.mx b.mx;
+    t
+
+  let buckets t =
+    let acc = ref [] in
+    for b = nbuckets - 1 downto 0 do
+      if t.counts.(b) > 0 then acc := (b, t.counts.(b)) :: !acc
+    done;
+    !acc
+
+  let copy t =
+    { counts = Array.copy t.counts; n = t.n; mn = t.mn; mx = t.mx; sm = t.sm }
+
+  (* diff for snapshot subtraction: bucket-wise, clamped at 0 (counters only
+     grow, so a clean diff is exact; min/max come from the newer side). *)
+  let sub newer older =
+    let t = create () in
+    for b = 0 to nbuckets - 1 do
+      t.counts.(b) <- max 0 (newer.counts.(b) - older.counts.(b))
+    done;
+    t.n <- max 0 (newer.n - older.n);
+    t.sm <- max 0 (newer.sm - older.sm);
+    t.mn <- newer.mn;
+    t.mx <- newer.mx;
+    t
+end
+
+(* ---- registry ----------------------------------------------------------- *)
+
+type metric = M_counter of int ref | M_gauge of float ref | M_hist of Hist.t
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let find_or_add name make =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.replace registry name m;
+      m
+
+module Counter = struct
+  type t = int ref
+
+  let make name =
+    match find_or_add name (fun () -> M_counter (ref 0)) with
+    | M_counter r -> r
+    | _ -> invalid_arg ("Obs.Counter.make: " ^ name ^ " is not a counter")
+
+  let add t n = t := !t + n
+  let incr t = add t 1
+  let value t = !t
+end
+
+module Gauge = struct
+  type t = float ref
+
+  let make name =
+    match find_or_add name (fun () -> M_gauge (ref 0.0)) with
+    | M_gauge r -> r
+    | _ -> invalid_arg ("Obs.Gauge.make: " ^ name ^ " is not a gauge")
+
+  let set t v = t := v
+  let value t = !t
+end
+
+module Histogram = struct
+  type t = Hist.t
+
+  let make name =
+    match find_or_add name (fun () -> M_hist (Hist.create ())) with
+    | M_hist h -> h
+    | _ -> invalid_arg ("Obs.Histogram.make: " ^ name ^ " is not a histogram")
+
+  let observe = Hist.add
+  let hist t = t
+end
+
+let cnt name n = if !on then Counter.add (Counter.make name) n
+let observe name v = if !on then Histogram.observe (Histogram.make name) v
+
+(* ---- span ring buffer --------------------------------------------------- *)
+
+type spanrec = { s_name : string; s_cat : string; s_tid : int; s_ts : int; s_dur : int }
+
+let dummy_span = { s_name = ""; s_cat = ""; s_tid = 0; s_ts = 0; s_dur = 0 }
+
+module Trace = struct
+  let capacity = ref 65536
+  let ring : spanrec array ref = ref [||]
+  let head = ref 0
+  let filled = ref 0
+  let dropped_count = ref 0
+  let open_count = ref 0
+
+  let reset () =
+    ring := [||];
+    head := 0;
+    filled := 0;
+    dropped_count := 0;
+    open_count := 0
+
+  let set_capacity n =
+    if n <= 0 then invalid_arg "Obs.Trace.set_capacity";
+    capacity := n;
+    reset ()
+
+  let record r =
+    if Array.length !ring = 0 then ring := Array.make !capacity dummy_span;
+    !ring.(!head) <- r;
+    head := (!head + 1) mod !capacity;
+    if !filled = !capacity then incr dropped_count else incr filled
+
+  let recorded () = !filled
+  let dropped () = !dropped_count
+  let open_spans () = !open_count
+
+  (* oldest-first iteration over the ring *)
+  let iter f =
+    let cap = !capacity in
+    let start = if !filled = cap then !head else 0 in
+    for i = 0 to !filled - 1 do
+      f !ring.((start + i) mod cap)
+    done
+
+  let to_json () =
+    let events = ref [] in
+    iter (fun r ->
+        events :=
+          Json.Obj
+            [
+              ("name", Json.Str r.s_name);
+              ("cat", Json.Str r.s_cat);
+              ("ph", Json.Str "X");
+              ("ts", Json.Num (float_of_int r.s_ts /. 1000.0));
+              ("dur", Json.Num (float_of_int r.s_dur /. 1000.0));
+              ("pid", Json.Num 0.0);
+              ("tid", Json.Num (float_of_int r.s_tid));
+            ]
+          :: !events);
+    Json.Obj
+      [
+        ("traceEvents", Json.Arr (List.rev !events));
+        ("displayTimeUnit", Json.Str "ns");
+      ]
+
+  let validate j =
+    let ( let* ) = Result.bind in
+    let field name ev =
+      match Json.member name ev with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "event missing field %S" name)
+    in
+    let str name ev =
+      let* v = field name ev in
+      match v with Json.Str s -> Ok s | _ -> Error (name ^ " is not a string")
+    in
+    let num name ev =
+      let* v = field name ev in
+      match v with Json.Num f -> Ok f | _ -> Error (name ^ " is not a number")
+    in
+    match Json.member "traceEvents" j with
+    | None -> Error "top-level object has no traceEvents"
+    | Some (Json.Arr events) ->
+        let check ev =
+          match ev with
+          | Json.Obj _ ->
+              let* _name = str "name" ev in
+              let* _cat = str "cat" ev in
+              let* ph = str "ph" ev in
+              let* ts = num "ts" ev in
+              let* dur = num "dur" ev in
+              let* _pid = num "pid" ev in
+              let* _tid = num "tid" ev in
+              if ph <> "X" then Error (Printf.sprintf "unexpected phase %S" ph)
+              else if ts < 0.0 then Error "negative begin timestamp"
+              else if dur < 0.0 then
+                Error "span end precedes its begin (negative dur)"
+              else Ok ()
+          | _ -> Error "traceEvents element is not an object"
+        in
+        List.fold_left
+          (fun acc ev -> match acc with Error _ -> acc | Ok () -> check ev)
+          (Ok ()) events
+    | Some _ -> Error "traceEvents is not an array"
+end
+
+let record_span ~cat ~name ~tid ~ts ~dur =
+  if !spans_on then
+    Trace.record { s_name = name; s_cat = cat; s_tid = tid; s_ts = ts; s_dur = dur }
+
+let span ~cat ~name f =
+  if not !on then f ()
+  else begin
+    let tid = Sim.self_tid () in
+    let ts = Sim.now () in
+    incr Trace.open_count;
+    let finish () =
+      decr Trace.open_count;
+      record_span ~cat ~name ~tid ~ts ~dur:(Sim.now () - ts)
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+(* ---- layer attribution -------------------------------------------------- *)
+
+(* One frame per thread: the outermost in-flight syscall.  Sub-layers
+   accumulate into it; media time inside a gate crossing or a lease wait is
+   subtracted from those buckets so the four buckets stay disjoint. *)
+type frame = {
+  mutable depth : int;  (* syscall nesting (truncate calls openf, ...) *)
+  mutable start : int;
+  mutable media : int;
+  mutable kern : int;
+  mutable lease_w : int;
+  mutable gate_depth : int;
+  mutable gate_start : int;
+  mutable gate_media0 : int;
+}
+
+let frames : (int, frame) Hashtbl.t = Hashtbl.create 64
+
+let frame tid =
+  match Hashtbl.find_opt frames tid with
+  | Some f -> f
+  | None ->
+      let f =
+        {
+          depth = 0;
+          start = 0;
+          media = 0;
+          kern = 0;
+          lease_w = 0;
+          gate_depth = 0;
+          gate_start = 0;
+          gate_media0 = 0;
+        }
+      in
+      Hashtbl.replace frames tid f;
+      f
+
+let c_syscalls = Counter.make "syscall.count"
+let c_total = Counter.make "layer.total_ns"
+let c_fslib = Counter.make "layer.fslib_ns"
+let c_kern = Counter.make "layer.kernfs_ns"
+let c_media = Counter.make "layer.media_ns"
+let c_lease = Counter.make "layer.lease_ns"
+let c_media_all = Counter.make "nvm.media_ns"
+let c_gate = Counter.make "gate.crossings"
+let c_lease_acq = Counter.make "lease.acquires"
+let c_lease_retries = Counter.make "lease.retries"
+let c_lease_wait = Counter.make "lease.wait_ns"
+
+let with_syscall name f =
+  if not !on then f ()
+  else begin
+    let tid = Sim.self_tid () in
+    let fr = frame tid in
+    let t0 = Sim.now () in
+    fr.depth <- fr.depth + 1;
+    if fr.depth = 1 then begin
+      fr.start <- t0;
+      fr.media <- 0;
+      fr.kern <- 0;
+      fr.lease_w <- 0
+    end;
+    incr Trace.open_count;
+    let finish () =
+      decr Trace.open_count;
+      let dt = Sim.now () - t0 in
+      observe ("syscall." ^ name) dt;
+      record_span ~cat:"syscall" ~name ~tid ~ts:t0 ~dur:dt;
+      fr.depth <- fr.depth - 1;
+      if fr.depth = 0 then begin
+        Counter.incr c_syscalls;
+        Counter.add c_total dt;
+        Counter.add c_media fr.media;
+        Counter.add c_kern fr.kern;
+        Counter.add c_lease fr.lease_w;
+        Counter.add c_fslib (max 0 (dt - fr.media - fr.kern - fr.lease_w))
+      end
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let with_kernel_crossing f =
+  if not !on then f ()
+  else begin
+    let tid = Sim.self_tid () in
+    let fr = frame tid in
+    Counter.incr c_gate;
+    let ts = Sim.now () in
+    fr.gate_depth <- fr.gate_depth + 1;
+    if fr.gate_depth = 1 then begin
+      fr.gate_start <- ts;
+      fr.gate_media0 <- fr.media
+    end;
+    incr Trace.open_count;
+    let finish () =
+      decr Trace.open_count;
+      record_span ~cat:"kernfs" ~name:"trap" ~tid ~ts ~dur:(Sim.now () - ts);
+      fr.gate_depth <- fr.gate_depth - 1;
+      if fr.gate_depth = 0 && fr.depth > 0 then
+        fr.kern <-
+          fr.kern
+          + max 0 (Sim.now () - fr.gate_start - (fr.media - fr.gate_media0))
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+type lease_token = { lt_t0 : int; lt_media0 : int; lt_live : bool }
+
+let dead_token = { lt_t0 = 0; lt_media0 = 0; lt_live = false }
+
+let lease_begin () =
+  if not !on then dead_token
+  else
+    let fr = frame (Sim.self_tid ()) in
+    { lt_t0 = Sim.now (); lt_media0 = fr.media; lt_live = true }
+
+let lease_end tok ~retries =
+  if tok.lt_live && !on then begin
+    let fr = frame (Sim.self_tid ()) in
+    let wait =
+      max 0 (Sim.now () - tok.lt_t0 - (fr.media - tok.lt_media0))
+    in
+    Counter.incr c_lease_acq;
+    Counter.add c_lease_retries retries;
+    Counter.add c_lease_wait wait;
+    if fr.depth > 0 then fr.lease_w <- fr.lease_w + wait
+  end
+
+(* ---- NVM media attribution ---------------------------------------------- *)
+
+let on_device_event ev =
+  if !on then begin
+    let ns =
+      match (ev : Nvm.Device.trace_event) with
+      | T_store { ns; _ } | T_nt_store { ns; _ } | T_load { ns; _ }
+      | T_clwb { ns; _ } | T_fence { ns; _ } ->
+          ns
+      | T_reset -> 0
+    in
+    if ns > 0 then begin
+      Counter.add c_media_all ns;
+      match Hashtbl.find_opt frames (Sim.self_tid ()) with
+      | Some fr when fr.depth > 0 -> fr.media <- fr.media + ns
+      | _ -> ()
+    end
+  end
+
+let attach_device dev =
+  if !on then ignore (Nvm.Device.add_trace_subscriber dev on_device_event)
+
+(* ---- snapshots ----------------------------------------------------------- *)
+
+module Snapshot = struct
+  type sval = V_counter of int | V_gauge of float | V_hist of Hist.t
+
+  type t = (string * sval) list  (* sorted by name *)
+
+  let take () =
+    Hashtbl.fold
+      (fun name m acc ->
+        let v =
+          match m with
+          | M_counter r -> V_counter !r
+          | M_gauge r -> V_gauge !r
+          | M_hist h -> V_hist (Hist.copy h)
+        in
+        (name, v) :: acc)
+      registry []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let diff older newer =
+    List.filter_map
+      (fun (name, nv) ->
+        match (nv, List.assoc_opt name older) with
+        | V_counter n, Some (V_counter o) -> Some (name, V_counter (n - o))
+        | V_hist n, Some (V_hist o) -> Some (name, V_hist (Hist.sub n o))
+        | v, _ -> Some (name, v))
+      newer
+
+  let counter_value t name =
+    match List.assoc_opt name t with Some (V_counter n) -> Some n | _ -> None
+
+  let commas n =
+    let neg = n < 0 in
+    let s = string_of_int (abs n) in
+    let len = String.length s in
+    let b = Buffer.create (len + 4) in
+    if neg then Buffer.add_char b '-';
+    String.iteri
+      (fun i c ->
+        if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char b ',';
+        Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let render ?(title = "obs") t =
+    let b = Buffer.create 1024 in
+    Printf.bprintf b "== %s ==\n" title;
+    let counters =
+      List.filter_map
+        (fun (n, v) -> match v with V_counter c when c <> 0 -> Some (n, c) | _ -> None)
+        t
+    in
+    let gauges =
+      List.filter_map
+        (fun (n, v) -> match v with V_gauge g when g <> 0.0 -> Some (n, g) | _ -> None)
+        t
+    in
+    let hists =
+      List.filter_map
+        (fun (n, v) ->
+          match v with V_hist h when Hist.count h > 0 -> Some (n, h) | _ -> None)
+        t
+    in
+    if counters <> [] then begin
+      Buffer.add_string b "counters:\n";
+      List.iter
+        (fun (n, c) -> Printf.bprintf b "  %-28s %16s\n" n (commas c))
+        counters
+    end;
+    if gauges <> [] then begin
+      Buffer.add_string b "gauges:\n";
+      List.iter (fun (n, g) -> Printf.bprintf b "  %-28s %16.3f\n" n g) gauges
+    end;
+    if hists <> [] then begin
+      Printf.bprintf b "histograms (ns): %-12s %8s %10s %10s %10s %10s\n" ""
+        "count" "p50" "p90" "p99" "max";
+      List.iter
+        (fun (n, h) ->
+          Printf.bprintf b "  %-26s %8s %10s %10s %10s %10s\n" n
+            (commas (Hist.count h))
+            (commas (Hist.percentile h 0.50))
+            (commas (Hist.percentile h 0.90))
+            (commas (Hist.percentile h 0.99))
+            (commas (Hist.max_value h)))
+        hists
+    end;
+    (match counter_value t "layer.total_ns" with
+    | Some total when total > 0 ->
+        let part name =
+          match counter_value t name with Some v -> v | None -> 0
+        in
+        let fslib = part "layer.fslib_ns"
+        and kern = part "layer.kernfs_ns"
+        and media = part "layer.media_ns"
+        and lease = part "layer.lease_ns" in
+        let pct v = 100.0 *. float_of_int v /. float_of_int total in
+        Printf.bprintf b
+          "layer split: FSLib %.1f%%  KernFS-trap %.1f%%  NVM-media %.1f%%  \
+           lease-wait %.1f%%  (%s ns over %s syscalls)\n"
+          (pct fslib) (pct kern) (pct media) (pct lease) (commas total)
+          (commas
+             (match counter_value t "syscall.count" with Some n -> n | None -> 0))
+    | _ -> ());
+    Buffer.contents b
+
+  let hist_to_json h =
+    Json.Obj
+      [
+        ("count", Json.Num (float_of_int (Hist.count h)));
+        ("min", Json.Num (float_of_int (Hist.min_value h)));
+        ("max", Json.Num (float_of_int (Hist.max_value h)));
+        ("sum", Json.Num (float_of_int (Hist.sum h)));
+        ( "buckets",
+          Json.Arr
+            (List.map
+               (fun (i, c) ->
+                 Json.Arr [ Json.Num (float_of_int i); Json.Num (float_of_int c) ])
+               (Hist.buckets h)) );
+      ]
+
+  let to_json t =
+    let pick f = List.filter_map f t in
+    Json.Obj
+      [
+        ( "counters",
+          Json.Obj
+            (pick (fun (n, v) ->
+                 match v with
+                 | V_counter c -> Some (n, Json.Num (float_of_int c))
+                 | _ -> None)) );
+        ( "gauges",
+          Json.Obj
+            (pick (fun (n, v) ->
+                 match v with V_gauge g -> Some (n, Json.Num g) | _ -> None)) );
+        ( "histograms",
+          Json.Obj
+            (pick (fun (n, v) ->
+                 match v with V_hist h -> Some (n, hist_to_json h) | _ -> None))
+        );
+      ]
+
+  let hist_of_json j =
+    let num name =
+      match Json.member name j with
+      | Some (Json.Num f) -> Ok (int_of_float f)
+      | _ -> Error ("histogram field " ^ name ^ " missing or not a number")
+    in
+    let ( let* ) = Result.bind in
+    let* n = num "count" in
+    let* mn = num "min" in
+    let* mx = num "max" in
+    let* sm = num "sum" in
+    let h = Hist.create () in
+    h.Hist.n <- n;
+    h.Hist.mn <- mn;
+    h.Hist.mx <- mx;
+    h.Hist.sm <- sm;
+    match Json.member "buckets" j with
+    | Some (Json.Arr l) ->
+        let rec fill = function
+          | [] -> Ok h
+          | Json.Arr [ Json.Num i; Json.Num c ] :: rest ->
+              let i = int_of_float i in
+              if i < 0 || i >= Hist.nbuckets then Error "bucket index out of range"
+              else begin
+                h.Hist.counts.(i) <- int_of_float c;
+                fill rest
+              end
+          | _ -> Error "malformed bucket entry"
+        in
+        fill l
+    | _ -> Error "histogram has no buckets array"
+
+  let of_json j =
+    let ( let* ) = Result.bind in
+    let section name =
+      match Json.member name j with
+      | Some (Json.Obj l) -> Ok l
+      | None -> Ok []
+      | Some _ -> Error (name ^ " is not an object")
+    in
+    let* counters = section "counters" in
+    let* gauges = section "gauges" in
+    let* histograms = section "histograms" in
+    let* cs =
+      List.fold_left
+        (fun acc (n, v) ->
+          let* acc = acc in
+          match v with
+          | Json.Num f -> Ok ((n, V_counter (int_of_float f)) :: acc)
+          | _ -> Error ("counter " ^ n ^ " is not a number"))
+        (Ok []) counters
+    in
+    let* gs =
+      List.fold_left
+        (fun acc (n, v) ->
+          let* acc = acc in
+          match v with
+          | Json.Num f -> Ok ((n, V_gauge f) :: acc)
+          | _ -> Error ("gauge " ^ n ^ " is not a number"))
+        (Ok []) gauges
+    in
+    let* hs =
+      List.fold_left
+        (fun acc (n, v) ->
+          let* acc = acc in
+          let* h = hist_of_json v in
+          Ok ((n, V_hist h) :: acc))
+        (Ok []) histograms
+    in
+    Ok (List.sort (fun (a, _) (b, _) -> compare a b) (cs @ gs @ hs))
+end
+
+(* ---- switch -------------------------------------------------------------- *)
+
+let enable ?(spans = true) () =
+  on := true;
+  spans_on := spans
+
+let disable () = on := false
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter r -> r := 0
+      | M_gauge r -> r := 0.0
+      | M_hist h ->
+          Array.fill h.Hist.counts 0 Hist.nbuckets 0;
+          h.Hist.n <- 0;
+          h.Hist.mn <- 0;
+          h.Hist.mx <- 0;
+          h.Hist.sm <- 0)
+    registry;
+  Trace.reset ();
+  Hashtbl.reset frames

@@ -1,0 +1,191 @@
+(** Observability layer: a metrics registry (counters, gauges, log-bucketed
+    latency histograms), sim-clock span tracing exported as Chrome/Perfetto
+    [trace_events] JSON, and per-syscall layer time attribution
+    (FSLib / KernFS-trap / NVM-media / lease-wait).
+
+    Everything is driven by the deterministic simulation clock ({!Sim.now})
+    and records through host-side state only: enabling observability never
+    calls {!Sim.advance}, so simulated results are bit-identical with obs on
+    or off.  All instrumentation entry points are cheap no-ops while
+    disabled. *)
+
+(** {1 Global switch} *)
+
+val enable : ?spans:bool -> unit -> unit
+(** Turn instrumentation on.  [spans] (default [true]) also records span
+    begin/end pairs into the trace ring buffer. *)
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every registered metric and clear the span ring buffer (metric
+    handles stay valid). *)
+
+(** {1 Minimal JSON (zero-dependency)} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] otherwise. *)
+end
+
+(** {1 Log-bucketed histograms (ns)}
+
+    Values 0–15 get exact buckets; beyond that, 8 sub-buckets per power of
+    two (~12.5% relative error), enough range for any int.  Histograms are
+    mergeable: threads (or runs) can record separately and combine. *)
+
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  (** Negative samples are clamped to 0. *)
+
+  val count : t -> int
+  val min_value : t -> int  (** 0 when empty *)
+
+  val max_value : t -> int  (** 0 when empty *)
+
+  val sum : t -> int
+  val mean : t -> float
+  val percentile : t -> float -> int
+  (** [percentile t 0.99]; returns the bucket's upper bound clamped to the
+      observed min/max (exact when all samples share a bucket); 0 when
+      empty. *)
+
+  val merge : t -> t -> t
+  (** Pure: neither input is modified. *)
+
+  val buckets : t -> (int * int) list
+  (** Non-empty buckets, [(index, count)], ascending. *)
+
+  (** Bucket math, exposed for boundary tests. *)
+
+  val nbuckets : int
+  val bucket_index : int -> int
+  val bucket_bounds : int -> int * int
+  (** [(lo, hi)] inclusive value range of a bucket. *)
+end
+
+(** {1 Registry}
+
+    Metrics are registered by name (idempotently: [make] twice with one name
+    yields the same underlying metric).  Handle operations always record;
+    the convenience name-keyed helpers ({!cnt}, {!observe}) and all
+    instrumentation entry points are gated on {!enabled}. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  val add : t -> int -> unit
+  val incr : t -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val make : string -> t
+  val observe : t -> int -> unit
+  val hist : t -> Hist.t  (** the live underlying histogram *)
+end
+
+val cnt : string -> int -> unit
+(** [cnt name n] adds [n] to the named counter — no-op while disabled. *)
+
+val observe : string -> int -> unit
+(** Record a sample in the named histogram — no-op while disabled. *)
+
+(** {1 Snapshots} *)
+
+module Snapshot : sig
+  type t
+
+  val take : unit -> t
+  val diff : t -> t -> t
+  (** [diff older newer]: counters and histograms subtract (gauges keep the
+      newer value; histogram min/max come from the newer side). *)
+
+  val render : ?title:string -> t -> string
+  (** Counter table, histogram table (count/p50/p90/p99/max), and — when the
+      [layer.*] counters are present — a FSLib/KernFS/NVM-media/lease-wait
+      split with percentages. *)
+
+  val to_json : t -> Json.t
+  val of_json : Json.t -> (t, string) result
+end
+
+(** {1 Span tracing} *)
+
+val span : cat:string -> name:string -> (unit -> 'a) -> 'a
+(** Record a begin/end pair around [f] (sim-time timestamps, current thread
+    id) into the ring buffer; transparent while disabled. *)
+
+module Trace : sig
+  val set_capacity : int -> unit
+  (** Ring-buffer capacity in spans (default 65536); clears the buffer. *)
+
+  val reset : unit -> unit
+  val recorded : unit -> int
+  val dropped : unit -> int
+  (** Spans overwritten because the ring wrapped. *)
+
+  val open_spans : unit -> int
+  (** Spans begun but not yet ended — nonzero means an unbalanced trace. *)
+
+  val to_json : unit -> Json.t
+  (** Chrome/Perfetto trace: [{"traceEvents": [{"ph":"X", ...}, ...]}],
+      timestamps in microseconds of simulated time. *)
+
+  val validate : Json.t -> (unit, string) result
+  (** Structural well-formedness: a [traceEvents] array whose elements are
+      complete ("X") events with string [name]/[cat] and non-negative
+      numeric [ts]/[dur] (begin <= end), plus numeric [pid]/[tid]. *)
+end
+
+(** {1 Instrumentation entry points (used by the FS layers)} *)
+
+val with_syscall : string -> (unit -> 'a) -> 'a
+(** Wraps one Dispatcher syscall: span + [syscall.<name>] latency histogram;
+    the outermost syscall on a thread also attributes its elapsed time to
+    the [layer.*] counters (fslib/kernfs/media/lease/total). *)
+
+val with_kernel_crossing : (unit -> 'a) -> 'a
+(** Wraps one KernFS gate crossing: span + [gate.crossings] counter; inside
+    a syscall, the crossing's time (minus NVM media time spent within) goes
+    to [layer.kernfs_ns]. *)
+
+type lease_token
+
+val lease_begin : unit -> lease_token
+
+val lease_end : lease_token -> retries:int -> unit
+(** Records [lease.acquires]/[lease.retries]/[lease.wait_ns]; inside a
+    syscall the wait (minus media time within) goes to [layer.lease_ns]. *)
+
+val attach_device : Nvm.Device.t -> unit
+(** Subscribe to the device's trace stream (multi-subscriber: composes with
+    [lib/check]) and account each operation's charged simulated time to
+    [nvm.media_ns] and, inside a syscall, to [layer.media_ns].  No-op while
+    disabled — call after {!enable}. *)

@@ -43,9 +43,11 @@ type instance = {
 let make_zofs ?(root_mode = 0o755) ~pages ~perf () =
   let dev = Nvm.Device.create ~perf ~size:(pages * Nvm.page_size) () in
   let mpk = Mpk.create dev in
-  (* No-op unless zofs_check enabled the checkers; attaching before mkfs
-     lets the checker see the root structures get registered. *)
+  (* No-ops unless zofs_check enabled the checkers / obs is enabled;
+     attaching before mkfs lets the checker see the root structures get
+     registered.  Both attach as independent trace subscribers. *)
   Check.auto_attach dev mpk;
+  Obs.attach_device dev;
   (* Root is 0755: its rw-permission class (0644) matches the 0644 files
      the workloads create, so they share the root coffer as the paper's
      grouping analysis predicts. *)
@@ -65,7 +67,8 @@ let zofs_fslib ?variant kfs =
   Treasury.Dispatcher.as_vfs disp
 
 let make ?(pages = 65536) ?(perf = Nvm.Perf.optane) sys : instance =
-  match sys with
+  let inst =
+    match sys with
   | Zofs ->
       let dev, kfs = make_zofs ~pages ~perf () in
       { fs = zofs_fslib kfs; sys; kernfs = Some kfs; device = dev }
@@ -136,6 +139,11 @@ let make ?(pages = 65536) ?(perf = Nvm.Perf.optane) sys : instance =
           Nvm.Device.create ~perf:Nvm.Perf.free ~size:Nvm.page_size ()
       in
       { fs; sys; kernfs = None; device }
+  in
+  (match inst.sys with
+  | Zofs | Zofs_variant _ -> ()  (* make_zofs already attached *)
+  | _ -> Obs.attach_device inst.device);
+  inst
 
 let one_coffer_variant =
   Zofs_variant

@@ -35,6 +35,10 @@ let run ?(uid = 0) ~nthreads ~ops ~setup ~worker () =
       done);
   Sim.run world;
   let elapsed = max 1 (!t_end - !t_start) in
+  if Obs.enabled () then begin
+    Obs.cnt "runner.ops" !completed;
+    Obs.cnt "runner.sim_ns" elapsed
+  end;
   {
     nthreads;
     total_ops = !completed;

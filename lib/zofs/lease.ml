@@ -26,6 +26,8 @@ let now () =
    thread holds a valid lease. *)
 let acquire ?(duration = default_duration) dev addr =
   let me = owner_code () in
+  let tok = Obs.lease_begin () in
+  let retries = ref 0 in
   (* After a CAS-failure backoff the previous timestamp is at most
      [backoff] ns stale — well within lease granularity — so the retry
      reuses it instead of paying clock_gettime_cost a second time. *)
@@ -36,14 +38,18 @@ let acquire ?(duration = default_duration) dev addr =
       (* No flush: lease state is coordination only — after a crash every
          lease has expired by construction. *)
       let desired = pack ~expiry:(t + duration) ~code:me in
-      if Nvm.Device.cas_u64 dev addr ~expected:v ~desired then
+      if Nvm.Device.cas_u64 dev addr ~expected:v ~desired then begin
+        Obs.lease_end tok ~retries:!retries;
         Check.on_lease_acquired dev addr
+      end
       else begin
+        incr retries;
         Sim.advance backoff;
         attempt ~fresh_clock:false
       end
     end
     else begin
+      incr retries;
       Sim.advance backoff;
       attempt ~fresh_clock:true
     end

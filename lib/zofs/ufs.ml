@@ -121,10 +121,13 @@ let evict_one t =
   | Some cs ->
       forget_session t cs;
       ignore (K.coffer_unmap t.kfs cs.cs_cid);
+      Obs.cnt "coffer.evictions" 1;
+      Obs.cnt "coffer.unmaps" 1;
       true
   | None -> false
 
 let rec map_coffer t cid =
+  Obs.span ~cat:"coffer" ~name:"map" @@ fun () ->
   match K.coffer_map t.kfs cid with
   | Ok m -> (
       let info =
@@ -156,12 +159,14 @@ let rec map_coffer t cid =
           in
           Hashtbl.replace t.sessions cid cs;
           Hashtbl.replace t.by_path info.Coffer.path cid;
+          Obs.cnt "coffer.maps" 1;
           (* The root-file address now comes from the kernel's mapping, not
              from whatever dentry pointed here: validated (G3). *)
           Check.validate_cross t.dev cs.cs_root_file;
           Ok cs
       | None ->
           ignore (K.coffer_unmap t.kfs cid);
+          Obs.cnt "coffer.unmaps" 1;
           Error E.EIO)
   | Error E.EMFILE ->
       if evict_one t then map_coffer t cid else Error E.EMFILE

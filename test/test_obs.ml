@@ -1,0 +1,511 @@
+(* Tests for the observability layer (lib/obs): histogram bucket math and
+   merge laws, snapshot round-trips, multi-subscriber trace dispatch (the
+   lib/check + lib/obs composition regression), lease retry accounting,
+   span balance / Chrome-trace well-formedness, and the zero-sim-cost
+   guarantee of enabling obs. *)
+
+module D = Nvm.Device
+module H = Obs.Hist
+module J = Obs.Json
+module V = Treasury.Vfs
+
+let pg = Nvm.page_size
+
+(* Run [f] with obs freshly enabled, then restore the disabled default so
+   the global switch never leaks into other tests. *)
+let with_obs ?(spans = true) f =
+  Obs.enable ~spans ();
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let cval name = Obs.Counter.value (Obs.Counter.make name)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ---- histogram edge cases ----------------------------------------------- *)
+
+let test_hist_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  Alcotest.(check int) "min" 0 (H.min_value h);
+  Alcotest.(check int) "max" 0 (H.max_value h);
+  Alcotest.(check int) "sum" 0 (H.sum h);
+  Alcotest.(check int) "p50" 0 (H.percentile h 0.5);
+  Alcotest.(check int) "p99" 0 (H.percentile h 0.99);
+  Alcotest.(check (list (pair int int))) "no buckets" [] (H.buckets h)
+
+let test_hist_single () =
+  let h = H.create () in
+  H.add h 12345;
+  Alcotest.(check int) "count" 1 (H.count h);
+  Alcotest.(check int) "min" 12345 (H.min_value h);
+  Alcotest.(check int) "max" 12345 (H.max_value h);
+  Alcotest.(check int) "sum" 12345 (H.sum h);
+  (* all percentiles of a single sample are that sample (clamped to the
+     observed min/max even though the bucket is ~12.5% wide) *)
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%g" (q *. 100.))
+        12345 (H.percentile h q))
+    [ 0.01; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_hist_negative_clamped () =
+  let h = H.create () in
+  H.add h (-7);
+  Alcotest.(check int) "count" 1 (H.count h);
+  Alcotest.(check int) "clamped to 0" 0 (H.max_value h)
+
+let test_hist_bucket_boundaries () =
+  (* values 0..15 get exact singleton buckets *)
+  for v = 0 to 15 do
+    Alcotest.(check int) (Printf.sprintf "index %d" v) v (H.bucket_index v);
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "bounds %d" v)
+      (v, v)
+      (H.bucket_bounds (H.bucket_index v))
+  done;
+  (* every bucket contains the values that index into it *)
+  let probes =
+    [ 15; 16; 17; 31; 32; 33; 63; 64; 100; 255; 256; 1023; 1024; 1_000_000;
+      max_int / 2; max_int ]
+  in
+  List.iter
+    (fun v ->
+      let b = H.bucket_index v in
+      Alcotest.(check bool)
+        (Printf.sprintf "index %d in range" v)
+        true
+        (b >= 0 && b < H.nbuckets);
+      let lo, hi = H.bucket_bounds b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d within [%d,%d]" v lo hi)
+        true
+        (lo <= v && v <= hi))
+    probes;
+  (* bucket_index is monotone across boundaries... *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone at %d" v)
+        true
+        (H.bucket_index v <= H.bucket_index (v + 1)))
+    [ 14; 15; 16; 17; 31; 32; 63; 64; 127; 128; 1023; 1024 ];
+  (* ...and consecutive buckets tile the value space with no gap/overlap *)
+  for b = 0 to 99 do
+    let _, hi = H.bucket_bounds b in
+    let lo', _ = H.bucket_bounds (b + 1) in
+    Alcotest.(check int) (Printf.sprintf "adjacent %d" b) (hi + 1) lo'
+  done
+
+let hist_of values =
+  let h = H.create () in
+  List.iter (H.add h) values;
+  h
+
+let hist_eq name a b =
+  Alcotest.(check int) (name ^ " count") (H.count a) (H.count b);
+  Alcotest.(check int) (name ^ " sum") (H.sum a) (H.sum b);
+  Alcotest.(check int) (name ^ " min") (H.min_value a) (H.min_value b);
+  Alcotest.(check int) (name ^ " max") (H.max_value a) (H.max_value b);
+  Alcotest.(check (list (pair int int)))
+    (name ^ " buckets") (H.buckets a) (H.buckets b);
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s p%g" name (q *. 100.))
+        (H.percentile a q) (H.percentile b q))
+    [ 0.5; 0.9; 0.99 ]
+
+let test_hist_merge_associative () =
+  let a = hist_of [ 1; 5; 17; 100 ]
+  and b = hist_of [ 0; 2_000; 2_001 ]
+  and c = hist_of [ 12345; 7 ] in
+  hist_eq "assoc" (H.merge (H.merge a b) c) (H.merge a (H.merge b c));
+  hist_eq "comm" (H.merge a b) (H.merge b a);
+  (* merge is pure: inputs unchanged *)
+  Alcotest.(check int) "a untouched" 4 (H.count a);
+  Alcotest.(check int) "b untouched" 3 (H.count b);
+  (* merging the empty histogram is the identity *)
+  hist_eq "unit" (H.merge a (H.create ())) a
+
+(* ---- registry + snapshots ----------------------------------------------- *)
+
+let test_disabled_is_noop () =
+  Obs.disable ();
+  Obs.reset ();
+  Obs.cnt "test.noop" 5;
+  Obs.observe "test.noop_h" 100;
+  Alcotest.(check int) "counter untouched" 0 (cval "test.noop");
+  Alcotest.(check int) "hist untouched" 0
+    (H.count (Obs.Histogram.hist (Obs.Histogram.make "test.noop_h")))
+
+let test_snapshot_diff_and_roundtrip () =
+  with_obs (fun () ->
+      Obs.cnt "test.ops" 10;
+      Obs.observe "test.lat" 100;
+      let s1 = Obs.Snapshot.take () in
+      Obs.cnt "test.ops" 32;
+      Obs.observe "test.lat" 3_000;
+      let s2 = Obs.Snapshot.take () in
+      let d = Obs.Snapshot.diff s1 s2 in
+      (* the diff shows only the delta... *)
+      let r = Obs.Snapshot.render ~title:"delta" d in
+      Alcotest.(check bool) "delta counter" true (contains r "32");
+      (* ...and snapshots survive a JSON round-trip bit-for-bit *)
+      let json = Obs.Snapshot.to_json s2 in
+      match Obs.Snapshot.of_json json with
+      | Error e -> Alcotest.failf "of_json: %s" e
+      | Ok s2' ->
+          Alcotest.(check string)
+            "render equal after round-trip"
+            (Obs.Snapshot.render s2)
+            (Obs.Snapshot.render s2');
+          (* and the re-encoded JSON is identical *)
+          Alcotest.(check string)
+            "json stable"
+            (J.to_string json)
+            (J.to_string (Obs.Snapshot.to_json s2')))
+
+let test_json_parse () =
+  (match J.of_string {| {"a": [1, 2.5, true, null, "xA"], "b": {}} |} with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok j -> (
+      match J.member "a" j with
+      | Some (J.Arr [ J.Num 1.; J.Num 2.5; J.Bool true; J.Null; J.Str "xA" ])
+        ->
+          ()
+      | _ -> Alcotest.fail "unexpected structure"));
+  match J.of_string "{broken" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted malformed JSON"
+
+(* ---- multi-subscriber trace dispatch (satellite: check + obs compose) --- *)
+
+let test_device_subscribers_both_fire () =
+  let dev = D.create ~perf:Nvm.Perf.free ~size:(4 * pg) () in
+  let n1 = ref 0 and n2 = ref 0 in
+  let s1 = D.add_trace_subscriber dev (fun _ -> incr n1) in
+  let _s2 = D.add_trace_subscriber dev (fun _ -> incr n2) in
+  D.write_u64 dev 0 42;
+  Alcotest.(check bool) "first fired" true (!n1 > 0);
+  Alcotest.(check int) "both saw the same events" !n1 !n2;
+  D.remove_trace_subscriber dev s1;
+  let before = !n2 in
+  D.write_u64 dev 8 43;
+  Alcotest.(check int) "removed subscriber silent" 1 !n1;
+  Alcotest.(check bool) "remaining still fires" true (!n2 > before)
+
+let test_device_legacy_hook_slot () =
+  let dev = D.create ~perf:Nvm.Perf.free ~size:(4 * pg) () in
+  let sub = ref 0 and h1 = ref 0 and h2 = ref 0 in
+  ignore (D.add_trace_subscriber dev (fun _ -> incr sub));
+  D.set_trace_hook dev (fun _ -> incr h1);
+  D.write_u64 dev 0 1;
+  Alcotest.(check bool) "hook fired" true (!h1 > 0);
+  (* setting again replaces only the legacy slot, not the subscriber *)
+  D.set_trace_hook dev (fun _ -> incr h2);
+  let h1_frozen = !h1 and sub_before = !sub in
+  D.write_u64 dev 0 2;
+  Alcotest.(check int) "old hook replaced" h1_frozen !h1;
+  Alcotest.(check bool) "new hook fires" true (!h2 > 0);
+  Alcotest.(check bool) "subscriber unaffected" true (!sub > sub_before);
+  D.clear_trace_hook dev;
+  let h2_frozen = !h2 and sub_before = !sub in
+  D.write_u64 dev 0 3;
+  Alcotest.(check int) "cleared hook silent" h2_frozen !h2;
+  Alcotest.(check bool) "subscriber survives clear" true (!sub > sub_before)
+
+let test_mpk_subscribers_both_fire () =
+  let dev = D.create ~perf:Nvm.Perf.free ~size:(4 * pg) () in
+  let mpk = Mpk.create dev in
+  let n1 = ref 0 and n2 = ref 0 in
+  let s1 = Mpk.add_trace_subscriber mpk (fun _ -> incr n1) in
+  let _s2 = Mpk.add_trace_subscriber mpk (fun _ -> incr n2) in
+  let proc = Sim.Proc.create ~uid:0 ~gid:0 () in
+  Sim.run_thread ~proc (fun () ->
+      Mpk.wrpkru mpk [ (1, Mpk.Pk_read_write) ];
+      Mpk.with_keys mpk [ (2, Mpk.Pk_read) ] (fun () -> ()));
+  Alcotest.(check bool) "first fired" true (!n1 > 0);
+  Alcotest.(check int) "both saw the same events" !n1 !n2;
+  Mpk.remove_trace_subscriber mpk s1;
+  let frozen = !n1 in
+  Sim.run_thread ~proc (fun () -> Mpk.wrpkru mpk [ (1, Mpk.Pk_read) ]);
+  Alcotest.(check int) "removed subscriber silent" frozen !n1
+
+(* The regression the satellite asks for: lib/check (legacy hook slot) and
+   lib/obs (subscriber) attached to one device, both observing. *)
+let test_check_and_obs_compose () =
+  let dev = D.create ~perf:Nvm.Perf.optane ~size:(64 * pg) () in
+  let _t =
+    Check.attach ~persist:Check.Log ~guideline:Check.Off ~lock:Check.Off dev
+  in
+  Check.reset_report ();
+  Fun.protect
+    ~finally:(fun () ->
+      Check.detach ();
+      Check.reset_report ())
+    (fun () ->
+      with_obs (fun () ->
+          Obs.attach_device dev;
+          let media0 = cval "nvm.media_ns" in
+          Sim.run_thread (fun () ->
+              D.write_u64 dev 0 42;
+              (* publish without flush: the checker must still fire *)
+              Check.publish dev ~label:"inode-commit" 0 64);
+          let rules =
+            List.map
+              (fun v -> v.Check.v_rule)
+              (Check.report ()).Check.r_violations
+          in
+          Alcotest.(check (list string)) "check fires" [ "missing-flush" ]
+            rules;
+          Alcotest.(check bool) "obs accounted media time" true
+            (cval "nvm.media_ns" > media0)))
+
+(* ---- lease accounting (satellite) --------------------------------------- *)
+
+let test_uncontended_acquire_zero_retries () =
+  let dev = D.create ~perf:Nvm.Perf.free ~size:(4 * pg) () in
+  with_obs (fun () ->
+      let acq0 = cval "lease.acquires" and rty0 = cval "lease.retries" in
+      Sim.run_thread (fun () ->
+          Zofs.Lease.acquire dev pg;
+          Zofs.Lease.release dev pg);
+      Alcotest.(check int) "one acquire" (acq0 + 1) (cval "lease.acquires");
+      Alcotest.(check int) "zero retries" rty0 (cval "lease.retries"))
+
+let test_contended_acquire_counts_retries () =
+  let dev = D.create ~perf:Nvm.Perf.free ~size:(4 * pg) () in
+  with_obs (fun () ->
+      Sim.run_thread (fun () ->
+          (* a foreign owner holds the lease until t=10µs: the acquire must
+             spin (backoff 200 ns per attempt) until it expires, then steal *)
+          D.write_u64 dev pg ((10_000 lsl 16) lor 0xBEEF);
+          Zofs.Lease.acquire dev pg);
+      Alcotest.(check bool) "retries recorded" true (cval "lease.retries" > 0);
+      Alcotest.(check bool) "wait recorded" true (cval "lease.wait_ns" > 0);
+      Alcotest.(check int) "one acquire" 1 (cval "lease.acquires"))
+
+(* ---- spans + Chrome trace export ---------------------------------------- *)
+
+let test_spans_balanced_and_trace_valid () =
+  with_obs (fun () ->
+      Sim.run_thread (fun () ->
+          Obs.span ~cat:"test" ~name:"outer" (fun () ->
+              Sim.advance 100;
+              Obs.span ~cat:"test" ~name:"inner" (fun () -> Sim.advance 50);
+              Sim.advance 25);
+          Obs.span ~cat:"test" ~name:"second" (fun () -> Sim.advance 10));
+      Alcotest.(check int) "balanced" 0 (Obs.Trace.open_spans ());
+      Alcotest.(check int) "recorded" 3 (Obs.Trace.recorded ());
+      Alcotest.(check int) "no drops" 0 (Obs.Trace.dropped ());
+      let json = Obs.Trace.to_json () in
+      (match Obs.Trace.validate json with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "trace invalid: %s" e);
+      (* sim-time monotonicity: spans are recorded at end time, so end
+         timestamps (ts + dur) must be non-decreasing in export order, and
+         every begin/end pair must be non-negative (Chrome trace format) *)
+      let evs =
+        match J.member "traceEvents" json with
+        | Some (J.Arr evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      Alcotest.(check int) "all spans exported" 3 (List.length evs);
+      let num k ev =
+        match J.member k ev with
+        | Some (J.Num f) -> f
+        | _ -> Alcotest.failf "missing numeric %s" k
+      in
+      let last_end = ref 0.0 in
+      List.iter
+        (fun ev ->
+          (match J.member "ph" ev with
+          | Some (J.Str "X") -> ()
+          | _ -> Alcotest.fail "not a complete event");
+          let ts = num "ts" ev and dur = num "dur" ev in
+          Alcotest.(check bool) "ts >= 0" true (ts >= 0.0);
+          Alcotest.(check bool) "dur >= 0" true (dur >= 0.0);
+          Alcotest.(check bool) "ends ordered" true (ts +. dur >= !last_end);
+          last_end := ts +. dur)
+        evs;
+      (* the exported JSON string round-trips through the parser and still
+         validates (what bin/zofs_obs gates on) *)
+      match J.of_string (J.to_string json) with
+      | Error e -> Alcotest.failf "reparse: %s" e
+      | Ok j -> (
+          match Obs.Trace.validate j with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "reparsed trace invalid: %s" e))
+
+let test_span_ring_drops () =
+  with_obs (fun () ->
+      Obs.Trace.set_capacity 4;
+      Fun.protect
+        ~finally:(fun () -> Obs.Trace.set_capacity 65536)
+        (fun () ->
+          for i = 1 to 6 do
+            Obs.span ~cat:"test" ~name:(string_of_int i) (fun () -> ())
+          done;
+          Alcotest.(check int) "ring holds capacity" 4 (Obs.Trace.recorded ());
+          Alcotest.(check int) "drops counted" 2 (Obs.Trace.dropped ());
+          let json = Obs.Trace.to_json () in
+          (match Obs.Trace.validate json with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "trace invalid: %s" e);
+          (* oldest spans were evicted: the survivors are 3..6 *)
+          match J.member "traceEvents" json with
+          | Some (J.Arr evs) ->
+              let names =
+                List.map
+                  (fun ev ->
+                    match J.member "name" ev with
+                    | Some (J.Str s) -> s
+                    | _ -> Alcotest.fail "unnamed span")
+                  evs
+              in
+              Alcotest.(check (list string))
+                "oldest evicted" [ "3"; "4"; "5"; "6" ] names
+          | _ -> Alcotest.fail "no traceEvents array"))
+
+let test_span_exception_safe () =
+  with_obs (fun () ->
+      (try
+         Obs.span ~cat:"test" ~name:"boom" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check int) "span closed on exception" 0
+        (Obs.Trace.open_spans ());
+      Alcotest.(check int) "span still recorded" 1 (Obs.Trace.recorded ()))
+
+(* ---- syscall instrumentation + layer attribution ------------------------ *)
+
+let test_with_syscall_histogram_and_layers () =
+  with_obs (fun () ->
+      Sim.run_thread (fun () ->
+          Obs.with_syscall "probe" (fun () -> Sim.advance 100));
+      Alcotest.(check int) "syscall counted" 1 (cval "syscall.count");
+      let h = Obs.Histogram.hist (Obs.Histogram.make "syscall.probe") in
+      Alcotest.(check int) "one sample" 1 (H.count h);
+      Alcotest.(check int) "latency exact" 100 (H.percentile h 0.5);
+      Alcotest.(check int) "total attributed" 100 (cval "layer.total_ns");
+      (* no gate/media/lease inside: everything is FSLib time *)
+      Alcotest.(check int) "fslib gets the rest" 100 (cval "layer.fslib_ns");
+      let parts =
+        cval "layer.fslib_ns" + cval "layer.kernfs_ns"
+        + cval "layer.media_ns" + cval "layer.lease_ns"
+      in
+      Alcotest.(check bool) "parts <= total" true
+        (parts <= cval "layer.total_ns"))
+
+(* End-to-end through the real FS: the layer split must account the full
+   syscall time and the trace must stay balanced. *)
+let run_fs_ops w =
+  Testkit.in_proc w (fun fs ->
+      let t0 = Sim.now () in
+      Testkit.ok_or_fail (V.mkdir fs "/d" 0o755);
+      Testkit.ok_or_fail (V.write_file fs "/d/f" ~mode:0o644 "payload");
+      Alcotest.(check string)
+        "read back" "payload"
+        (Testkit.ok_or_fail (V.read_file fs "/d/f"));
+      Testkit.ok_or_fail (V.unlink fs "/d/f");
+      Testkit.ok_or_fail (V.rmdir fs "/d");
+      Sim.now () - t0)
+
+let test_layer_split_end_to_end () =
+  let w = Testkit.make_world () in
+  with_obs (fun () ->
+      Obs.attach_device w.Testkit.dev;
+      let elapsed = run_fs_ops w in
+      Alcotest.(check bool) "syscalls observed" true (cval "syscall.count" > 0);
+      Alcotest.(check bool) "gate crossings" true (cval "gate.crossings" > 0);
+      let total = cval "layer.total_ns" in
+      Alcotest.(check bool) "total covers the ops" true
+        (total > 0 && total <= elapsed);
+      let parts =
+        cval "layer.fslib_ns" + cval "layer.kernfs_ns"
+        + cval "layer.media_ns" + cval "layer.lease_ns"
+      in
+      Alcotest.(check bool) "split sums within total" true (parts <= total);
+      Alcotest.(check int) "trace balanced" 0 (Obs.Trace.open_spans ());
+      Alcotest.(check bool) "spans recorded" true (Obs.Trace.recorded () > 0);
+      match Obs.Trace.validate (Obs.Trace.to_json ()) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "trace invalid: %s" e)
+
+(* Acceptance criterion: enabling obs must not change simulated time. *)
+let test_obs_costs_no_sim_time () =
+  Obs.disable ();
+  Obs.reset ();
+  let elapsed_off = run_fs_ops (Testkit.make_world ()) in
+  let elapsed_on =
+    with_obs (fun () ->
+        let w = Testkit.make_world () in
+        Obs.attach_device w.Testkit.dev;
+        run_fs_ops w)
+  in
+  Alcotest.(check int) "sim-time identical with obs on" elapsed_off elapsed_on
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "single sample" `Quick test_hist_single;
+          Alcotest.test_case "negative clamped" `Quick
+            test_hist_negative_clamped;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_hist_bucket_boundaries;
+          Alcotest.test_case "merge associative" `Quick
+            test_hist_merge_associative;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "snapshot diff + round-trip" `Quick
+            test_snapshot_diff_and_roundtrip;
+          Alcotest.test_case "json parser" `Quick test_json_parse;
+        ] );
+      ( "subscribers",
+        [
+          Alcotest.test_case "device: both fire" `Quick
+            test_device_subscribers_both_fire;
+          Alcotest.test_case "device: legacy hook slot" `Quick
+            test_device_legacy_hook_slot;
+          Alcotest.test_case "mpk: both fire" `Quick
+            test_mpk_subscribers_both_fire;
+          Alcotest.test_case "check + obs compose" `Quick
+            test_check_and_obs_compose;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "uncontended: 0 retries" `Quick
+            test_uncontended_acquire_zero_retries;
+          Alcotest.test_case "contended: retries counted" `Quick
+            test_contended_acquire_counts_retries;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "balanced + valid trace" `Quick
+            test_spans_balanced_and_trace_valid;
+          Alcotest.test_case "ring drops" `Quick test_span_ring_drops;
+          Alcotest.test_case "exception safe" `Quick test_span_exception_safe;
+        ] );
+      ( "layers",
+        [
+          Alcotest.test_case "with_syscall histogram" `Quick
+            test_with_syscall_histogram_and_layers;
+          Alcotest.test_case "end-to-end layer split" `Quick
+            test_layer_split_end_to_end;
+          Alcotest.test_case "obs costs no sim time" `Quick
+            test_obs_costs_no_sim_time;
+        ] );
+    ]
