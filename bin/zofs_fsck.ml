@@ -23,7 +23,14 @@ let print_report (r : Zofs.Recovery.report) =
     r.Zofs.Recovery.cross_refs_repaired r.Zofs.Recovery.cross_refs_dropped
     (float_of_int (r.Zofs.Recovery.user_ns + r.Zofs.Recovery.kernel_ns) /. 1e3)
     (float_of_int r.Zofs.Recovery.user_ns /. 1e3)
-    (float_of_int r.Zofs.Recovery.kernel_ns /. 1e3)
+    (float_of_int r.Zofs.Recovery.kernel_ns /. 1e3);
+  match Zofs.Recovery.findings r with
+  | [] -> print_endline "findings:               none"
+  | fs ->
+      Printf.printf "findings:               %d\n" (List.length fs);
+      List.iter
+        (fun f -> Printf.printf "  - %s\n" (Zofs.Recovery.finding_to_string f))
+        fs
 
 let check_image path =
   if not (Sys.file_exists path) then begin

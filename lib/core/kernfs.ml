@@ -269,8 +269,22 @@ let root_coffer t = t.root_cid
 let alloc_table t = t.at
 
 (* Wrap a kernel operation: syscall gate + kernel lock. *)
+(* Every kernel operation runs as one device atomic section: its NVM
+   metadata writes commit durably together on return, and a crash landing
+   mid-operation rolls them all back — the observable semantics of the
+   journaling a real kernel applies to this metadata (paper §3.5: KernFS
+   recovers its own structures; partial updates are never exposed). *)
 let kernel_op t f =
-  Gate.syscall t.gate (fun () -> Sim.Mutex.with_lock t.lock f)
+  Gate.syscall t.gate (fun () ->
+      Sim.Mutex.with_lock t.lock (fun () ->
+          Nvm.Device.begin_atomic t.dev;
+          match f () with
+          | v ->
+              Nvm.Device.commit_atomic t.dev;
+              v
+          | exception e ->
+              Nvm.Device.abort_atomic t.dev;
+              raise e))
 
 (* ---- FS registry (fs_mount / fs_umount) ------------------------------- *)
 
@@ -698,6 +712,33 @@ let file_execve t ~cid ~pages =
 let list_coffers t =
   kernel_op t (fun () ->
       Ok (Hashtbl.fold (fun _ c acc -> c :: acc) t.coffers []))
+
+(* fsck support: free allocation-table runs whose owner id is not a
+   registered coffer — the residue of a coffer creation torn before its
+   path-map insert persisted (the provisional cid or a cid whose coffer
+   descriptor never became durable).  Reserved metadata owners are kept.
+   Returns the reclaimed [(owner, start, len)] runs. *)
+let reclaim_orphan_runs t =
+  kernel_op t (fun () ->
+      let orphans = ref [] in
+      let npages = Alloc_table.npages t.at in
+      let p = ref 0 in
+      while !p < npages do
+        let cid = Alloc_table.owner_of t.at ~page:!p in
+        let start = !p in
+        incr p;
+        while !p < npages && Alloc_table.owner_of t.at ~page:!p = cid do
+          incr p
+        done;
+        if
+          cid <> 0 && cid <> cid_meta && cid <> cid_pathmap
+          && not (Hashtbl.mem t.coffers cid)
+        then begin
+          Alloc_table.free_run t.at ~start ~len:(!p - start);
+          orphans := (cid, start, !p - start) :: !orphans
+        end
+      done;
+      Ok (List.rev !orphans))
 
 (* Which coffer owns [page] (0 = free)?  Used by the offline recovery tool
    to validate pointers before trusting them. *)

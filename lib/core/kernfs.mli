@@ -166,6 +166,11 @@ val file_execve : t -> cid:int -> pages:int list -> (unit, Errno.t) result
 
 val list_coffers : t -> (Coffer.info list, Errno.t) result
 
+val reclaim_orphan_runs : t -> ((int * int * int) list, Errno.t) result
+(** fsck support: free allocation-table runs whose owner is not a registered
+    coffer (residue of a coffer creation torn before its path-map insert
+    persisted).  Returns the reclaimed [(owner, start, len)] runs. *)
+
 val page_owner : t -> page:int -> (int, Errno.t) result
 (** Owning coffer-ID of a page (0 = free); used by fsck to validate
     pointers. *)

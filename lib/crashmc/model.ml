@@ -1,0 +1,181 @@
+(* The oracle: an in-memory model file system that shadows every
+   acknowledged syscall of an op script.  It deliberately mirrors the exact
+   error semantics of the µFS (lib/zofs/ufs.ml) — EEXIST/ENOENT/EISDIR
+   orderings and all — because the crash checker declares a divergence
+   whenever the recovered ZoFS tree disagrees with the model, and a model
+   that errs where ZoFS succeeds would poison every later prefix.  The
+   no-crash property test in test_crashmc.ml guards against such drift. *)
+
+module E = Treasury.Errno
+module Pathx = Treasury.Pathx
+module Op = Workloads.Opscript
+
+type node =
+  | File of { mutable data : string }
+  | Dir of (string, node) Hashtbl.t
+
+type t = { root : node }
+
+let create () = { root = Dir (Hashtbl.create 16) }
+
+let rec copy_node = function
+  | File f -> File { data = f.data }
+  | Dir d ->
+      let children = Hashtbl.create (max 8 (Hashtbl.length d)) in
+      Hashtbl.iter (fun k v -> Hashtbl.replace children k (copy_node v)) d;
+      Dir children
+
+let copy t = { root = copy_node t.root }
+
+(* Walk to the node at [path]: ENOENT for a missing component, ENOTDIR when
+   an intermediate component is a file (matching the µFS walk). *)
+let lookup t path =
+  let rec go node = function
+    | [] -> Ok node
+    | c :: rest -> (
+        match node with
+        | File _ -> Error E.ENOTDIR
+        | Dir d -> (
+            match Hashtbl.find_opt d c with
+            | None -> Error E.ENOENT
+            | Some n -> go n rest))
+  in
+  go t.root (Pathx.components (Pathx.normalize path))
+
+(* The parent directory's children table + the final name. *)
+let parent_dir t path =
+  let path = Pathx.normalize path in
+  if path = "/" then Error E.EINVAL
+  else
+    match lookup t (Pathx.dirname path) with
+    | Error e -> Error e
+    | Ok (File _) -> Error E.ENOTDIR
+    | Ok (Dir d) -> Ok (d, Pathx.basename path)
+
+let apply t (op : Op.op) : (unit, E.t) result =
+  match op with
+  | Op.Mkdir path -> (
+      match lookup t path with
+      | Ok _ -> Error E.EEXIST
+      | Error E.ENOENT -> (
+          match parent_dir t path with
+          | Error e -> Error e
+          | Ok (d, base) ->
+              if Hashtbl.mem d base then Error E.EEXIST
+              else begin
+                Hashtbl.replace d base
+                  (Dir (Hashtbl.create 8));
+                Ok ()
+              end)
+      | Error e -> Error e)
+  | Op.Create { path; mode = _; data } -> (
+      (* openf O_CREAT|O_WRONLY|O_TRUNC; write; close *)
+      match lookup t path with
+      | Ok (Dir _) -> Error E.EISDIR
+      | Ok (File f) ->
+          f.data <- data;
+          Ok ()
+      | Error E.ENOENT -> (
+          match parent_dir t path with
+          | Error e -> Error e
+          | Ok (d, base) ->
+              Hashtbl.replace d base (File { data });
+              Ok ())
+      | Error e -> Error e)
+  | Op.Pwrite { path; off; data } -> (
+      match lookup t path with
+      | Ok (Dir _) -> Error E.EISDIR
+      | Ok (File f) ->
+          let len = String.length data in
+          let old = f.data in
+          let newlen = max (String.length old) (off + len) in
+          let b = Bytes.make newlen '\000' in
+          Bytes.blit_string old 0 b 0 (String.length old);
+          Bytes.blit_string data 0 b off len;
+          f.data <- Bytes.to_string b;
+          Ok ()
+      | Error e -> Error e)
+  | Op.Append { path; data } -> (
+      (* openf O_CREAT|O_WRONLY|O_APPEND; write; close *)
+      match lookup t path with
+      | Ok (Dir _) -> Error E.EISDIR
+      | Ok (File f) ->
+          f.data <- f.data ^ data;
+          Ok ()
+      | Error E.ENOENT -> (
+          match parent_dir t path with
+          | Error e -> Error e
+          | Ok (d, base) ->
+              Hashtbl.replace d base (File { data });
+              Ok ())
+      | Error e -> Error e)
+  | Op.Unlink path -> (
+      match parent_dir t path with
+      | Error e -> Error e
+      | Ok (d, base) -> (
+          match Hashtbl.find_opt d base with
+          | None -> Error E.ENOENT
+          | Some (Dir _) -> Error E.EISDIR
+          | Some (File _) ->
+              Hashtbl.remove d base;
+              Ok ()))
+  | Op.Rmdir path -> (
+      if Pathx.normalize path = "/" then Error E.EBUSY
+      else
+        match parent_dir t path with
+        | Error e -> Error e
+        | Ok (d, base) -> (
+            match Hashtbl.find_opt d base with
+            | None -> Error E.ENOENT
+            | Some (File _) -> Error E.ENOTDIR
+            | Some (Dir sub) ->
+                if Hashtbl.length sub > 0 then Error E.ENOTEMPTY
+                else begin
+                  Hashtbl.remove d base;
+                  Ok ()
+                end))
+  | Op.Rename { src; dst } -> (
+      if src = dst then Ok ()
+      else if Pathx.is_prefix ~prefix:src dst then Error E.EINVAL
+      else
+        match parent_dir t src with
+        | Error e -> Error e
+        | Ok (sd, sbase) -> (
+            match parent_dir t dst with
+            | Error e -> Error e
+            | Ok (dd, dbase) -> (
+                match Hashtbl.find_opt sd sbase with
+                | None -> Error E.ENOENT
+                | Some node -> (
+                    match Hashtbl.find_opt dd dbase with
+                    | Some (Dir _) -> Error E.EISDIR
+                    | Some (File _) | None ->
+                        Hashtbl.remove sd sbase;
+                        Hashtbl.replace dd dbase node;
+                        Ok ()))))
+
+(* --- dumps: the comparison currency of the checker ----------------------- *)
+
+(* A dump lists every path except "/" with its kind and, for files, the full
+   content, sorted by path.  Two file systems are semantically equal iff
+   their dumps are equal. *)
+type entry = string * [ `Dir | `File of string ]
+
+let dump t : entry list =
+  let acc = ref [] in
+  let rec go path node =
+    match node with
+    | File f -> acc := (path, `File f.data) :: !acc
+    | Dir d ->
+        if path <> "/" then acc := (path, `Dir) :: !acc;
+        Hashtbl.iter (fun name n -> go (Pathx.concat path name) n) d
+  in
+  go "/" t.root;
+  List.sort compare !acc
+
+let entry_to_string (path, kind) =
+  match kind with
+  | `Dir -> path ^ "/"
+  | `File data -> Printf.sprintf "%s (%d bytes)" path (String.length data)
+
+let equal a b = dump a = dump b

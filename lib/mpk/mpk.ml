@@ -61,6 +61,9 @@ let perms_of_pkru v =
 
 let fault t addr write reason =
   t.faults <- t.faults + 1;
+  (if Sys.getenv_opt "MPK_DEBUG_FAULT" <> None then
+     Printf.eprintf "FAULT addr=%d write=%b %s\n%s\n%!" addr write reason
+       (Printexc.raw_backtrace_to_string (Printexc.get_callstack 25)));
   raise (Nvm.Fault { addr; write; reason })
 
 let table t pid =

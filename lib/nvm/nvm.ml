@@ -97,6 +97,10 @@ module Device = struct
     mutable n_fences : int;
     mutable n_redundant_flushes : int;  (* clwb of a clean/already-flushing line *)
     mutable n_redundant_fences : int;  (* sfence with nothing flushing *)
+    mutable fences_to_drop : int;  (* fault injection: skip the next N sfences *)
+    mutable atomic_depth : int;  (* open kernel atomic sections (nesting) *)
+    atomic_undo : (int, bytes option) Hashtbl.t;
+        (* line -> durable content at first in-section touch (None = unborn) *)
   }
 
   let create ?(perf = Perf.optane) ?(seed = 7L) ~size () =
@@ -124,6 +128,9 @@ module Device = struct
       n_fences = 0;
       n_redundant_flushes = 0;
       n_redundant_fences = 0;
+      fences_to_drop = 0;
+      atomic_depth = 0;
+      atomic_undo = Hashtbl.create 64;
     }
 
   let size d = d.dev_size
@@ -277,11 +284,38 @@ module Device = struct
         Sim.Resource.use d.write_chan (int_of_float (float_of_int nbytes /. bw))
     end
 
+  (* --- kernel atomic sections ------------------------------------------- *)
+
+  (* The simulated KernFS updates its metadata (allocation-table owner words,
+     the coffer path map, root pages) with multi-fence store sequences; a real
+     kernel journals these so a crash never exposes a partial update (the
+     paper's trust model, §3.5: KernFS metadata is recovered by the kernel
+     itself).  Rather than model a journal byte-for-byte we give the device a
+     transaction primitive with exactly the journal's crash semantics: every
+     line first touched inside an open section has its pre-section *durable*
+     content saved, and a crash that lands inside the section rolls all of
+     them back, so kernel metadata updates are crash-atomic.  User-space
+     (µFS) writes never run inside a section and keep raw line-granularity
+     crash behaviour. *)
+
+  let atomic_note d line =
+    if d.atomic_depth > 0 && not (Hashtbl.mem d.atomic_undo line) then begin
+      let addr = line * line_size in
+      let page = addr / page_size and off = addr mod page_size in
+      let saved =
+        match d.shadow.(page) with
+        | None -> None
+        | Some s -> Some (Bytes.sub s off line_size)
+      in
+      Hashtbl.replace d.atomic_undo line saved
+    end
+
   (* --- volatile view accessors ----------------------------------------- *)
 
   let mark_dirty d addr len =
     let first = addr / line_size and last = (addr + len - 1) / line_size in
     for line = first to last do
+      atomic_note d line;
       match Hashtbl.find_opt d.pending line with
       | Some _ -> ()
       | None -> Hashtbl.replace d.pending line Dirty
@@ -486,7 +520,15 @@ module Device = struct
       done
     end
 
+  (* Fault injection: make the next [n] sfences complete no-ops (no count,
+     no trace event, nothing persisted — flushing lines stay pending), as if
+     the programmer forgot the fence.  Used by the crash checker's negative
+     tests to prove a missing-fence bug is observable as a divergence. *)
+  let inject_drop_fences d n = d.fences_to_drop <- n
+
   let sfence d =
+    if d.fences_to_drop > 0 then d.fences_to_drop <- d.fences_to_drop - 1
+    else begin
     d.n_fences <- d.n_fences + 1;
     let had_flushing = d.flushing <> [] in
     if not had_flushing then d.n_redundant_fences <- d.n_redundant_fences + 1;
@@ -508,6 +550,69 @@ module Device = struct
       let p = d.dev_perf in
       Sim.advance (p.Perf.fence_cost + if had_flushing then p.Perf.write_latency else 0)
     end
+    end
+
+  (* Open a kernel atomic section (nestable; only the outermost commits). *)
+  let begin_atomic d = d.atomic_depth <- d.atomic_depth + 1
+
+  (* Undo every line touched since the outermost [begin_atomic]: restore its
+     pre-section durable content, forget its pending state.  Volatile bytes
+     are left alone — the caller either crashes (which rebuilds the volatile
+     view from the durable one) or continues with the store-visible state it
+     already had. *)
+  let rollback_atomic d =
+    Hashtbl.iter
+      (fun line saved ->
+        Hashtbl.remove d.pending line;
+        let addr = line * line_size in
+        let page = addr / page_size and off = addr mod page_size in
+        match saved with
+        | Some b -> Bytes.blit b 0 (shadow_page d page) off line_size
+        | None -> (
+            match d.shadow.(page) with
+            | None -> ()
+            | Some s -> Bytes.fill s off line_size '\000'))
+      d.atomic_undo;
+    d.flushing <-
+      List.filter (fun l -> not (Hashtbl.mem d.atomic_undo l)) d.flushing;
+    Hashtbl.reset d.atomic_undo;
+    d.atomic_depth <- 0
+
+  (* Close the section, making all its writes durable together (the journal
+     commit).  Leftover pending section lines are flushed through the public
+     clwb/sfence path so trace subscribers and stats stay coherent; if a
+     subscriber aborts mid-commit (crash exploration), the section is still
+     open and the next [crash] rolls the whole update back — a crash during
+     journal commit aborts the transaction. *)
+  let commit_atomic d =
+    if d.atomic_depth <= 0 then
+      invalid_arg "Nvm.Device.commit_atomic: no open section";
+    if d.atomic_depth > 1 then d.atomic_depth <- d.atomic_depth - 1
+    else begin
+      let need_fence = ref false in
+      let lines = Hashtbl.fold (fun l _ acc -> l :: acc) d.atomic_undo [] in
+      List.iter
+        (fun line ->
+          match Hashtbl.find_opt d.pending line with
+          | Some Dirty ->
+              clwb d (line * line_size);
+              need_fence := true
+          | Some Flushing -> need_fence := true
+          | None -> ())
+        (List.sort compare lines);
+      if !need_fence then sfence d;
+      d.atomic_depth <- 0;
+      Hashtbl.reset d.atomic_undo
+    end
+
+  (* Abort on a non-crash exception escaping the section (e.g. a protection
+     fault surfaced as EIO): the partial kernel update must not become
+     durable. *)
+  let abort_atomic d =
+    if d.atomic_depth > 1 then d.atomic_depth <- d.atomic_depth - 1
+    else if d.atomic_depth = 1 then rollback_atomic d
+
+  let in_atomic d = d.atomic_depth > 0
 
   let nt_write_u64 d addr v =
     check_protection d addr true;
@@ -516,6 +621,7 @@ module Device = struct
     let page, off = scalar_loc d addr 8 in
     Bytes.set_int64_le (vol_page d page) off (Int64.of_int v);
     let line = addr / line_size in
+    atomic_note d line;
     (match Hashtbl.find_opt d.pending line with
     | Some Flushing -> ()
     | Some Dirty | None ->
@@ -543,6 +649,7 @@ module Device = struct
       done;
       let first = addr / line_size and last = (addr + len - 1) / line_size in
       for line = first to last do
+        atomic_note d line;
         match Hashtbl.find_opt d.pending line with
         | Some Flushing -> ()
         | Some Dirty | None ->
@@ -576,6 +683,7 @@ module Device = struct
       done;
       let first = addr / line_size and last = (addr + len - 1) / line_size in
       for line = first to last do
+        atomic_note d line;
         match Hashtbl.find_opt d.pending line with
         | Some Flushing -> ()
         | Some Dirty | None ->
@@ -598,6 +706,9 @@ module Device = struct
   type crash_policy = [ `Random | `Drop_all | `Keep_all ]
 
   let crash ?(policy = `Random) d =
+    (* A crash inside an open kernel atomic section aborts it: none of the
+       section's writes survive, regardless of policy. *)
+    if d.atomic_depth > 0 then rollback_atomic d;
     let keep _line =
       match policy with
       | `Keep_all -> true
@@ -617,6 +728,78 @@ module Device = struct
       | Some v, Some s -> Bytes.blit s 0 v 0 page_size
       | Some v, None -> Bytes.fill v 0 page_size '\000'
     done
+
+  (* Reseed the crash-policy PRNG so each explored crash point draws a
+     reproducible, independent line-survival pattern. *)
+  let set_crash_seed d seed = Sim.Rng.set_state d.crash_rng seed
+
+  (* ---- snapshot / restore (crash-exploration branching) ----------------- *)
+
+  (* A snapshot captures everything that determines future device behaviour:
+     both memory views (sparsely — only materialized pages), the per-line
+     pending/flushing persistence state, the crash PRNG, and the stats
+     counters.  The per-thread line caches and bandwidth channels are *not*
+     captured: they only affect simulated cost, and every explored branch
+     runs in a fresh [Sim] world anyway. *)
+  type snapshot = {
+    snap_vol : (int * bytes) array;
+    snap_shadow : (int * bytes) array;
+    snap_pending : (int * line_state) array;
+    snap_flushing : int list;
+    snap_rng : int64;
+    snap_stats : int array;
+  }
+
+  let snapshot d =
+    let sparse arr =
+      let acc = ref [] in
+      Array.iteri
+        (fun i p -> match p with
+          | Some b -> acc := (i, Bytes.copy b) :: !acc
+          | None -> ())
+        arr;
+      Array.of_list !acc
+    in
+    {
+      snap_vol = sparse d.vol;
+      snap_shadow = sparse d.shadow;
+      snap_pending =
+        Array.of_list
+          (Hashtbl.fold (fun l s acc -> (l, s) :: acc) d.pending []);
+      snap_flushing = d.flushing;
+      snap_rng = Sim.Rng.get_state d.crash_rng;
+      snap_stats =
+        [| d.n_reads; d.n_writes; d.n_flushes; d.n_fences;
+           d.n_redundant_flushes; d.n_redundant_fences |];
+    }
+
+  (* Restore is destructive and reusable: the same snapshot can seed any
+     number of branches, so restored pages are fresh copies. *)
+  let restore d snap =
+    Array.fill d.vol 0 d.npages None;
+    Array.fill d.shadow 0 d.npages None;
+    Array.iter (fun (i, b) -> d.vol.(i) <- Some (Bytes.copy b)) snap.snap_vol;
+    Array.iter
+      (fun (i, b) -> d.shadow.(i) <- Some (Bytes.copy b))
+      snap.snap_shadow;
+    Hashtbl.reset d.pending;
+    Array.iter (fun (l, s) -> Hashtbl.replace d.pending l s) snap.snap_pending;
+    d.flushing <- snap.snap_flushing;
+    Sim.Rng.set_state d.crash_rng snap.snap_rng;
+    (match snap.snap_stats with
+    | [| r; w; fl; fe; rfl; rfe |] ->
+        d.n_reads <- r;
+        d.n_writes <- w;
+        d.n_flushes <- fl;
+        d.n_fences <- fe;
+        d.n_redundant_flushes <- rfl;
+        d.n_redundant_fences <- rfe
+    | _ -> ());
+    d.fences_to_drop <- 0;
+    d.atomic_depth <- 0;
+    Hashtbl.reset d.atomic_undo;
+    Hashtbl.reset d.line_caches;
+    if d.subs != [] then emit d T_reset
 
   (* ---- host-file image persistence (for the CLI tools) ----------------- *)
 

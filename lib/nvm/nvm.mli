@@ -166,6 +166,63 @@ module Device : sig
       view; pending lines are resolved according to [policy] (default
       [`Random]). *)
 
+  val set_crash_seed : t -> int64 -> unit
+  (** Reseed the crash-policy PRNG, so each explored crash point draws a
+      reproducible, independent [`Random] line-survival pattern. *)
+
+  val inject_drop_fences : t -> int -> unit
+  (** Fault injection: the next [n] calls to {!sfence} are complete no-ops
+      (nothing persists, no stat, no trace event) — the simulated equivalent
+      of a forgotten fence.  [inject_drop_fences d 0] disarms. *)
+
+  (** {2 Kernel atomic sections}
+
+      The trusted kernel (KernFS) updates its metadata — allocation-table
+      owner words, the coffer path map, root pages — with multi-fence store
+      sequences that a real kernel would journal; a crash must never expose a
+      partial update (the paper's §3.5 trust model: KernFS recovers its own
+      metadata).  An atomic section gives exactly the journal's crash
+      semantics without modelling journal bytes: all writes issued inside the
+      section become durable together at {!commit_atomic}, and a {!crash}
+      that lands inside an open section (or a {!commit_atomic} interrupted by
+      a trace subscriber) rolls every one of them back.  Sections nest; only
+      the outermost commit/abort acts.  µFS user-space writes run outside any
+      section and keep raw line-granularity crash behaviour. *)
+
+  val begin_atomic : t -> unit
+  (** Open (or nest) a kernel atomic section. *)
+
+  val commit_atomic : t -> unit
+  (** Close the section.  At the outermost level, flushes any of the
+      section's still-pending lines through the normal clwb/sfence path so
+      the whole update is durable on return.  Raises [Invalid_argument] if no
+      section is open. *)
+
+  val abort_atomic : t -> unit
+  (** Close the section discarding its durable effects (used when an
+      exception escapes a kernel operation): pre-section durable contents are
+      restored and the section's lines leave the pending set.  Volatile
+      (store-visible) bytes are left as written. *)
+
+  val in_atomic : t -> bool
+  (** Whether a section is currently open. *)
+
+  (** {2 Snapshot / restore (crash-exploration branching)} *)
+
+  type snapshot
+  (** Deep copy of everything that determines future device behaviour: both
+      memory views (sparse), the pending/flushing line sets, the crash PRNG
+      state, and the stats counters.  Per-thread line caches and bandwidth
+      channel state are deliberately excluded — they only affect simulated
+      cost and every explored branch runs in a fresh [Sim] world. *)
+
+  val snapshot : t -> snapshot
+
+  val restore : t -> snapshot -> unit
+  (** Rewind the device to [snapshot].  The snapshot is not consumed: the
+      same one can seed any number of branches.  Also clears any pending
+      fence-drop injection and emits {!T_reset} to subscribers. *)
+
   (** {2 Host-file images (CLI tool persistence)} *)
 
   val save_image : t -> string -> unit

@@ -49,6 +49,11 @@ module Rng = struct
 
   let bool t = Int64.logand (next t) 1L = 1L
 
+  (* Expose the raw state so device snapshots can capture/replay the
+     crash-policy stream deterministically. *)
+  let get_state t = t.state
+  let set_state t s = t.state <- s
+
   let shuffle t a =
     for i = Array.length a - 1 downto 1 do
       let j = int t (i + 1) in

@@ -122,6 +122,11 @@ module Rng : sig
   val float : t -> float -> float
   val bool : t -> bool
   val shuffle : t -> 'a array -> unit
+
+  val get_state : t -> int64
+  (** Raw splitmix64 state, for snapshot/replay of a PRNG stream. *)
+
+  val set_state : t -> int64 -> unit
 end
 
 val rng : unit -> Rng.t

@@ -12,6 +12,50 @@ module K = Treasury.Kernfs
 module E = Treasury.Errno
 module Coffer = Treasury.Coffer
 
+(* Structured record of every repair action recovery took — the crash model
+   checker (lib/crashmc) uses these to explain a post-crash state, and a
+   second recovery run proving a fixpoint must produce none. *)
+type finding =
+  | Dropped_dentry of { coffer : int; path : string }
+      (* dentry pointed at a missing/corrupt inode and was cleared *)
+  | Reinitialized_root of { coffer : int; path : string }
+      (* coffer root inode unrecoverable; reset to an empty directory *)
+  | Repaired_cross_ref of { coffer : int; path : string }
+      (* cross-coffer dentry disagreed with the kernel path map; rewritten *)
+  | Dropped_cross_ref of { coffer : int; path : string }
+      (* cross-coffer dentry named a path with no registered coffer *)
+  | Dropped_orphan_coffer of { coffer : int; path : string }
+      (* registered coffer unreachable from any surviving dentry and not
+         repairable: deleted, pages reclaimed *)
+  | Reattached_coffer of { coffer : int; path : string }
+      (* registered coffer with a healthy root but no referencing dentry
+         (crash mid coffer-create or mid cross-coffer rename): a fresh
+         dentry was inserted at its kernel-registered path *)
+  | Freed_orphan_run of { owner : int; start : int; len : int }
+      (* allocation-table run owned by an unregistered coffer id *)
+  | Completed_migration of { coffer : int; path : string }
+      (* transient "<dst>.zofs-mv" coffer from an in-flight cross-coffer
+         rename: rolled forward (merged into the destination's coffer and
+         linked at the destination path) *)
+
+let finding_to_string = function
+  | Dropped_dentry { coffer; path } ->
+      Printf.sprintf "dropped dentry %s (coffer %d)" path coffer
+  | Reinitialized_root { coffer; path } ->
+      Printf.sprintf "reinitialized root of coffer %d (%s)" coffer path
+  | Repaired_cross_ref { coffer; path } ->
+      Printf.sprintf "repaired cross-coffer ref %s (from coffer %d)" path coffer
+  | Dropped_cross_ref { coffer; path } ->
+      Printf.sprintf "dropped cross-coffer ref %s (from coffer %d)" path coffer
+  | Dropped_orphan_coffer { coffer; path } ->
+      Printf.sprintf "dropped orphan coffer %d (%s)" coffer path
+  | Reattached_coffer { coffer; path } ->
+      Printf.sprintf "reattached orphan coffer %d at %s" coffer path
+  | Freed_orphan_run { owner; start; len } ->
+      Printf.sprintf "freed orphan run [%d,+%d) owned by %d" start len owner
+  | Completed_migration { coffer; path } ->
+      Printf.sprintf "completed migration of coffer %d to %s" coffer path
+
 type report = {
   mutable coffers_scanned : int;
   mutable pages_in_use : int;
@@ -21,6 +65,9 @@ type report = {
   mutable cross_refs_checked : int;
   mutable cross_refs_repaired : int;
   mutable cross_refs_dropped : int;
+  mutable orphan_coffers_dropped : int;
+  mutable orphan_coffers_reattached : int;
+  mutable findings : finding list;  (* reverse chronological *)
   mutable user_ns : int;  (* simulated time spent in user space *)
   mutable kernel_ns : int;  (* simulated time spent in kernel calls *)
 }
@@ -35,9 +82,16 @@ let fresh_report () =
     cross_refs_checked = 0;
     cross_refs_repaired = 0;
     cross_refs_dropped = 0;
+    orphan_coffers_dropped = 0;
+    orphan_coffers_reattached = 0;
+    findings = [];
     user_ns = 0;
     kernel_ns = 0;
   }
+
+let add_finding report f = report.findings <- f :: report.findings
+
+let findings report = List.rev report.findings
 
 type cross_ref = {
   xr_src_cid : int;
@@ -60,11 +114,17 @@ let scan_coffer dev kfs report ~cid ~root_file ~coffer_path xrefs =
     | Ok owner -> owner = cid
     | Error _ -> false
   in
-  let drop_dentry de =
+  let drop_dentry (de, child_path) =
     Dir.clear_dentry dev de.Dir.de_addr;
-    report.dentries_dropped <- report.dentries_dropped + 1
+    report.dentries_dropped <- report.dentries_dropped + 1;
+    add_finding report (Dropped_dentry { coffer = cid; path = child_path })
   in
+  (* A fault while traversing (a torn pointer into an unmapped page — the
+     simulated SIGSEGV of §3.4.2) marks the inode unrecoverable, like any
+     other corruption: the referencing dentry is dropped. *)
   let rec scan_inode ino cur_path =
+    try scan_inode_body ino cur_path with Nvm.Fault _ -> false
+  and scan_inode_body ino cur_path =
     if (not (owned ino)) || not (Inode.valid dev ~ino) then false
     else begin
       mark ino;
@@ -81,19 +141,44 @@ let scan_coffer dev kfs report ~cid ~root_file ~coffer_path xrefs =
           let to_drop = ref [] in
           Dir.iter dev ~ino (fun de ->
               let child_path = Treasury.Pathx.concat cur_path de.Dir.de_name in
-              if de.Dir.de_coffer <> 0 then
-                (* Cross-coffer: validated in the second pass. *)
-                xrefs :=
-                  {
-                    xr_src_cid = cid;
-                    xr_dentry = de.Dir.de_addr;
-                    xr_expected_path = child_path;
-                    xr_target_cid = de.Dir.de_coffer;
-                    xr_target_inode = de.Dir.de_inode;
-                  }
-                  :: !xrefs
+              if de.Dir.de_coffer <> 0 then begin
+                let registered =
+                  match K.coffer_stat kfs de.Dir.de_coffer with
+                  | Ok _ -> true
+                  | Error _ -> false
+                in
+                if (not registered) && owned de.Dir.de_inode then begin
+                  (* A cross-coffer rename that crashed after its merge but
+                     before the dentry retarget: the transient coffer is
+                     gone and the inode's pages already belong to this
+                     coffer.  Finish the retarget and scan the file as
+                     local. *)
+                  (match
+                     Dir.retarget dev ~ino de.Dir.de_name ~coffer:0
+                       ~inode:de.Dir.de_inode
+                   with
+                  | Ok () | Error _ -> ());
+                  report.cross_refs_repaired <-
+                    report.cross_refs_repaired + 1;
+                  add_finding report
+                    (Repaired_cross_ref { coffer = cid; path = child_path });
+                  if not (scan_inode de.Dir.de_inode child_path) then
+                    to_drop := (de, child_path) :: !to_drop
+                end
+                else
+                  (* Cross-coffer: validated in the second pass. *)
+                  xrefs :=
+                    {
+                      xr_src_cid = cid;
+                      xr_dentry = de.Dir.de_addr;
+                      xr_expected_path = child_path;
+                      xr_target_cid = de.Dir.de_coffer;
+                      xr_target_inode = de.Dir.de_inode;
+                    }
+                    :: !xrefs
+              end
               else if not (scan_inode de.Dir.de_inode child_path) then
-                to_drop := de :: !to_drop);
+                to_drop := (de, child_path) :: !to_drop);
           List.iter drop_dentry !to_drop
       | None -> ());
       true
@@ -109,6 +194,7 @@ let scan_coffer dev kfs report ~cid ~root_file ~coffer_path xrefs =
         Inode.init dev ~ino:root_file ~kind:Inode.Directory ~mode:0o755 ~uid:0
           ~gid:0);
     report.inodes_reinitialized <- report.inodes_reinitialized + 1;
+    add_finding report (Reinitialized_root { coffer = cid; path = coffer_path });
     Hashtbl.replace in_use (page_of root_file) ()
   end;
   in_use
@@ -117,6 +203,18 @@ let scan_coffer dev kfs report ~cid ~root_file ~coffer_path xrefs =
    as root).  Returns the pages kept. *)
 let recover_coffer ufs kfs report xrefs (info : Coffer.info) =
   let dev = K.device kfs in
+  (* A crash during coffer creation can leave the custom (allocator) page
+     unformatted; mapping would refuse to attach to it.  Its entire content
+     is rebuilt after the scan anyway, so reformat it up front (kernel mode:
+     the coffer is not mapped yet). *)
+  let mpk = K.mpk kfs in
+  Mpk.with_kernel mpk (fun () ->
+      if
+        Nvm.Device.read_u32 dev (info.Coffer.custom + Layout.c_magic)
+        <> Layout.custom_magic
+      then
+        Mpk.with_write_window mpk (fun () ->
+            Balloc.format dev ~custom:info.Coffer.custom));
   match Ufs.map_coffer ufs info.Coffer.id with
   | Error _ -> ()
   | Ok cs ->
@@ -191,13 +289,213 @@ let validate_cross_refs ufs kfs report xrefs =
                     Nvm.Device.persist_range dev
                       (xr.xr_dentry + Layout.d_coffer)
                       16);
-                report.cross_refs_repaired <- report.cross_refs_repaired + 1
+                report.cross_refs_repaired <- report.cross_refs_repaired + 1;
+                add_finding report
+                  (Repaired_cross_ref
+                     { coffer = xr.xr_src_cid; path = xr.xr_expected_path })
             | None ->
                 Ufs.with_coffer ufs cs ~write:true (fun () ->
                     Dir.clear_dentry dev xr.xr_dentry);
-                report.cross_refs_dropped <- report.cross_refs_dropped + 1)
+                report.cross_refs_dropped <- report.cross_refs_dropped + 1;
+                add_finding report
+                  (Dropped_cross_ref
+                     { coffer = xr.xr_src_cid; path = xr.xr_expected_path }))
       end)
     xrefs
+
+(* A registered coffer that no surviving cross-coffer dentry reaches from
+   the root is an orphan: the residue of a sub-coffer creation whose parent
+   dentry never became durable, or of a cross-coffer rename crashed between
+   the kernel path-map update and the dentry moves.  The kernel path map is
+   the trusted side of G3, so if the coffer's root inode is healthy we
+   repair the user-space namespace from it — insert a fresh dentry at the
+   registered path.  A coffer whose root had to be reinitialized (nothing
+   recoverable inside) is deleted instead, and KernFS reclaims its pages.
+   Reachability is a fixpoint so a whole torn subtree cascades. *)
+let orphan_coffer_pass ufs kfs report xrefs =
+  match K.list_coffers kfs with
+  | Error _ -> ()
+  | Ok coffers ->
+      let dev = K.device kfs in
+      let reachable = Hashtbl.create 16 in
+      Hashtbl.replace reachable (K.root_coffer kfs) ();
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun xr ->
+            if Hashtbl.mem reachable xr.xr_src_cid then
+              match K.coffer_find kfs xr.xr_expected_path with
+              | Ok cid when not (Hashtbl.mem reachable cid) ->
+                  Hashtbl.replace reachable cid ();
+                  changed := true
+              | Ok _ | Error _ -> ())
+          xrefs
+      done;
+      let reinitialized =
+        List.filter_map
+          (function Reinitialized_root { coffer; _ } -> Some coffer | _ -> None)
+          report.findings
+      in
+      let delete (c : Coffer.info) =
+        let free_before = K.free_pages kfs in
+        match K.coffer_delete kfs c.Coffer.id with
+        | Ok () ->
+            report.orphan_coffers_dropped <- report.orphan_coffers_dropped + 1;
+            report.pages_reclaimed <-
+              report.pages_reclaimed + (K.free_pages kfs - free_before);
+            add_finding report
+              (Dropped_orphan_coffer
+                 { coffer = c.Coffer.id; path = c.Coffer.path })
+        | Error _ -> ()
+      in
+      let attach_attempt (c : Coffer.info) =
+          match Ufs.session_of_cid ufs c.Coffer.id with
+          | Error _ -> false
+          | Ok cs -> (
+              let root = c.Coffer.root_file in
+              let healthy =
+                (not (List.mem c.Coffer.id reinitialized))
+                && Ufs.with_coffer ufs cs ~write:false (fun () ->
+                       Inode.valid dev ~ino:root
+                       && Inode.kind dev ~ino:root <> None)
+              in
+              if not healthy then false
+              else
+                match Ufs.walk_parent ufs c.Coffer.path with
+                | Error _ -> false
+                | Ok (pcs, dir_ino, _, base) -> (
+                    let kind =
+                      Ufs.with_coffer ufs cs ~write:false (fun () ->
+                          Inode.kind_exn dev ~ino:root)
+                    in
+                    match
+                      Ufs.insert_dentry ufs pcs ~dir_ino ~name:base ~kind
+                        ~coffer:c.Coffer.id ~inode:root
+                    with
+                    | Ok () ->
+                        report.orphan_coffers_reattached <-
+                          report.orphan_coffers_reattached + 1;
+                        add_finding report
+                          (Reattached_coffer
+                             { coffer = c.Coffer.id; path = c.Coffer.path });
+                        true
+                    | Error E.EEXIST ->
+                        (* A dentry for this name already exists; if it
+                           points at this coffer the namespace is already
+                           whole (a parent reattached above us). *)
+                        Ufs.with_coffer ufs pcs ~write:false (fun () ->
+                            match Dir.lookup dev ~ino:dir_ino base with
+                            | Some de -> de.Dir.de_coffer = c.Coffer.id
+                            | None -> false)
+                    | Error _ -> false))
+      in
+      let reattach (c : Coffer.info) =
+        (* As in the scans, a fault while probing the orphan means it is
+           not repairable. *)
+        let attached = try attach_attempt c with Nvm.Fault _ -> false in
+        if not attached then delete c
+      in
+      coffers
+      |> List.filter (fun c -> not (Hashtbl.mem reachable c.Coffer.id))
+      (* Shallowest-first, so a reattached parent makes its children's
+         parent walks resolve. *)
+      |> List.sort (fun a b -> compare a.Coffer.path b.Coffer.path)
+      |> List.iter reattach
+
+(* An in-flight cross-coffer file rename (paper §6.4) moves the file's pages
+   through a transient coffer registered at "<dst>.zofs-mv"; a crash between
+   the split and the final dentry updates leaves that coffer behind.  The
+   scratch path records the destination and the pages are already inside the
+   transient coffer, so the rename is rolled *forward*: merge into the
+   destination directory's coffer and link the destination dentry.  The
+   stale source dentry needs no action here — its inode's pages left the
+   source coffer at the split, so the ordinary per-coffer scan drops it.
+   Runs before the scans so the destination scan sees the merged pages as
+   referenced. *)
+let mv_suffix = ".zofs-mv"
+
+let migration_pass ufs kfs report =
+  match K.list_coffers kfs with
+  | Error _ -> ()
+  | Ok coffers ->
+      let dev = K.device kfs in
+      List.iter
+        (fun (c : Coffer.info) ->
+          if Filename.check_suffix c.Coffer.path mv_suffix then begin
+            let finish () =
+              let final = Filename.chop_suffix c.Coffer.path mv_suffix in
+              match Ufs.session_of_cid ufs c.Coffer.id with
+              | Error _ -> false
+              | Ok cs -> (
+                  let root = c.Coffer.root_file in
+                  let kind =
+                    Ufs.with_coffer ufs cs ~write:false (fun () ->
+                        if Inode.valid dev ~ino:root then
+                          Inode.kind dev ~ino:root
+                        else None)
+                  in
+                  match kind with
+                  | None -> false
+                  | Some kind -> (
+                      match Ufs.walk_parent ufs final with
+                      | Error _ -> false
+                      | Ok (pcs, dir_ino, _, base) -> (
+                          (* The rename may have linked the destination
+                             name (as a cross-ref to the transient coffer)
+                             before the crash. *)
+                          let existing =
+                            Ufs.with_coffer ufs pcs ~write:false (fun () ->
+                                Dir.lookup dev ~ino:dir_ino base)
+                          in
+                          match
+                            K.coffer_merge kfs ~dst:pcs.Ufs.cs_cid
+                              ~src:c.Coffer.id
+                          with
+                          | Error _ -> false
+                          | Ok () -> (
+                              match existing with
+                              | Some de when de.Dir.de_coffer = c.Coffer.id
+                                ->
+                                  Ufs.with_coffer ufs pcs ~write:true
+                                    (fun () ->
+                                      match
+                                        Dir.retarget dev ~ino:dir_ino base
+                                          ~coffer:0 ~inode:root
+                                      with
+                                      | Ok () -> true
+                                      | Error _ -> false)
+                              | Some de ->
+                                  de.Dir.de_coffer = 0
+                                  && de.Dir.de_inode = root
+                              | None -> (
+                                  match
+                                    Ufs.insert_dentry ufs pcs ~dir_ino
+                                      ~name:base ~kind ~coffer:0 ~inode:root
+                                  with
+                                  | Ok () -> true
+                                  | Error _ -> false)))))
+            in
+            let finished = try finish () with Nvm.Fault _ -> false in
+            if finished then
+              add_finding report
+                (Completed_migration
+                   { coffer = c.Coffer.id; path = c.Coffer.path })
+            else begin
+              (* Not repairable (torn beyond the protocol's invariants):
+                 drop the scratch coffer rather than leak a ".zofs-mv" name
+                 into the namespace. *)
+              match K.coffer_delete kfs c.Coffer.id with
+              | Ok () ->
+                  report.orphan_coffers_dropped <-
+                    report.orphan_coffers_dropped + 1;
+                  add_finding report
+                    (Dropped_orphan_coffer
+                       { coffer = c.Coffer.id; path = c.Coffer.path })
+              | Error _ -> ()
+            end
+          end)
+        coffers
 
 (* Recover every coffer in the file system (offline: run as root with no
    other process active). *)
@@ -206,6 +504,7 @@ let recover_all kfs =
   let ufs = Ufs.create kfs in
   let report = fresh_report () in
   let xrefs = ref [] in
+  migration_pass ufs kfs report;
   (match K.list_coffers kfs with
   | Error _ -> ()
   | Ok coffers ->
@@ -214,5 +513,17 @@ let recover_all kfs =
       in
       List.iter (fun info -> recover_coffer ufs kfs report xrefs info) ordered);
   validate_cross_refs ufs kfs report !xrefs;
+  orphan_coffer_pass ufs kfs report !xrefs;
+  (* Pages owned by a coffer id the path map does not know (a torn
+     make_coffer that never registered) are invisible to the per-coffer
+     scans above; reclaim them from the allocation table directly. *)
+  (match K.reclaim_orphan_runs kfs with
+  | Error _ -> ()
+  | Ok runs ->
+      List.iter
+        (fun (owner, start, len) ->
+          report.pages_reclaimed <- report.pages_reclaimed + len;
+          add_finding report (Freed_orphan_run { owner; start; len }))
+        runs);
   (match K.fs_umount kfs with Ok () | Error _ -> ());
   report

@@ -720,37 +720,54 @@ let rename t src dst : unit Ui.outcome =
                   with
                   | Error e -> Error (Ui.Errno e)
                   | Ok info -> (
-                      (* Stage 2: merge the transient coffer into the
-                         destination coffer. *)
+                      (* Stage 2: link the destination name *first*, as a
+                         cross-coffer reference to the transient coffer, and
+                         only then unlink the source and merge.  At every
+                         crash point at least one durable name reaches the
+                         file: before the link the transient coffer's
+                         registered scratch path is the breadcrumb; after
+                         the merge the destination dentry is, and the only
+                         remaining fixup is retargeting its coffer field —
+                         which recovery can redo from page ownership. *)
+                      let kind =
+                        match Inode.kind_of_code de.Dir.de_kind with
+                        | Some k -> k
+                        | None -> Inode.Regular
+                      in
+                      let* () =
+                        match
+                          insert_dentry t dpcs ~dir_ino:ddir ~name:dbase
+                            ~kind ~coffer:info.Coffer.id ~inode:ino
+                        with
+                        | Ok () -> Ok ()
+                        | Error e -> Error (Ui.Errno e)
+                      in
+                      let* () =
+                        match
+                          remove_dentry_locked t spcs ~dir_ino:sdir sbase
+                        with
+                        | Ok () -> Ok ()
+                        | Error e -> Error (Ui.Errno e)
+                      in
+                      (* Stage 3: merge the transient coffer into the
+                         destination coffer and retarget the dentry to the
+                         now-local inode. *)
                       match
                         K.coffer_merge t.kfs ~dst:dpcs.cs_cid
                           ~src:info.Coffer.id
                       with
                       | Error e -> Error (Ui.Errno e)
                       | Ok () ->
-                          let kind =
-                            match Inode.kind_of_code de.Dir.de_kind with
-                            | Some k -> k
-                            | None -> Inode.Regular
-                          in
-                          let* () =
-                            match
-                              insert_dentry t dpcs ~dir_ino:ddir ~name:dbase
-                                ~kind ~coffer:0 ~inode:ino
-                            with
-                            | Ok () -> Ok ()
-                            | Error e -> Error (Ui.Errno e)
-                          in
-                          (match
-                             remove_dentry_locked t spcs ~dir_ino:sdir sbase
-                           with
-                          | Ok () ->
+                          with_coffer t dpcs ~write:true (fun () ->
+                              (match
+                                 Dir.retarget t.dev ~ino:ddir dbase ~coffer:0
+                                   ~inode:ino
+                               with
+                              | Ok () | Error _ -> ());
                               (* The custom page of the transient coffer is
                                  now an ordinary page of dst's coffer. *)
-                              with_coffer t dpcs ~write:true (fun () ->
-                                  Balloc.free_page dpcs.cs_balloc custom);
-                              Ok ()
-                          | Error e -> Error (Ui.Errno e))))
+                              Balloc.free_page dpcs.cs_balloc custom);
+                          Ok ()))
             end
           end)
 

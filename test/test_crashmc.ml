@@ -1,0 +1,197 @@
+(* Tests for the crash model checker (lib/crashmc): the oracle model's
+   semantics, the no-crash oracle/ZoFS agreement property (any drift here
+   would poison every crash verdict), exhaustive crash-point sweeps over
+   short targeted histories — including the two recovery edge cases the
+   checker was built to reach: a crash mid coffer split (cross-coffer
+   rename migration) and a crash mid directory growth — and the
+   missing-fence negative check that proves the checker can see the bug
+   class it exists for. *)
+
+module C = Crashmc
+module M = Crashmc.Model
+module Op = Workloads.Opscript
+module E = Treasury.Errno
+
+let ok = Alcotest.(check bool) "ok" true
+let errs e r = Alcotest.(check bool) (E.to_string e) true (r = Error e)
+
+(* ---- the oracle model ---------------------------------------------------- *)
+
+let test_model_semantics () =
+  let m = M.create () in
+  ok (M.apply m (Op.Mkdir "/d") = Ok ());
+  errs E.EEXIST (M.apply m (Op.Mkdir "/d"));
+  errs E.EISDIR (M.apply m (Op.Create { path = "/d"; mode = 0o644; data = "x" }));
+  errs E.ENOENT (M.apply m (Op.Mkdir "/no/such/dir"));
+  ok (M.apply m (Op.Create { path = "/d/f"; mode = 0o644; data = "hello" }) = Ok ());
+  errs E.ENOTDIR (M.apply m (Op.Mkdir "/d/f/sub"));
+  (* pwrite past EOF zero-fills the gap *)
+  ok (M.apply m (Op.Pwrite { path = "/d/f"; off = 8; data = "zz" }) = Ok ());
+  ok (M.apply m (Op.Append { path = "/d/f"; data = "!" }) = Ok ());
+  (match List.assoc_opt "/d/f" (M.dump m) with
+  | Some (`File c) ->
+      Alcotest.(check string) "pwrite gap + append" "hello\000\000\000zz!" c
+  | _ -> Alcotest.fail "/d/f missing from dump");
+  errs E.ENOTEMPTY (M.apply m (Op.Rmdir "/d"));
+  errs E.EISDIR (M.apply m (Op.Unlink "/d"));
+  errs E.EINVAL (M.apply m (Op.Rename { src = "/d"; dst = "/d/inside" }));
+  ok (M.apply m (Op.Rename { src = "/d/f"; dst = "/g" }) = Ok ());
+  ok (M.apply m (Op.Rmdir "/d") = Ok ());
+  ok (M.apply m (Op.Unlink "/g") = Ok ());
+  Alcotest.(check (list string)) "empty after teardown" []
+    (List.map M.entry_to_string (M.dump m))
+
+let test_model_copy_is_independent () =
+  let a = M.create () in
+  ok (M.apply a (Op.Mkdir "/d") = Ok ());
+  ok (M.apply a (Op.Create { path = "/d/f"; mode = 0o644; data = "one" }) = Ok ());
+  let b = M.copy a in
+  ok (M.apply b (Op.Create { path = "/d/f"; mode = 0o644; data = "two" }) = Ok ());
+  ok (M.apply b (Op.Mkdir "/e") = Ok ());
+  (match List.assoc_opt "/d/f" (M.dump a) with
+  | Some (`File c) -> Alcotest.(check string) "original untouched" "one" c
+  | _ -> Alcotest.fail "/d/f missing");
+  Alcotest.(check bool) "copies diverged" false (M.equal a b)
+
+(* ---- no-crash agreement (the property the whole checker rests on) ------- *)
+
+(* For seeded random op sequences, replaying the script against real ZoFS
+   with no crash must land on exactly the oracle's final tree: same paths,
+   same kinds, same file contents. *)
+let test_no_crash_oracle_agreement () =
+  List.iter
+    (fun seed ->
+      let s =
+        Testkit.random_script ~max_len:600 ~seed:(Int64.of_int seed) ~nops:30 ()
+      in
+      let w = C.prepare s in
+      let rp = C.replay w in
+      let fs_dump =
+        match rp.C.rp_dump with
+        | Some d -> d
+        | None -> Alcotest.fail "no-crash replay produced no dump"
+      in
+      let model_dump = M.dump w.C.w_models.(Array.length w.C.w_body) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %d" seed)
+        (List.map M.entry_to_string model_dump)
+        (List.map M.entry_to_string fs_dump))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* ---- exhaustive sweeps over short targeted histories --------------------- *)
+
+let assert_clean name (rep : C.report) =
+  Alcotest.(check (list string)) (name ^ ": no divergences") []
+    (List.map (fun d -> d.C.d_reason) rep.C.r_divergences);
+  Alcotest.(check int) (name ^ ": exhaustive") rep.C.r_events rep.C.r_points
+
+(* Every crash point of a single create — including the window between the
+   inode publish and the dentry insert — must recover to a state the oracle
+   tolerates. *)
+let test_exhaustive_create () =
+  let s =
+    {
+      Op.sname = "unit-create";
+      setup = [ Op.Mkdir "/d" ];
+      body = [ Op.Create { path = "/d/f"; mode = 0o644; data = "hello world" } ];
+    }
+  in
+  assert_clean "create" (C.check s)
+
+(* Crash mid coffer split: renaming a private (0600) file into another
+   directory migrates its pages through a transient coffer (split → link →
+   merge → retarget).  Every interruption point must leave at least one
+   durable name for the file and recover cleanly. *)
+let test_exhaustive_coffer_split_rename () =
+  let s =
+    {
+      Op.sname = "unit-split-rename";
+      setup =
+        [
+          Op.Mkdir "/a";
+          Op.Mkdir "/c";
+          Op.Create { path = "/a/pub"; mode = 0o600; data = String.make 600 'p' };
+        ];
+      body = [ Op.Rename { src = "/a/pub"; dst = "/c/pub" } ];
+    }
+  in
+  assert_clean "split-rename" (C.check s)
+
+(* Crash mid directory growth: the setup fills a directory past its inline
+   dentry slots so the body inserts allocate and link fresh dentry chain
+   pages mid-op. *)
+let test_exhaustive_directory_growth () =
+  let s =
+    {
+      Op.sname = "unit-dir-growth";
+      setup =
+        Op.Mkdir "/d"
+        :: List.init 20 (fun i ->
+               Op.Create
+                 { path = Printf.sprintf "/d/f%02d" i; mode = 0o644; data = "x" });
+      body =
+        List.init 4 (fun i ->
+            Op.Create
+              { path = Printf.sprintf "/d/g%d" i; mode = 0o644; data = "grow" });
+    }
+  in
+  assert_clean "dir-growth" (C.check s)
+
+(* A short mixed history exercising every op kind the oracle models. *)
+let test_exhaustive_mixed_ops () =
+  let s =
+    {
+      Op.sname = "unit-mixed";
+      setup = [ Op.Mkdir "/d"; Op.Create { path = "/d/a"; mode = 0o644; data = "aa" } ];
+      body =
+        [
+          Op.Mkdir "/d/sub";
+          Op.Append { path = "/d/a"; data = "bb" };
+          Op.Rename { src = "/d/a"; dst = "/d/sub/a" };
+          Op.Pwrite { path = "/d/sub/a"; off = 1; data = "XY" };
+          Op.Unlink "/d/sub/a";
+          Op.Rmdir "/d/sub";
+        ];
+    }
+  in
+  assert_clean "mixed" (C.check s)
+
+(* ---- the negative check -------------------------------------------------- *)
+
+(* A deliberately dropped fence (acknowledged op whose lines never reach
+   NVM) must be reported as a divergence — otherwise the checker is blind
+   to its entire reason for existing. *)
+let test_missing_fence_is_caught () =
+  match C.check_missing_fence (Op.find "fslab") with
+  | Some _reason -> ()
+  | None -> Alcotest.fail "injected missing fence was not caught"
+
+let () =
+  Alcotest.run "crashmc"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "op semantics" `Quick test_model_semantics;
+          Alcotest.test_case "copy independence" `Quick
+            test_model_copy_is_independent;
+        ] );
+      ( "oracle-agreement",
+        [
+          Alcotest.test_case "no-crash dumps agree (seeded)" `Quick
+            test_no_crash_oracle_agreement;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "single create" `Quick test_exhaustive_create;
+          Alcotest.test_case "coffer split rename" `Slow
+            test_exhaustive_coffer_split_rename;
+          Alcotest.test_case "directory growth" `Slow
+            test_exhaustive_directory_growth;
+          Alcotest.test_case "mixed ops" `Slow test_exhaustive_mixed_ops;
+        ] );
+      ( "negative",
+        [
+          Alcotest.test_case "missing fence caught" `Quick
+            test_missing_fence_is_caught;
+        ] );
+    ]

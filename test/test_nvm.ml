@@ -160,6 +160,120 @@ let test_random_crash_policy_is_per_line () =
   Alcotest.(check bool) "some kept" true (!kept > 0);
   Alcotest.(check bool) "some dropped" true (!kept < 64)
 
+(* --- snapshot / restore ------------------------------------------------- *)
+
+let test_snapshot_restores_both_views () =
+  let d = mk () in
+  D.write_string d 0 "durable";
+  D.persist_all d;
+  D.write_string d 100 "volatile-only";
+  let snap = D.snapshot d in
+  (* Diverge: overwrite, persist new data, touch a fresh page. *)
+  D.write_string d 0 "clobber";
+  D.write_string d 100 "clobber-vol11";
+  D.persist_all d;
+  D.write_string d (10 * Nvm.page_size) "new page";
+  D.restore d snap;
+  Alcotest.(check string) "volatile view" "volatile-only" (D.read_string d 100 13);
+  Alcotest.(check string)
+    "fresh page gone" (String.make 8 '\000')
+    (D.read_string d (10 * Nvm.page_size) 8);
+  D.crash ~policy:`Drop_all d;
+  Alcotest.(check string) "durable view" "durable" (D.read_string d 0 7);
+  Alcotest.(check string)
+    "unpersisted dropped" (String.make 13 '\000')
+    (D.read_string d 100 13)
+
+let test_snapshot_captures_pending_lines () =
+  let d = mk () in
+  D.write_u64 d 0 1;
+  D.write_u64 d 64 2;
+  D.clwb d 64 (* flushing but not fenced *);
+  let snap = D.snapshot d in
+  D.persist_all d;
+  Alcotest.(check int) "drained" 0 (D.pending_lines d);
+  D.restore d snap;
+  Alcotest.(check int) "pending restored" 2 (D.pending_lines d);
+  (* The restored flushing line becomes durable at the next fence; the
+     dirty-but-unflushed line does not. *)
+  D.sfence d;
+  D.crash ~policy:`Drop_all d;
+  Alcotest.(check int) "dirty line lost" 0 (D.read_u64 d 0);
+  Alcotest.(check int) "flushing line persisted" 2 (D.read_u64 d 64)
+
+let test_restore_is_reusable () =
+  let d = mk () in
+  D.write_u64 d 0 7;
+  let snap = D.snapshot d in
+  for round = 1 to 3 do
+    D.restore d snap;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d sees snapshot value" round)
+      7 (D.read_u64 d 0);
+    D.write_u64 d 0 (100 + round);
+    D.persist_all d
+  done;
+  D.restore d snap;
+  D.crash ~policy:`Drop_all d;
+  Alcotest.(check int) "branch writes don't leak into snapshot" 0
+    (D.read_u64 d 0)
+
+let test_snapshot_captures_crash_rng () =
+  let d = mk () in
+  D.write_u64 d 0 1;
+  let snap = D.snapshot d in
+  let survival () =
+    let kept = ref [] in
+    for i = 0 to 63 do
+      D.write_u64 d (i * Nvm.line_size) 1
+    done;
+    D.crash d;
+    for i = 0 to 63 do
+      if D.read_u64 d (i * Nvm.line_size) = 1 then kept := i :: !kept
+    done;
+    !kept
+  in
+  let first = survival () in
+  D.restore d snap;
+  let second = survival () in
+  Alcotest.(check (list int)) "same RNG stream after restore" first second
+
+let test_set_crash_seed_reproducible () =
+  let d = mk () in
+  let run seed =
+    D.write_u64 d 0 1;
+    D.persist_all d;
+    let kept = ref [] in
+    for i = 0 to 63 do
+      D.write_u64 d (i * Nvm.line_size) 9
+    done;
+    D.set_crash_seed d seed;
+    D.crash d;
+    for i = 0 to 63 do
+      if D.read_u64 d (i * Nvm.line_size) = 9 then kept := i :: !kept
+    done;
+    !kept
+  in
+  let a = run 1234L and b = run 1234L and c = run 99L in
+  Alcotest.(check (list int)) "same seed, same pattern" a b;
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_inject_drop_fences () =
+  let d = mk () in
+  D.write_u64 d 0 42;
+  D.clwb d 0;
+  D.inject_drop_fences d 1;
+  D.sfence d (* dropped: a no-op *);
+  Alcotest.(check int) "line still pending" 1 (D.pending_lines d);
+  D.crash ~policy:`Drop_all d;
+  Alcotest.(check int) "nothing persisted" 0 (D.read_u64 d 0);
+  (* Disarmed after the budget is spent: the next fence is real. *)
+  D.write_u64 d 0 43;
+  D.clwb d 0;
+  D.sfence d;
+  D.crash ~policy:`Drop_all d;
+  Alcotest.(check int) "later fence works" 43 (D.read_u64 d 0)
+
 (* --- cost model -------------------------------------------------------- *)
 
 let test_read_latency_charged () =
@@ -311,6 +425,19 @@ let () =
             test_random_crash_policy_is_per_line;
           QCheck_alcotest.to_alcotest qcheck_persisted_data_survives;
           QCheck_alcotest.to_alcotest qcheck_unpersisted_never_leaks_past_drop_all;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "restores both views" `Quick
+            test_snapshot_restores_both_views;
+          Alcotest.test_case "captures pending lines" `Quick
+            test_snapshot_captures_pending_lines;
+          Alcotest.test_case "restore is reusable" `Quick test_restore_is_reusable;
+          Alcotest.test_case "captures crash rng" `Quick
+            test_snapshot_captures_crash_rng;
+          Alcotest.test_case "set_crash_seed reproducible" `Quick
+            test_set_crash_seed_reproducible;
+          Alcotest.test_case "inject_drop_fences" `Quick test_inject_drop_fences;
         ] );
       ( "cost-model",
         [

@@ -191,6 +191,79 @@ let test_recovery_reinitializes_corrupt_root_inode () =
   Alcotest.(check bool) "reinitialized" true
     (report.Zofs.Recovery.inodes_reinitialized >= 1)
 
+(* Crash between inode publish and dentry insert: create() persists the new
+   inode (and its data pages) before the dentry that names it.  A crash in
+   that window leaves a fully-formed but unreachable inode inside the
+   coffer.  Recovery must reclaim its pages and leave the rest intact.  We
+   build the torn state directly: create the file, then durably erase only
+   its dentry. *)
+let test_recovery_orphan_inode_without_dentry () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.write_file fs "/keep" ~mode:0o777 "keep");
+      ok_or_fail (V.write_file fs "/limbo" ~mode:0o777 (String.make 9000 'l')));
+  Sim.run_thread (fun () ->
+      Mpk.with_kernel w.mpk (fun () ->
+          Mpk.with_write_window w.mpk (fun () ->
+              let root = K.root_coffer w.kfs in
+              let info = Option.get (Treasury.Coffer.read w.dev ~id:root) in
+              let dir_ino = info.Treasury.Coffer.root_file in
+              (match Zofs.Dir.remove w.dev ~ino:dir_ino "limbo" with
+              | Ok () -> ()
+              | Error _ -> Alcotest.fail "limbo dentry missing");
+              Nvm.Device.persist_all w.dev)));
+  D.crash ~policy:`Drop_all w.dev;
+  let w = remount w in
+  let report = Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs) in
+  Alcotest.(check bool) "orphan inode pages reclaimed" true
+    (report.Zofs.Recovery.pages_reclaimed >= 1);
+  let report2 = Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs) in
+  Alcotest.(check (list string)) "second run is a fixpoint" []
+    (List.map Zofs.Recovery.finding_to_string (Zofs.Recovery.findings report2));
+  in_proc ~uid:0 w (fun fs ->
+      expect_err E.ENOENT (V.stat fs "/limbo");
+      Alcotest.(check string) "bystander intact" "keep"
+        (ok_or_fail (V.read_file fs "/keep")))
+
+(* Torn coffer root page: a multi-line update to the root inode page is
+   interrupted by a `Drop_all crash after only the first line was fenced.
+   The durable page mixes old and new lines — here the magic is destroyed
+   while a later line's update is lost entirely.  Recovery must
+   reinitialize the root inode and reach a fixpoint on the second run. *)
+let test_recovery_torn_coffer_root_page () =
+  let w = make_world () in
+  in_proc ~uid:0 w (fun fs ->
+      ok_or_fail (V.write_file fs "/keep" ~mode:0o777 "keep");
+      ok_or_fail (V.write_file fs "/solo" ~mode:0o600 "alone"));
+  Sim.run_thread (fun () ->
+      Mpk.with_kernel w.mpk (fun () ->
+          Mpk.with_write_window w.mpk (fun () ->
+              let cid =
+                match K.coffer_find w.kfs "/solo" with
+                | Ok c -> c
+                | Error _ -> Alcotest.fail "solo coffer"
+              in
+              let info = Option.get (Treasury.Coffer.read w.dev ~id:cid) in
+              let root = info.Treasury.Coffer.root_file in
+              (* first line reaches NVM... *)
+              Nvm.Device.write_u32 w.dev root 0;
+              Nvm.Device.persist_range w.dev root 4;
+              (* ...the rest of the update is still in the cache when power
+                 fails *)
+              Nvm.Device.write_u64 w.dev (root + 64) 0xDEADBEEF)));
+  D.crash ~policy:`Drop_all w.dev;
+  let w = remount w in
+  let report = Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs) in
+  Alcotest.(check bool) "root inode reinitialized" true
+    (report.Zofs.Recovery.inodes_reinitialized >= 1);
+  let report2 = Sim.run_thread (fun () -> Zofs.Recovery.recover_all w.kfs) in
+  Alcotest.(check (list string)) "second run is a fixpoint" []
+    (List.map Zofs.Recovery.finding_to_string (Zofs.Recovery.findings report2));
+  in_proc ~uid:0 w (fun fs ->
+      Alcotest.(check string) "bystander intact" "keep"
+        (ok_or_fail (V.read_file fs "/keep"));
+      ignore (ok_or_fail (V.readdir fs "/")))
+
 let qcheck_crash_recovery_preserves_completed_ops =
   QCheck.Test.make
     ~name:"completed ops survive random crashes + recovery" ~count:15
@@ -252,5 +325,9 @@ let () =
             test_recovery_drops_dangling_cross_ref;
           Alcotest.test_case "reinitializes root inode" `Quick
             test_recovery_reinitializes_corrupt_root_inode;
+          Alcotest.test_case "reclaims orphan inode (publish/dentry window)"
+            `Quick test_recovery_orphan_inode_without_dentry;
+          Alcotest.test_case "repairs torn coffer root page" `Quick
+            test_recovery_torn_coffer_root_page;
         ] );
     ]

@@ -44,3 +44,19 @@ let expect_err expected = function
   | Ok _ -> Alcotest.failf "expected error %s" (E.to_string expected)
   | Error e ->
       Alcotest.(check string) "errno" (E.to_string expected) (E.to_string e)
+
+(* --- seeded randomness (property tests / crash exploration) -------------- *)
+
+(* All test randomness flows from an explicit seed through the simulator's
+   splitmix64 PRNG, so any failing case replays exactly from its seed. *)
+let rng seed = Sim.Rng.create seed
+
+(* Seeded random op sequences over a bounded namespace (lib/workloads).
+   The same generator feeds the crash checker's sampled long histories and
+   the oracle-agreement property test, so both explore the same op
+   distribution. *)
+let random_ops ?mode600_every ?max_len ~seed ~nops () =
+  Workloads.Opscript.generate ?mode600_every ?max_len ~seed ~nops ()
+
+let random_script ?mode600_every ?max_len ~seed ~nops () =
+  Workloads.Opscript.random_script ?mode600_every ?max_len ~seed ~nops ()
