@@ -1,0 +1,163 @@
+(* Chaos campaign over a live ZoFS instance (lib/chaos).
+
+   Runs application traffic under randomized mixed fault injection — NVM
+   media poison (some sticky), lease-holder thread death mid-syscall,
+   transient kernel allocation failures, and MPK-blocked stray stores —
+   and checks the fault-domain containment invariants: no exception
+   escapes the dispatcher, an untouched canary coffer stays available
+   throughout, quarantined coffers refuse writes, every armed fault is
+   accounted for, and the post-campaign offline fsck is a clean fixpoint.
+
+     zofs_chaos [--mode log|fail] [--seed N] [--faults N] [--pages N]
+                [--quick] [--json FILE]
+
+   --faults N   keep injecting until at least N faults have tripped
+   --quick      smaller device, used by the @chaos dune alias (CI latency)
+   --json FILE  write a machine-readable report (BENCH_chaos.json)
+
+   The run always finishes with the negative self-check: the same campaign
+   with coffer quarantine disabled must report the containment violation
+   (a persistently failing coffer that is never fenced off), proving the
+   gate can see the bug class it exists for. *)
+
+module Ch = Chaos
+
+let usage () =
+  prerr_endline
+    "usage: zofs_chaos [--mode log|fail] [--seed N] [--faults N] [--pages N] \
+     [--quick] [--json FILE]";
+  exit 2
+
+let print_report (r : Ch.report) =
+  Printf.printf
+    "campaign: %d rounds, %d ops\n\
+    \  armed:   poison=%d kills=%d transients=%d scribbles=%d\n\
+    \  tripped: media-faults=%d kills=%d transients=%d scribbles=%d  \
+     (total %d)\n\
+    \  poison:  healed=%d patrol-scrubbed=%d fenced=%d   transient \
+     residue=%d\n\
+    \  healing: repairs ok/failed=%d/%d  lease-steals=%d intent-repairs=%d \
+     graceful-EIO=%d\n\
+    \  health:  quarantined=%d offline=%d   fsck findings=%d\n%!"
+    r.Ch.c_rounds r.Ch.c_ops r.Ch.c_armed_poison r.Ch.c_armed_kills
+    r.Ch.c_armed_transients r.Ch.c_armed_scribbles r.Ch.c_media_faults
+    r.Ch.c_kills_fired r.Ch.c_transients_tripped r.Ch.c_scribbles_blocked
+    r.Ch.c_faults_tripped r.Ch.c_poison_healed r.Ch.c_poison_scrubbed
+    r.Ch.c_poison_fenced r.Ch.c_transient_residue r.Ch.c_repairs_ok
+    r.Ch.c_repairs_failed r.Ch.c_lease_steals r.Ch.c_intent_repairs
+    r.Ch.c_graceful_errors r.Ch.c_quarantined r.Ch.c_offline
+    r.Ch.c_fsck_findings;
+  List.iter
+    (fun v -> Printf.printf "  VIOLATION: %s\n%!" v)
+    r.Ch.c_violations
+
+let json_of ~(r : Ch.report) ~min_faults ~negative_caught ~seconds =
+  let b = Buffer.create 2048 in
+  let fld k v = Printf.bprintf b "  %S: %s,\n" k v in
+  Buffer.add_string b "{\n";
+  fld "rounds" (string_of_int r.Ch.c_rounds);
+  fld "ops" (string_of_int r.Ch.c_ops);
+  fld "min_faults" (string_of_int min_faults);
+  fld "armed_poison" (string_of_int r.Ch.c_armed_poison);
+  fld "armed_kills" (string_of_int r.Ch.c_armed_kills);
+  fld "armed_transients" (string_of_int r.Ch.c_armed_transients);
+  fld "armed_scribbles" (string_of_int r.Ch.c_armed_scribbles);
+  fld "media_faults" (string_of_int r.Ch.c_media_faults);
+  fld "kills_fired" (string_of_int r.Ch.c_kills_fired);
+  fld "transients_tripped" (string_of_int r.Ch.c_transients_tripped);
+  fld "scribbles_blocked" (string_of_int r.Ch.c_scribbles_blocked);
+  fld "faults_tripped" (string_of_int r.Ch.c_faults_tripped);
+  fld "poison_healed" (string_of_int r.Ch.c_poison_healed);
+  fld "poison_scrubbed" (string_of_int r.Ch.c_poison_scrubbed);
+  fld "poison_fenced" (string_of_int r.Ch.c_poison_fenced);
+  fld "transient_residue" (string_of_int r.Ch.c_transient_residue);
+  fld "repairs_ok" (string_of_int r.Ch.c_repairs_ok);
+  fld "repairs_failed" (string_of_int r.Ch.c_repairs_failed);
+  fld "quarantined" (string_of_int r.Ch.c_quarantined);
+  fld "offline" (string_of_int r.Ch.c_offline);
+  fld "lease_steals" (string_of_int r.Ch.c_lease_steals);
+  fld "intent_repairs" (string_of_int r.Ch.c_intent_repairs);
+  fld "graceful_errors" (string_of_int r.Ch.c_graceful_errors);
+  fld "fsck_findings" (string_of_int r.Ch.c_fsck_findings);
+  Buffer.add_string b "  \"violations\": [";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%S" v)
+    r.Ch.c_violations;
+  Buffer.add_string b "],\n";
+  Printf.bprintf b "  \"quarantine_selfcheck_caught\": %b,\n" negative_caught;
+  Printf.bprintf b "  \"seconds\": %.3f\n}\n" seconds;
+  Buffer.contents b
+
+let () =
+  let mode = ref `Fail in
+  let seed = ref 11L in
+  let min_faults = ref 200 in
+  let pages = ref 16384 in
+  let json = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--mode" :: m :: rest ->
+        (match m with
+        | "log" -> mode := `Log
+        | "fail" -> mode := `Fail
+        | _ ->
+            Printf.eprintf "zofs_chaos: unknown mode %S (want log|fail)\n" m;
+            exit 2);
+        parse rest
+    | "--seed" :: n :: rest ->
+        seed := Int64.of_string n;
+        parse rest
+    | "--faults" :: n :: rest ->
+        min_faults := int_of_string n;
+        parse rest
+    | "--pages" :: n :: rest ->
+        pages := int_of_string n;
+        parse rest
+    | "--quick" :: rest ->
+        pages := 12288;
+        parse rest
+    | "--json" :: f :: rest ->
+        json := Some f;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | s :: _ ->
+        Printf.eprintf "zofs_chaos: unknown option %s\n" s;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let t0 = Sys.time () in
+  let r = Ch.run ~seed:!seed ~pages:!pages ~min_faults:!min_faults () in
+  print_report r;
+  (* Negative self-check: quarantine off → the campaign must detect that a
+     persistently failing coffer was never fenced. *)
+  let neg = Ch.negative_campaign ~seed:(Int64.add !seed 12L) () in
+  let negative_caught = Ch.caught neg in
+  if negative_caught then
+    Printf.printf
+      "quarantine-disabled self-check: containment violation caught as \
+       expected\n%!"
+  else begin
+    Printf.printf
+      "quarantine-disabled self-check: NOT caught — campaign is blind!\n%!";
+    print_report neg
+  end;
+  let seconds = Sys.time () -. t0 in
+  Printf.printf "total: %d faults tripped, %d violations (%.1fs)\n%!"
+    r.Ch.c_faults_tripped
+    (List.length r.Ch.c_violations)
+    seconds;
+  (match !json with
+  | Some f ->
+      let oc = open_out f in
+      output_string oc (json_of ~r ~min_faults:!min_faults ~negative_caught ~seconds);
+      close_out oc;
+      Printf.printf "wrote %s\n%!" f
+  | None -> ());
+  if
+    !mode = `Fail
+    && (r.Ch.c_violations <> []
+       || r.Ch.c_faults_tripped < !min_faults
+       || not negative_caught)
+  then exit 1

@@ -1,0 +1,449 @@
+(* chaos: a randomized fault-injection campaign over a live ZoFS instance.
+
+   One simulated world, one KernFS, one FSLibs process.  The campaign
+   interleaves application traffic (the fxmark / filebench / fslab op
+   scripts plus generated churn) with four injection kinds:
+
+     poison     NVM media errors on victim-coffer metadata lines (some
+                sticky — persistently failing cells)
+     kill       thread death mid-syscall (lease-holder death; the next op
+                on the structure steals the lease and repairs the
+                intention record)
+     transient  injected ENOMEM/EAGAIN on coffer_enlarge / coffer_map,
+                absorbed by FSLib's bounded retry
+     scribble   stray user-space stores into coffer pages that MPK must
+                block
+
+   and checks the containment invariants the fault-domain design promises:
+   no exception ever escapes the dispatcher, a never-injected canary coffer
+   stays fully available throughout, a quarantined coffer refuses writes,
+   every armed fault is accounted for (tripped, healed by scrub-on-write,
+   patrol-scrubbed, or fenced inside a quarantined domain), and a
+   post-campaign offline fsck is a clean fixpoint.
+
+   The campaign is also its own negative self-check
+   ({!negative_selfcheck}): with quarantine disabled, a persistently
+   failing coffer is never fenced, and the campaign must report the
+   containment violation — proving the gate can see the bug class it
+   exists for. *)
+
+module D = Nvm.Device
+module K = Treasury.Kernfs
+module V = Treasury.Vfs
+module E = Treasury.Errno
+module Cf = Treasury.Coffer
+module Op = Workloads.Opscript
+
+type report = {
+  c_rounds : int;
+  c_ops : int;  (* syscall-level ops applied (including probes) *)
+  (* armed, per kind *)
+  c_armed_poison : int;
+  c_armed_kills : int;
+  c_armed_transients : int;
+  c_armed_scribbles : int;
+  (* tripped, per kind *)
+  c_media_faults : int;  (* loads that faulted on poisoned lines *)
+  c_kills_fired : int;
+  c_transients_tripped : int;
+  c_scribbles_blocked : int;
+  c_faults_tripped : int;  (* sum of the four above *)
+  (* poison end-of-life accounting *)
+  c_poison_healed : int;  (* scrubbed by an ordinary store *)
+  c_poison_scrubbed : int;  (* cleared by the end-of-campaign patrol scrub *)
+  c_poison_fenced : int;  (* still poisoned inside a quarantined coffer *)
+  c_transient_residue : int;  (* armed but never tripped (drained) *)
+  (* self-healing activity (obs counter deltas) *)
+  c_repairs_ok : int;
+  c_repairs_failed : int;
+  c_quarantined : int;  (* coffers quarantined at campaign end *)
+  c_offline : int;
+  c_lease_steals : int;
+  c_intent_repairs : int;
+  c_graceful_errors : int;
+  c_fsck_findings : int;  (* first post-campaign offline pass *)
+  c_violations : string list;  (* containment violations; must be [] *)
+}
+
+let canary_path = "/canary"
+let canary_data = Op.payload ~tag:4242 300
+let n_victims = 6
+let victim_path i = Printf.sprintf "/v%d" i
+
+(* Build ZoFS + a FSLibs instance, keeping the dispatcher handle so the
+   online self-healing callback (scoped fsck of one coffer) can be wired. *)
+let make_fs ~pages ~quarantine =
+  let dev = D.create ~perf:Nvm.Perf.optane ~size:(pages * Nvm.page_size) () in
+  let mpk = Mpk.create dev in
+  Obs.attach_device dev;
+  let kfs =
+    K.mkfs dev mpk ~nbuckets:1024 ~root_ctype:Zofs.Ufs.ctype ~root_mode:0o755
+      ~root_uid:0 ~root_gid:0 ()
+  in
+  Zofs.Ufs.mkfs kfs;
+  K.set_quarantine_enabled kfs quarantine;
+  let disp = Treasury.Dispatcher.create kfs in
+  let ufs = Zofs.Ufs.create kfs in
+  Treasury.Dispatcher.register_ufs disp (module Zofs.Ufs) ufs;
+  Treasury.Dispatcher.set_repair disp (fun cid ->
+      Zofs.Recovery.recover_one kfs cid);
+  (dev, kfs, Treasury.Dispatcher.as_vfs disp)
+
+let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
+    ?(quarantine = true) () =
+  if not (Obs.enabled ()) then Obs.enable ~spans:false ();
+  let snap0 = Obs.Snapshot.take () in
+  let w = Sim.create ~seed () in
+  let proc = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let out = ref None in
+  Sim.spawn w ~proc ~name:"chaos-driver" (fun () ->
+      let dev, kfs, fs = make_fs ~pages ~quarantine in
+      let rng = Sim.Rng.create (Int64.add seed 0x5EEDL) in
+      let violations = ref [] in
+      let violation msg =
+        if List.length !violations < 40 then violations := msg :: !violations
+      in
+      let ops = ref 0 in
+      let guard op =
+        incr ops;
+        match Op.apply fs op with
+        | Ok () | Error _ -> ()
+        | exception e ->
+            violation
+              (Printf.sprintf "exception escaped the dispatcher: %s (op: %s)"
+                 (Printexc.to_string e) (Op.op_to_string op))
+      in
+      (* ---- populate: canary, victims, and the three workload trees ---- *)
+      guard (Op.Mkdir "/work");
+      guard (Op.Create { path = canary_path; mode = 0o600; data = canary_data });
+      for i = 0 to n_victims - 1 do
+        guard
+          (Op.Create
+             { path = victim_path i; mode = 0o600; data = Op.payload ~tag:i 700 })
+      done;
+      List.iter
+        (fun n ->
+          let s = Op.find n in
+          List.iter guard s.Op.setup;
+          List.iter guard s.Op.body)
+        [ "fxmark"; "filebench"; "fslab" ];
+      (* 0600 files land in their own coffers: those are the injection
+         targets.  The canary's coffer is deliberately not among them. *)
+      let victims =
+        match K.list_coffers kfs with
+        | Error _ -> [||]
+        | Ok l ->
+            Array.of_list
+              (List.filter
+                 (fun c ->
+                   String.length c.Cf.path >= 2 && String.sub c.Cf.path 0 2 = "/v")
+                 l)
+      in
+      if Array.length victims = 0 then
+        violation "setup: no victim sub-coffers (0600 grouping broken?)";
+      let healthy_victims () =
+        Array.to_list victims
+        |> List.filter (fun c ->
+               match K.coffer_health kfs c.Cf.id with
+               | K.Healthy | K.Suspect -> true
+               | K.Quarantined | K.Offline -> false)
+      in
+      (* ---- the four injectors ---------------------------------------- *)
+      let poison_list = ref [] in
+      let armed_poison = ref 0 and armed_kills = ref 0 in
+      let armed_transients = ref 0 and armed_scribbles = ref 0 in
+      let kills_fired = ref 0 and scribbles_blocked = ref 0 in
+      let inject_poison ~sticky =
+        match healthy_victims () with
+        | [] -> ()
+        | hv ->
+            let c = List.nth hv (Sim.Rng.int rng (List.length hv)) in
+            (* Root-inode lines (walk reads them on every access) or the
+               first allocator lines of the custom page — both rewritten by
+               the scoped fsck, so non-sticky poison there always heals.
+               Sticky poison goes on root-inode line 0, which every access
+               must read: the fault — and the failing repair — are
+               guaranteed, so quarantine is actually exercised. *)
+            let addr =
+              if sticky then c.Cf.root_file
+              else if Sim.Rng.bool rng then
+                c.Cf.root_file + (64 * Sim.Rng.int rng 2)
+              else c.Cf.custom + (64 * Sim.Rng.int rng 4)
+            in
+            D.inject_poison ~sticky dev addr;
+            incr armed_poison;
+            poison_list := addr :: !poison_list;
+            (* traffic that walks into the poisoned coffer *)
+            guard
+              (Op.Append
+                 {
+                   path = c.Cf.path;
+                   data = Op.payload ~tag:(Sim.Rng.int rng 1000) 120;
+                 });
+            guard
+              (Op.Pwrite { path = c.Cf.path; off = 0; data = Op.payload ~tag:7 60 })
+      in
+      let wcount = ref 0 in
+      let fresh_work_create () =
+        incr wcount;
+        Op.Create
+          {
+            path = Printf.sprintf "/work/w%d" !wcount;
+            mode = 0o644;
+            data = Op.payload ~tag:!wcount (500 + Sim.Rng.int rng 3000);
+          }
+      in
+      let inject_kill () =
+        let op =
+          if Sim.Rng.bool rng then
+            match healthy_victims () with
+            | c :: _ -> Op.Append { path = c.Cf.path; data = Op.payload ~tag:3 90 }
+            | [] -> fresh_work_create ()
+          else fresh_work_create ()
+        in
+        let finished = ref false in
+        let killed0 = Sim.killed_threads () in
+        let tid =
+          Sim.spawn_tid w ~proc ~name:"chaos-victim" (fun () ->
+              incr ops;
+              (try ignore (Op.apply fs op)
+               with e ->
+                 violation
+                   (Printf.sprintf
+                      "exception escaped the dispatcher in victim thread: %s"
+                      (Printexc.to_string e)));
+              finished := true)
+        in
+        Sim.arm_kill ~tid ~after:(10 + Sim.Rng.int rng 250);
+        incr armed_kills;
+        (* Wait for the victim to finish or die; a thread that does neither
+           within the budget is wedged — itself a containment violation. *)
+        let budget = ref 200_000 in
+        while (not !finished) && Sim.killed_threads () = killed0 && !budget > 0 do
+          decr budget;
+          Sim.advance 100
+        done;
+        if !finished then Sim.disarm_kill ~tid
+        else if Sim.killed_threads () > killed0 then begin
+          incr kills_fired;
+          (* The next op on the same structure must steal the dead
+             thread's lease and roll its intention record. *)
+          guard op
+        end
+        else violation "kill round: victim thread neither finished nor died"
+      in
+      let inject_transient () =
+        let n = 1 + Sim.Rng.int rng 2 in
+        let errno = if Sim.Rng.bool rng then E.ENOMEM else E.EAGAIN in
+        K.inject_transient kfs ~errno ~n ();
+        armed_transients := !armed_transients + n;
+        (* allocation-heavy traffic so the armed failures actually trip *)
+        for _ = 1 to 3 do
+          guard (fresh_work_create ())
+        done
+      in
+      let inject_scribble () =
+        incr armed_scribbles;
+        let addr =
+          if Array.length victims = 0 then 64
+          else
+            let c = victims.(Sim.Rng.int rng (Array.length victims)) in
+            c.Cf.root_file + (8 * Sim.Rng.int rng 64)
+        in
+        match D.write_u64 dev addr 0xDEAD_BEEF with
+        | () -> violation "scribble: stray store was NOT blocked by MPK"
+        | exception Nvm.Fault { kind = Nvm.Protection; _ } ->
+            incr scribbles_blocked
+        | exception e ->
+            violation
+              (Printf.sprintf "scribble raised unexpected %s"
+                 (Printexc.to_string e))
+      in
+      (* ---- campaign loop ---------------------------------------------- *)
+      let canary_check tag =
+        incr ops;
+        match V.read_file fs canary_path with
+        | Ok d when d = canary_data -> ()
+        | Ok _ -> violation (tag ^ ": canary content changed")
+        | Error e ->
+            violation
+              (Printf.sprintf "%s: canary unavailable (%s)" tag (E.to_string e))
+        | exception e ->
+            violation
+              (Printf.sprintf "%s: canary read raised %s" tag
+                 (Printexc.to_string e))
+      in
+      let tripped_total () =
+        D.stat_media_faults dev + !kills_fired
+        + (!armed_transients - K.pending_transients kfs)
+        + !scribbles_blocked
+      in
+      let pool =
+        Array.of_list
+          (List.concat_map
+             (fun n -> (Op.find n).Op.body)
+             [ "fxmark"; "filebench"; "fslab" ])
+      in
+      let rounds = ref 0 in
+      let cursor = ref 0 in
+      while tripped_total () < min_faults && !rounds < max_rounds do
+        let r = !rounds in
+        (match r mod 4 with
+        | 0 -> inject_poison ~sticky:(r = 0 || r mod 48 = 24)
+        | 1 -> inject_kill ()
+        | 2 -> inject_transient ()
+        | _ -> inject_scribble ());
+        (* background traffic from the named workloads *)
+        for _ = 1 to 3 do
+          guard pool.(!cursor mod Array.length pool);
+          incr cursor
+        done;
+        canary_check (Printf.sprintf "round %d" r);
+        incr rounds
+      done;
+      if tripped_total () < min_faults then
+        violation
+          (Printf.sprintf "campaign under-injected: %d/%d faults tripped"
+             (tripped_total ()) min_faults);
+      (* ---- end-of-campaign invariants --------------------------------- *)
+      (* a quarantined coffer is read-only: writes must be refused *)
+      Array.iter
+        (fun c ->
+          match K.coffer_health kfs c.Cf.id with
+          | K.Quarantined | K.Offline -> (
+              incr ops;
+              match V.append_file fs c.Cf.path (String.make 8 'x') with
+              | Ok () ->
+                  violation
+                    (Printf.sprintf "quarantined coffer %d accepted a write"
+                       c.Cf.id)
+              | Error _ -> ()
+              | exception e ->
+                  violation
+                    (Printf.sprintf "write to quarantined coffer raised %s"
+                       (Printexc.to_string e)))
+          | K.Healthy | K.Suspect -> ())
+        victims;
+      (* drain un-tripped transients so they cannot leak into the fsck *)
+      let transient_residue = K.pending_transients kfs in
+      K.clear_transients kfs;
+      (* patrol scrub: every armed poison line must be healed already,
+         cleared now, or fenced inside a quarantined fault domain *)
+      let healed = ref 0 and scrubbed = ref 0 and fenced = ref 0 in
+      (* the same line can be injected more than once — account per line *)
+      List.iter
+        (fun addr ->
+          if not (D.is_poisoned dev addr) then incr healed
+          else
+            let fenced_off =
+              match K.page_owner kfs ~page:(addr / Nvm.page_size) with
+              | Ok cid -> (
+                  match K.coffer_health kfs cid with
+                  | K.Quarantined | K.Offline -> true
+                  | K.Healthy | K.Suspect -> false)
+              | Error _ -> false
+            in
+            if fenced_off then incr fenced
+            else begin
+              D.clear_poison dev addr;
+              incr scrubbed
+            end)
+        (List.sort_uniq compare !poison_list);
+      if D.poisoned_lines dev <> !fenced then
+        violation
+          (Printf.sprintf
+             "unaccounted poisoned lines: %d on device, %d fenced in quarantine"
+             (D.poisoned_lines dev) !fenced);
+      (* post-campaign offline fsck: quarantined domains stay fenced; the
+         rest must come back clean and stable (fixpoint) *)
+      let fsck_findings = ref 0 in
+      (try
+         let rep1 = Zofs.Recovery.recover_all kfs in
+         fsck_findings := List.length (Zofs.Recovery.findings rep1);
+         let rep2 = Zofs.Recovery.recover_all kfs in
+         match Zofs.Recovery.findings rep2 with
+         | [] -> ()
+         | l ->
+             violation
+               (Printf.sprintf
+                  "post-campaign fsck is not a fixpoint (%d repeat findings: %s)"
+                  (List.length l)
+                  (String.concat "; "
+                     (List.map Zofs.Recovery.finding_to_string l)))
+       with e ->
+         violation ("post-campaign fsck raised " ^ Printexc.to_string e));
+      (* after recovery, a fresh FSLib must still see the canary intact *)
+      (try
+         let disp2 = Treasury.Dispatcher.create kfs in
+         let ufs2 = Zofs.Ufs.create kfs in
+         Treasury.Dispatcher.register_ufs disp2 (module Zofs.Ufs) ufs2;
+         let fs2 = Treasury.Dispatcher.as_vfs disp2 in
+         match V.read_file fs2 canary_path with
+         | Ok d when d = canary_data -> ()
+         | Ok _ -> violation "post-fsck: canary content changed"
+         | Error e ->
+             violation ("post-fsck: canary unavailable: " ^ E.to_string e)
+       with e ->
+         violation ("post-fsck canary check raised " ^ Printexc.to_string e));
+      let snap1 = Obs.Snapshot.take () in
+      let d = Obs.Snapshot.diff snap0 snap1 in
+      let cv n =
+        match Obs.Snapshot.counter_value d n with Some v -> v | None -> 0
+      in
+      let _, _, q, o = K.health_counts kfs in
+      (* the core fault-domain promise: a coffer whose repair keeps failing
+         must end up fenced off, not left to fault forever *)
+      if cv "health.repairs_failed" > 0 && q = 0 && o = 0 then
+        violation
+          "containment: online repair kept failing but no coffer was ever \
+           quarantined";
+      out :=
+        Some
+          {
+            c_rounds = !rounds;
+            c_ops = !ops;
+            c_armed_poison = !armed_poison;
+            c_armed_kills = !armed_kills;
+            c_armed_transients = !armed_transients;
+            c_armed_scribbles = !armed_scribbles;
+            c_media_faults = D.stat_media_faults dev;
+            c_kills_fired = !kills_fired;
+            c_transients_tripped = !armed_transients - transient_residue;
+            c_scribbles_blocked = !scribbles_blocked;
+            c_faults_tripped =
+              D.stat_media_faults dev + !kills_fired
+              + (!armed_transients - transient_residue)
+              + !scribbles_blocked;
+            c_poison_healed = !healed;
+            c_poison_scrubbed = !scrubbed;
+            c_poison_fenced = !fenced;
+            c_transient_residue = transient_residue;
+            c_repairs_ok = cv "health.repairs_ok";
+            c_repairs_failed = cv "health.repairs_failed";
+            c_quarantined = q;
+            c_offline = o;
+            c_lease_steals = cv "lease.steals";
+            c_intent_repairs = cv "intent.repairs";
+            c_graceful_errors = cv "fault.graceful_errors";
+            c_fsck_findings = !fsck_findings;
+            c_violations = List.rev !violations;
+          });
+  (try Sim.run w
+   with Sim.Deadlock msg -> failwith ("chaos: simulation deadlocked: " ^ msg));
+  match !out with
+  | Some r -> r
+  | None -> failwith "chaos: campaign driver died before reporting"
+
+(* Negative self-check: with quarantine disabled, the sticky-poisoned
+   victim's repairs keep failing but the coffer is never fenced — the
+   campaign must report that specific containment violation.  Returns true
+   when the gate caught the injected bug. *)
+let is_containment v =
+  String.length v >= 11 && String.sub v 0 11 = "containment"
+
+let negative_campaign ?(seed = 23L) ?(pages = 8192) () =
+  run ~seed ~pages ~min_faults:40 ~max_rounds:80 ~quarantine:false ()
+
+let caught rep = List.exists is_containment rep.c_violations
+
+let negative_selfcheck ?seed ?pages () = caught (negative_campaign ?seed ?pages ())

@@ -320,6 +320,11 @@ let on_nvm_event t (ev : Nvm.Device.trace_event) =
   | T_load { addr; _ } -> guideline_access t addr ~write:false
   | T_clwb { addr; _ } -> persist_clwb t addr
   | T_fence _ -> persist_fence t
+  | T_media_fault _ ->
+      (* An uncorrectable media error is an environment fault, not a software
+         rule violation: record it as a lint so reports show the run was
+         exposed to injected hardware failures. *)
+      lint "media-fault"
   | T_reset -> persist_reset t
 
 let on_mpk_event t (ev : Mpk.trace_event) =

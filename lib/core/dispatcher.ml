@@ -19,6 +19,10 @@ type t = {
   mutable default_ctype : int;
   kernel_fs : Vfs.fs option;  (* handles paths outside the mount, if any *)
   mutable graceful_errors : int;  (* faults converted into errno (§6.5) *)
+  mutable repair : (int -> bool) option;
+      (* online scoped fsck for one coffer (wired by the embedder; e.g.
+         Zofs.Recovery.recover_one).  Returns true when the coffer was made
+         consistent again. *)
 }
 
 let ( let* ) = Result.bind
@@ -36,6 +40,7 @@ let create ?(mount_path = "/") ?kernel_fs kfs =
     default_ctype = -1;
     kernel_fs;
     graceful_errors = 0;
+    repair = None;
   }
 
 let register_ufs t (type a) (module F : Ufs_intf.S with type t = a) (inst : a) =
@@ -66,26 +71,126 @@ let ufs_for t _path =
   | Some u -> Ok u
   | None -> Error Errno.ENOSYS
 
-(* Convert stray faults and internal corruption into errno (graceful error
-   return): the simulated SIGSEGV handler + siglongjmp.  [debug_raise] lets
-   tests see the underlying exception instead. *)
+(* ---- fault handling and online self-healing (graceful error return) ----- *)
+
+let set_repair t f = t.repair <- Some f
+
+let max_op_retries = 3 (* re-runs of a faulted op after a successful repair *)
+let max_repair_attempts = 3 (* scoped-fsck attempts per fault *)
+let repair_backoff = 10_000 (* ns; doubled per attempt, capped below *)
+let max_repair_backoff = 200_000
+
+(* After a repair rewrote coffer structures, every µFS must drop its cached
+   session state for that coffer so stale addresses are re-walked. *)
+let invalidate_everywhere t cid =
+  Hashtbl.iter (fun _ (U ((module F), u)) -> F.invalidate_coffer u cid) t.ufss
+
+(* Attribute a faulting NVM address to the coffer owning its page; metadata
+   regions and free pages have no coffer to quarantine. *)
+let owner_of_addr t addr =
+  match Kernfs.page_owner t.kfs ~page:(addr / Nvm.page_size) with
+  | Ok cid when cid > Kernfs.cid_pathmap -> Some cid
+  | Ok _ | Error _ -> None
+
+let attempt_repair t cid =
+  match t.repair with
+  | None -> false
+  | Some f ->
+      let rec go attempt =
+        if attempt >= max_repair_attempts then false
+        else begin
+          Obs.cnt "health.repair_attempts" 1;
+          let ok =
+            (* The repairing thread holds the kernel recovery lease; dying
+               mid-fsck would wedge the coffer in-recovery, so repairs run
+               with death masked (the countdown resumes afterwards). *)
+            Sim.with_no_kill (fun () ->
+                try f cid
+                with Nvm.Fault _ | Ufs_intf.Zofs_corrupt _ -> false)
+          in
+          if ok then true
+          else begin
+            Sim.advance (min (repair_backoff lsl attempt) max_repair_backoff);
+            go (attempt + 1)
+          end
+        end
+      in
+      go 0
+
+(* A media fault escaped a µFS operation: mark the owning coffer suspect,
+   run the online scoped fsck (other coffers keep serving — the fault domain
+   is one coffer), and either return it to service or quarantine it after
+   repeated failure.  Returns true when the faulted operation should be
+   retried. *)
+let handle_media_fault t addr =
+  match owner_of_addr t addr with
+  | None -> false
+  | Some cid -> (
+      match Kernfs.coffer_health t.kfs cid with
+      | Kernfs.Offline -> false
+      | Kernfs.Quarantined ->
+          (* Still faulting on the read-only path: take it fully offline. *)
+          Kernfs.set_coffer_health t.kfs cid Kernfs.Offline;
+          invalidate_everywhere t cid;
+          false
+      | Kernfs.Healthy | Kernfs.Suspect ->
+          Kernfs.set_coffer_health t.kfs cid Kernfs.Suspect;
+          if attempt_repair t cid then begin
+            Obs.cnt "health.repairs_ok" 1;
+            invalidate_everywhere t cid;
+            Kernfs.set_coffer_health t.kfs cid Kernfs.Healthy;
+            true
+          end
+          else begin
+            Obs.cnt "health.repairs_failed" 1;
+            if Kernfs.quarantine_enabled t.kfs then begin
+              Kernfs.set_coffer_health t.kfs cid Kernfs.Quarantined;
+              invalidate_everywhere t cid
+            end;
+            false
+          end)
+
+(* Convert faults and detected corruption into errno (graceful error
+   return): the simulated SIGSEGV handler + siglongjmp of §3.4.2.  The catch
+   is deliberately narrow — NVM faults, [Zofs_corrupt] validity-check
+   failures and [Coffer_unavailable] health rejections; a genuine
+   programming bug ([Failure], [Invalid_argument], ...) escapes loudly
+   instead of masquerading as EIO.  [debug_raise] lets tests see the
+   underlying exception instead. *)
 let debug_raise = ref false
 
-let protect t f =
-  match f () with
-  | v -> v
-  | exception ((Nvm.Fault _ | Failure _) as e) ->
-      if !debug_raise then raise e;
-      t.graceful_errors <- t.graceful_errors + 1;
-      Error (Ufs_intf.Errno Errno.EIO)
+let graceful t =
+  t.graceful_errors <- t.graceful_errors + 1;
+  Obs.cnt "fault.graceful_errors" 1
 
-let protect_fd t f =
-  match f () with
-  | v -> v
-  | exception ((Nvm.Fault _ | Failure _) as e) ->
-      if !debug_raise then raise e;
-      t.graceful_errors <- t.graceful_errors + 1;
-      Error Errno.EIO
+let protect_gen t wrap f =
+  let rec run retries =
+    match f () with
+    | v -> v
+    | exception (Nvm.Fault { addr; kind = Nvm.Media; _ } as e) ->
+        if !debug_raise then raise e;
+        if retries < max_op_retries && handle_media_fault t addr then begin
+          Obs.cnt "retry.fault" 1;
+          run (retries + 1)
+        end
+        else begin
+          graceful t;
+          Error (wrap Errno.EIO)
+        end
+    | exception ((Nvm.Fault _ | Ufs_intf.Zofs_corrupt _) as e) ->
+        if !debug_raise then raise e;
+        graceful t;
+        Error (wrap Errno.EIO)
+    | exception (Ufs_intf.Coffer_unavailable _ as e) ->
+        (* The coffer is already known-bad: EIO without another repair. *)
+        if !debug_raise then raise e;
+        graceful t;
+        Error (wrap Errno.EIO)
+  in
+  run 0
+
+let protect t f = protect_gen t (fun e -> Ufs_intf.Errno e) f
+let protect_fd t f = protect_gen t (fun e -> e) f
 
 let max_symlink_depth = 40
 

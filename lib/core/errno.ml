@@ -22,6 +22,7 @@ type t =
   | EFBIG
   | EAGAIN
   | EBUSY
+  | ENOMEM
 
 let to_string = function
   | ENOENT -> "ENOENT"
@@ -43,6 +44,7 @@ let to_string = function
   | EFBIG -> "EFBIG"
   | EAGAIN -> "EAGAIN"
   | EBUSY -> "EBUSY"
+  | ENOMEM -> "ENOMEM"
 
 let message = function
   | ENOENT -> "No such file or directory"
@@ -64,6 +66,7 @@ let message = function
   | EFBIG -> "File too large"
   | EAGAIN -> "Resource temporarily unavailable"
   | EBUSY -> "Device or resource busy"
+  | ENOMEM -> "Cannot allocate memory"
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 let equal (a : t) b = a = b

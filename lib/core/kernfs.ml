@@ -27,6 +27,20 @@ type mapping = {
   m_ctype : int;
 }
 
+(* Per-coffer fault-domain health (runtime state, rebuilt on mount):
+   [Healthy] serves everything; [Suspect] (a fault was observed, repair may
+   be in flight) still serves; [Quarantined] is read-only; [Offline] rejects
+   every access.  Transitions are driven by the dispatcher's fault handler;
+   the table itself is volatile because after a crash every coffer restarts
+   Healthy and the offline fsck decides what is actually usable. *)
+type health = Healthy | Suspect | Quarantined | Offline
+
+let health_to_string = function
+  | Healthy -> "healthy"
+  | Suspect -> "suspect"
+  | Quarantined -> "quarantined"
+  | Offline -> "offline"
+
 type proc_state = {
   ps_pid : int;
   ps_mapped : (int, mapping) Hashtbl.t;  (* cid -> mapping *)
@@ -45,6 +59,12 @@ type t = {
   mappers : (int, int list ref) Hashtbl.t;  (* cid -> pids mapping it *)
   mutable root_cid : int;
   mutable enlarge_calls : int;
+  health : (int, health) Hashtbl.t;  (* cid -> health; absent = Healthy *)
+  mutable quarantine_on : bool;  (* chaos negative self-check flips this *)
+  (* Transient-failure injection: the next [transient_arm] allocation-path
+     syscalls (coffer_enlarge / coffer_map) fail with [transient_errno]. *)
+  mutable transient_arm : int;
+  mutable transient_errno : Errno.t;
 }
 
 let ( let* ) = Result.bind
@@ -214,6 +234,10 @@ let mkfs dev mpk ?(nbuckets = 4096) ~root_ctype ~root_mode ~root_uid ~root_gid (
       mappers = Hashtbl.create 64;
       root_cid = 0;
       enlarge_calls = 0;
+      health = Hashtbl.create 16;
+      quarantine_on = true;
+      transient_arm = 0;
+      transient_errno = Errno.ENOMEM;
     }
   in
   (match
@@ -251,6 +275,10 @@ let mount dev mpk =
       mappers = Hashtbl.create 64;
       root_cid = 0;
       enlarge_calls = 0;
+      health = Hashtbl.create 16;
+      quarantine_on = true;
+      transient_arm = 0;
+      transient_errno = Errno.ENOMEM;
     }
   in
   Path_map.iter pm (fun path cid ->
@@ -274,17 +302,33 @@ let alloc_table t = t.at
    mid-operation rolls them all back — the observable semantics of the
    journaling a real kernel applies to this metadata (paper §3.5: KernFS
    recovers its own structures; partial updates are never exposed). *)
+(* Kernel context is also a no-kill region: the chaos campaign models the
+   death of *user* threads (a process can die at any instruction of its own
+   code), but a thread inside a system call completes it — killing it while
+   it holds the kernel mutex would model a kernel panic, not a process
+   death.  The pending kill countdown resumes at syscall return. *)
 let kernel_op t f =
   Gate.syscall t.gate (fun () ->
-      Sim.Mutex.with_lock t.lock (fun () ->
-          Nvm.Device.begin_atomic t.dev;
-          match f () with
-          | v ->
-              Nvm.Device.commit_atomic t.dev;
-              v
-          | exception e ->
-              Nvm.Device.abort_atomic t.dev;
-              raise e))
+      Sim.with_no_kill (fun () ->
+          Sim.Mutex.with_lock t.lock (fun () ->
+              Nvm.Device.begin_atomic t.dev;
+              match f () with
+              | v ->
+                  Nvm.Device.commit_atomic t.dev;
+                  v
+              | exception e ->
+                  Nvm.Device.abort_atomic t.dev;
+                  raise e)))
+
+(* Trip one armed transient failure, if any (called from the allocation-path
+   syscalls with the kernel lock held). *)
+let trip_transient t =
+  if t.transient_arm > 0 then begin
+    t.transient_arm <- t.transient_arm - 1;
+    Obs.cnt "fault.transient" 1;
+    Some t.transient_errno
+  end
+  else None
 
 (* ---- FS registry (fs_mount / fs_umount) ------------------------------- *)
 
@@ -370,6 +414,9 @@ let coffer_delete t cid =
 
 let coffer_enlarge t cid ~n =
   kernel_op t (fun () ->
+      match trip_transient t with
+      | Some e -> Error e
+      | None ->
       t.enlarge_calls <- t.enlarge_calls + 1;
       (* Growing a mapping requires a TLB shootdown across every CPU running
          a thread of a mapping process — serialized work that makes very
@@ -418,6 +465,9 @@ let coffer_shrink t cid ~runs =
 
 let coffer_map t cid =
   kernel_op t (fun () ->
+      match trip_transient t with
+      | Some e -> Error e
+      | None ->
       let pid = (Sim.self_proc ()).Sim.Proc.pid in
       let* ps = proc_state t pid in
       let* c = coffer_info t cid in
@@ -758,3 +808,50 @@ let mapped_coffers t =
   match Hashtbl.find_opt t.procs pid with
   | None -> []
   | Some ps -> Hashtbl.fold (fun cid m acc -> (cid, m) :: acc) ps.ps_mapped []
+
+(* ---- fault-domain health ------------------------------------------------ *)
+
+(* Health reads are not syscalls: the table is mirrored into a read-only
+   shared page every FSLib maps (like the vDSO), so checking it on the hot
+   path costs a load, not a gate crossing. *)
+let coffer_health t cid =
+  match Hashtbl.find_opt t.health cid with Some h -> h | None -> Healthy
+
+let set_coffer_health t cid h =
+  let prev = coffer_health t cid in
+  if prev <> h then begin
+    (match h with
+    | Healthy -> Hashtbl.remove t.health cid
+    | _ -> Hashtbl.replace t.health cid h);
+    (match h with
+    | Healthy -> if prev <> Healthy then Obs.cnt "health.recovered" 1
+    | Suspect -> Obs.cnt "health.suspect" 1
+    | Quarantined -> Obs.cnt "health.quarantined" 1
+    | Offline -> Obs.cnt "health.offline" 1)
+  end
+
+let quarantine_enabled t = t.quarantine_on
+let set_quarantine_enabled t on = t.quarantine_on <- on
+
+(* (healthy, suspect, quarantined, offline) across registered coffers. *)
+let health_counts t =
+  let s = ref 0 and q = ref 0 and o = ref 0 in
+  Hashtbl.iter
+    (fun _ h ->
+      match h with
+      | Suspect -> incr s
+      | Quarantined -> incr q
+      | Offline -> incr o
+      | Healthy -> ())
+    t.health;
+  let total = Hashtbl.length t.coffers in
+  (total - !s - !q - !o, !s, !q, !o)
+
+(* ---- transient-failure injection ---------------------------------------- *)
+
+let inject_transient t ?(errno = Errno.ENOMEM) ~n () =
+  t.transient_arm <- t.transient_arm + max 0 n;
+  t.transient_errno <- errno
+
+let pending_transients t = t.transient_arm
+let clear_transients t = t.transient_arm <- 0

@@ -32,6 +32,43 @@ type mapping = {
 val pte_update_cost : int
 (** ns charged per page (un)mapped — PTE write + TLB bookkeeping. *)
 
+(** {1 Fault-domain health (runtime state, volatile)} *)
+
+(** Per-coffer health, driven by the dispatcher's fault handler: [Healthy]
+    and [Suspect] serve everything, [Quarantined] is read-only, [Offline]
+    rejects every access.  Rebuilt (all-Healthy) on mount. *)
+type health = Healthy | Suspect | Quarantined | Offline
+
+val health_to_string : health -> string
+
+val coffer_health : t -> int -> health
+(** Not a syscall: modeled as a load from a read-only shared page. *)
+
+val set_coffer_health : t -> int -> health -> unit
+(** Record a transition (bumps the matching [health.*] counter). *)
+
+val quarantine_enabled : t -> bool
+
+val set_quarantine_enabled : t -> bool -> unit
+(** When disabled, repeated-failure coffers stay [Suspect] and keep serving
+    writes — the chaos campaign's negative self-check must then detect the
+    resulting containment violation. *)
+
+val health_counts : t -> int * int * int * int
+(** (healthy, suspect, quarantined, offline) over registered coffers. *)
+
+val inject_transient : t -> ?errno:Errno.t -> n:int -> unit -> unit
+(** Arm the next [n] allocation-path syscalls ([coffer_enlarge] /
+    [coffer_map]) to fail with [errno] (default ENOMEM).  FSLib absorbs
+    these with bounded retry + backoff. *)
+
+val pending_transients : t -> int
+(** Armed-but-not-yet-tripped transient failures (chaos accounting). *)
+
+val clear_transients : t -> unit
+(** Disarm any remaining transient failures (end-of-campaign drain, so a
+    leftover injection cannot leak into the post-campaign fsck). *)
+
 (** {1 Formatting and mounting} *)
 
 val mkfs :

@@ -10,6 +10,19 @@ type fail =
   | Symlink of string
       (** the expanded absolute path the dispatcher must re-dispatch *)
 
+(* Raised by a µFS when an on-NVM structure fails a validity check (bad
+   magic, impossible kind byte, poisoned allocator page).  The dispatcher
+   catches exactly this — not blanket [Failure _] — and converts it to the
+   paper's graceful EIO, so genuine programming bugs are no longer masked as
+   I/O errors.  The [string] names the structure and check that failed. *)
+exception Zofs_corrupt of string
+
+(* Raised by a µFS when an operation needs to write a coffer whose health
+   state forbids it (Quarantined is read-only, Offline rejects everything).
+   Carries the coffer id; the dispatcher maps it to EIO *without* triggering
+   another repair attempt — the coffer is already known-bad. *)
+exception Coffer_unavailable of { cid : int; write : bool }
+
 type 'a outcome = ('a, fail) result
 
 let errno e : 'a outcome = Error (Errno e)
@@ -50,4 +63,9 @@ module type S = sig
   val fsync : t -> int -> (unit, Errno.t) result
   val fstat : t -> int -> (Fs_types.stat, Errno.t) result
   val ftruncate : t -> int -> int -> (unit, Errno.t) result
+
+  val invalidate_coffer : t -> int -> unit
+  (** Drop any cached session/mapping state for coffer [cid] (called by the
+      dispatcher after an online repair remapped or reformatted coffer
+      structures, so stale cached addresses are re-walked). *)
 end

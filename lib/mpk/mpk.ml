@@ -64,7 +64,7 @@ let fault t addr write reason =
   (if Sys.getenv_opt "MPK_DEBUG_FAULT" <> None then
      Printf.eprintf "FAULT addr=%d write=%b %s\n%s\n%!" addr write reason
        (Printexc.raw_backtrace_to_string (Printexc.get_callstack 25)));
-  raise (Nvm.Fault { addr; write; reason })
+  raise (Nvm.Fault { addr; write; kind = Nvm.Protection; reason })
 
 let table t pid =
   match Hashtbl.find_opt t.tables pid with
@@ -94,9 +94,14 @@ let check t ~addr ~write =
     let pid = (Sim.self_proc ()).Sim.Proc.pid in
     let page = addr / Nvm.page_size in
     let pte =
+      (* An address past the device end has no PTE at all: same SIGSEGV as
+         an unmapped page (recovery relies on this when chasing torn
+         pointers). *)
       match Hashtbl.find_opt t.tables pid with
       | None -> 0
-      | Some b -> Char.code (Bytes.get b page)
+      | Some b ->
+          if page < 0 || page >= Bytes.length b then 0
+          else Char.code (Bytes.get b page)
     in
     if pte land pte_mapped = 0 then fault t addr write "page not mapped";
     if write && pte land pte_writable = 0 then

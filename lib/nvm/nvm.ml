@@ -55,7 +55,15 @@ module Perf = struct
     }
 end
 
-exception Fault of { addr : int; write : bool; reason : string }
+(* A fault's kind tells handlers whether the access was *illegal*
+   (Protection: MPK/write-window rules, raised by lib/mpk) or merely
+   *unlucky* (Media: an uncorrectable NVM error on a poisoned line).  Both
+   must be contained the same way — graceful error return — but only Media
+   faults make the data itself suspect and feed the coffer health machine. *)
+type fault_kind = Protection | Media
+
+exception
+  Fault of { addr : int; write : bool; kind : fault_kind; reason : string }
 
 module Device = struct
   type line_state = Dirty | Flushing
@@ -73,6 +81,7 @@ module Device = struct
     | T_load of { addr : int; len : int; ns : int }
     | T_clwb of { addr : int; ns : int }
     | T_fence of { nflushing : int; ns : int }
+    | T_media_fault of { addr : int; write : bool }
     | T_reset
 
   type t = {
@@ -98,6 +107,8 @@ module Device = struct
     mutable n_redundant_flushes : int;  (* clwb of a clean/already-flushing line *)
     mutable n_redundant_fences : int;  (* sfence with nothing flushing *)
     mutable fences_to_drop : int;  (* fault injection: skip the next N sfences *)
+    poison : (int, bool) Hashtbl.t;  (* line index -> sticky (media errors) *)
+    mutable n_media_faults : int;
     mutable atomic_depth : int;  (* open kernel atomic sections (nesting) *)
     atomic_undo : (int, bytes option) Hashtbl.t;
         (* line -> durable content at first in-section touch (None = unborn) *)
@@ -129,6 +140,8 @@ module Device = struct
       n_redundant_flushes = 0;
       n_redundant_fences = 0;
       fences_to_drop = 0;
+      poison = Hashtbl.create 8;
+      n_media_faults = 0;
       atomic_depth = 0;
       atomic_undo = Hashtbl.create 64;
     }
@@ -205,6 +218,46 @@ module Device = struct
 
   let check_protection d addr write =
     match d.hook with None -> () | Some f -> f ~addr ~write
+
+  (* --- media-error (poison) injection ----------------------------------- *)
+
+  (* A poisoned cache line models an uncorrectable NVM media error: any load
+     touching it raises [Fault] with [kind = Media] (the simulated machine
+     check), emitted on the trace stream first so checkers and metrics
+     observe it.  A store to the line re-maps it (scrub-on-write), clearing
+     the poison — unless it was injected [~sticky], which models a
+     persistently failing cell and powers the chaos gate's negative
+     self-check.  Poison is a property of the medium: it survives [crash]
+     and rides along in [snapshot]/[restore]. *)
+
+  let inject_poison ?(sticky = false) d addr =
+    check_bounds d addr 1;
+    Hashtbl.replace d.poison (addr / line_size) sticky
+
+  let clear_poison d addr = Hashtbl.remove d.poison (addr / line_size)
+  let is_poisoned d addr = Hashtbl.mem d.poison (addr / line_size)
+  let poisoned_lines d = Hashtbl.length d.poison
+
+  let raise_media d addr ~write =
+    d.n_media_faults <- d.n_media_faults + 1;
+    if d.subs != [] then emit d (T_media_fault { addr; write });
+    raise
+      (Fault { addr; write; kind = Media; reason = "uncorrectable media error" })
+
+  let check_poison_read d addr len =
+    if Hashtbl.length d.poison > 0 && len > 0 then begin
+      let first = addr / line_size and last = (addr + len - 1) / line_size in
+      for line = first to last do
+        if Hashtbl.mem d.poison line then
+          raise_media d (line * line_size) ~write:false
+      done
+    end
+
+  let heal_poison d line =
+    if Hashtbl.length d.poison > 0 then
+      match Hashtbl.find_opt d.poison line with
+      | Some false -> Hashtbl.remove d.poison line
+      | _ -> ()
 
   (* --- cost accounting ------------------------------------------------- *)
 
@@ -316,6 +369,7 @@ module Device = struct
     let first = addr / line_size and last = (addr + len - 1) / line_size in
     for line = first to last do
       atomic_note d line;
+      heal_poison d line;
       match Hashtbl.find_opt d.pending line with
       | Some _ -> ()
       | None -> Hashtbl.replace d.pending line Dirty
@@ -330,6 +384,7 @@ module Device = struct
 
   let read_u8 d addr =
     check_protection d addr false;
+    check_poison_read d addr 1;
     let t0 = t_begin d in
     charge_read d addr 1;
     trace_load d addr 1 t0;
@@ -338,6 +393,7 @@ module Device = struct
 
   let read_u16 d addr =
     check_protection d addr false;
+    check_poison_read d addr 2;
     let t0 = t_begin d in
     charge_read d addr 2;
     trace_load d addr 2 t0;
@@ -346,6 +402,7 @@ module Device = struct
 
   let read_u32 d addr =
     check_protection d addr false;
+    check_poison_read d addr 4;
     let t0 = t_begin d in
     charge_read d addr 4;
     trace_load d addr 4 t0;
@@ -354,6 +411,7 @@ module Device = struct
 
   let read_u64 d addr =
     check_protection d addr false;
+    check_poison_read d addr 8;
     let t0 = t_begin d in
     charge_read d addr 8;
     trace_load d addr 8 t0;
@@ -401,6 +459,7 @@ module Device = struct
      so no other thread can interleave between them. *)
   let cas_u64 d addr ~expected ~desired =
     check_protection d addr true;
+    check_poison_read d addr 8 (* cmpxchg loads the line first *);
     let t0 = t_begin d in
     charge_store d addr 8;
     if Sim.in_sim () then Sim.advance 20 (* lock prefix overhead *);
@@ -419,6 +478,7 @@ module Device = struct
     check_bounds d addr len;
     if len > 0 then begin
       check_protection d addr false;
+      check_poison_read d addr len;
       let t0 = t_begin d in
       charge_read d addr len;
       trace_load d addr len t0;
@@ -622,6 +682,7 @@ module Device = struct
     Bytes.set_int64_le (vol_page d page) off (Int64.of_int v);
     let line = addr / line_size in
     atomic_note d line;
+    heal_poison d line;
     (match Hashtbl.find_opt d.pending line with
     | Some Flushing -> ()
     | Some Dirty | None ->
@@ -650,6 +711,7 @@ module Device = struct
       let first = addr / line_size and last = (addr + len - 1) / line_size in
       for line = first to last do
         atomic_note d line;
+        heal_poison d line;
         match Hashtbl.find_opt d.pending line with
         | Some Flushing -> ()
         | Some Dirty | None ->
@@ -684,6 +746,7 @@ module Device = struct
       let first = addr / line_size and last = (addr + len - 1) / line_size in
       for line = first to last do
         atomic_note d line;
+        heal_poison d line;
         match Hashtbl.find_opt d.pending line with
         | Some Flushing -> ()
         | Some Dirty | None ->
@@ -748,6 +811,7 @@ module Device = struct
     snap_flushing : int list;
     snap_rng : int64;
     snap_stats : int array;
+    snap_poison : (int * bool) array;
   }
 
   let snapshot d =
@@ -770,7 +834,10 @@ module Device = struct
       snap_rng = Sim.Rng.get_state d.crash_rng;
       snap_stats =
         [| d.n_reads; d.n_writes; d.n_flushes; d.n_fences;
-           d.n_redundant_flushes; d.n_redundant_fences |];
+           d.n_redundant_flushes; d.n_redundant_fences; d.n_media_faults |];
+      snap_poison =
+        Array.of_list
+          (Hashtbl.fold (fun l s acc -> (l, s) :: acc) d.poison []);
     }
 
   (* Restore is destructive and reusable: the same snapshot can seed any
@@ -787,14 +854,17 @@ module Device = struct
     d.flushing <- snap.snap_flushing;
     Sim.Rng.set_state d.crash_rng snap.snap_rng;
     (match snap.snap_stats with
-    | [| r; w; fl; fe; rfl; rfe |] ->
+    | [| r; w; fl; fe; rfl; rfe; mf |] ->
         d.n_reads <- r;
         d.n_writes <- w;
         d.n_flushes <- fl;
         d.n_fences <- fe;
         d.n_redundant_flushes <- rfl;
-        d.n_redundant_fences <- rfe
+        d.n_redundant_fences <- rfe;
+        d.n_media_faults <- mf
     | _ -> ());
+    Hashtbl.reset d.poison;
+    Array.iter (fun (l, s) -> Hashtbl.replace d.poison l s) snap.snap_poison;
     d.fences_to_drop <- 0;
     d.atomic_depth <- 0;
     Hashtbl.reset d.atomic_undo;
@@ -848,6 +918,7 @@ module Device = struct
   let stat_fences d = d.n_fences
   let stat_redundant_flushes d = d.n_redundant_flushes
   let stat_redundant_fences d = d.n_redundant_fences
+  let stat_media_faults d = d.n_media_faults
 
   let reset_stats d =
     d.n_reads <- 0;
@@ -855,5 +926,6 @@ module Device = struct
     d.n_flushes <- 0;
     d.n_fences <- 0;
     d.n_redundant_flushes <- 0;
-    d.n_redundant_fences <- 0
+    d.n_redundant_fences <- 0;
+    d.n_media_faults <- 0
 end

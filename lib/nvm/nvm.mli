@@ -46,9 +46,20 @@ module Perf : sig
   (** Zero-cost model for functional unit tests. *)
 end
 
-(** Raised by the protection hook on an access violation (the simulated
-    equivalent of a SIGSEGV delivered on an MPK or page-permission fault). *)
-exception Fault of { addr : int; write : bool; reason : string }
+(** What kind of hardware event a {!Fault} models: [Protection] is an access
+    violation (raised by the MPK layer's protection hook), [Media] an
+    uncorrectable NVM media error on a poisoned line (raised by the device
+    itself on a load).  Handlers contain both the same way — graceful error
+    return — but only [Media] makes the underlying data suspect and feeds
+    the coffer health machinery. *)
+type fault_kind = Protection | Media
+
+(** Raised on an access violation (the simulated equivalent of a SIGSEGV
+    delivered on an MPK or page-permission fault) or on a load from a
+    poisoned line (the simulated machine check of an uncorrectable media
+    error); see {!fault_kind}. *)
+exception
+  Fault of { addr : int; write : bool; kind : fault_kind; reason : string }
 
 module Device : sig
   type t
@@ -83,6 +94,9 @@ module Device : sig
     | T_clwb of { addr : int; ns : int }
     | T_fence of { nflushing : int; ns : int }
         (** lines persisted by this fence *)
+    | T_media_fault of { addr : int; write : bool }
+        (** a load touched a poisoned line; fires just before the [Media]
+            {!Fault} is raised *)
     | T_reset  (** all pending lines resolved (crash / persist_all) *)
 
   val add_trace_subscriber : t -> (trace_event -> unit) -> int
@@ -175,6 +189,27 @@ module Device : sig
       (nothing persists, no stat, no trace event) — the simulated equivalent
       of a forgotten fence.  [inject_drop_fences d 0] disarms. *)
 
+  (** {2 Media-error (poison) injection}
+
+      A poisoned cache line models an uncorrectable NVM media error: any
+      load touching it raises {!Fault} with [kind = Media] (after emitting
+      {!T_media_fault} to trace subscribers).  A store to the line re-maps
+      it (scrub-on-write) and clears the poison, unless it was injected
+      [~sticky] — a persistently failing cell, used by negative
+      self-checks.  Poison is a property of the medium: it survives
+      {!crash} and is captured by {!snapshot}/{!restore}. *)
+
+  val inject_poison : ?sticky:bool -> t -> int -> unit
+  (** Poison the line containing [addr] ([sticky] defaults to [false]). *)
+
+  val clear_poison : t -> int -> unit
+  (** Clear any poison on the line containing [addr] (even sticky). *)
+
+  val is_poisoned : t -> int -> bool
+
+  val poisoned_lines : t -> int
+  (** Number of currently poisoned lines. *)
+
   (** {2 Kernel atomic sections}
 
       The trusted kernel (KernFS) updates its metadata — allocation-table
@@ -249,6 +284,9 @@ module Device : sig
 
   val stat_redundant_fences : t -> int
   (** [sfence]s issued with no write-back in flight. *)
+
+  val stat_media_faults : t -> int
+  (** Loads that tripped a poisoned line and raised a [Media] fault. *)
 
   val reset_stats : t -> unit
 end

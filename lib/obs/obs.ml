@@ -654,6 +654,9 @@ let on_device_event ev =
       | T_store { ns; _ } | T_nt_store { ns; _ } | T_load { ns; _ }
       | T_clwb { ns; _ } | T_fence { ns; _ } ->
           ns
+      | T_media_fault _ ->
+          cnt "fault.media" 1;
+          0
       | T_reset -> 0
     in
     if ns > 0 then begin
@@ -771,6 +774,29 @@ module Snapshot = struct
           (commas
              (match counter_value t "syscall.count" with Some n -> n | None -> 0))
     | _ -> ());
+    (* Fault-domain summary: one line whenever anything went wrong (or was
+       injected) at runtime, so zofs_stat / zofs_shell surface robustness
+       activity without the reader hunting through the counter list. *)
+    let cv name = match counter_value t name with Some v -> v | None -> 0 in
+    let media = cv "fault.media"
+    and transient = cv "fault.transient"
+    and graceful = cv "fault.graceful_errors"
+    and steals = cv "lease.steals"
+    and repairs = cv "intent.repairs"
+    and quarantined = cv "health.quarantined"
+    and offline = cv "health.offline" in
+    if media + transient + graceful + steals + repairs + quarantined + offline
+       > 0
+    then
+      Printf.bprintf b
+        "robustness: media-faults %s  transient %s  graceful-EIO %s  \
+         lease-steals %s  intent-repairs %s  repairs ok/failed %s/%s  \
+         quarantined %s  offline %s\n"
+        (commas media) (commas transient) (commas graceful) (commas steals)
+        (commas repairs)
+        (commas (cv "health.repairs_ok"))
+        (commas (cv "health.repairs_failed"))
+        (commas quarantined) (commas offline);
     Buffer.contents b
 
   let hist_to_json h =

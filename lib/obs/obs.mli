@@ -127,6 +127,9 @@ module Snapshot : sig
   (** [diff older newer]: counters and histograms subtract (gauges keep the
       newer value; histogram min/max come from the newer side). *)
 
+  val counter_value : t -> string -> int option
+  (** Value of a named counter in the snapshot, if present. *)
+
   val render : ?title:string -> t -> string
   (** Counter table, histogram table (count/p50/p90/p99/max), and — when the
       [layer.*] counters are present — a FSLib/KernFS/NVM-media/lease-wait

@@ -135,6 +135,9 @@ and world = {
   heap : Heap.t;
   mutable current : thread option;
   rng0 : Rng.t;
+  kills : (int, int) Hashtbl.t;  (* tid -> remaining advances before death *)
+  nokill : (int, int) Hashtbl.t;  (* tid -> no-kill nesting depth *)
+  mutable killed : int;
 }
 
 exception Deadlock of string
@@ -148,6 +151,9 @@ let create ?(seed = 42L) () =
     heap = Heap.create ();
     current = None;
     rng0 = Rng.create seed;
+    kills = Hashtbl.create 8;
+    nokill = Hashtbl.create 8;
+    killed = 0;
   }
 
 (* The world currently executing [run]; single-domain, so a plain ref. *)
@@ -199,12 +205,76 @@ let park w t ~on:objname register =
 
 let reschedule w t = suspend (fun k -> resume w t k)
 
+(* ---- thread-kill injection --------------------------------------------- *)
+
+(* An armed kill makes its target die at a later [advance] — the simulated
+   equivalent of a process being SIGKILLed at an arbitrary point mid-syscall.
+   Death drops the suspended continuation without unwinding: no [Fun.protect]
+   finalizer, no lease release, no exception handler runs, exactly as when a
+   real process vanishes.  Whatever the thread left half-done in NVM stays
+   half-done; survivors must cope (lease expiry + intention-record repair).
+
+   Kills fire only at [advance] suspension points, and never while the
+   thread is inside a [with_no_kill] section — dying while holding a
+   simulated kernel mutex would model a kernel panic, not a process death
+   (the paper's trust model keeps KernFS alive). *)
+
+let nokill_depth w tid =
+  match Hashtbl.find_opt w.nokill tid with Some d -> d | None -> 0
+
+let die t =
+  let w = t.world in
+  w.live <- w.live - 1;
+  w.killed <- w.killed + 1;
+  Hashtbl.remove w.kills t.tid;
+  (* Drop the continuation: the thread never resumes and nothing unwinds. *)
+  suspend (fun _k -> ())
+
+let maybe_kill t =
+  let w = t.world in
+  if Hashtbl.length w.kills > 0 then
+    match Hashtbl.find_opt w.kills t.tid with
+    | Some n when nokill_depth w t.tid = 0 ->
+        if n <= 1 then die t else Hashtbl.replace w.kills t.tid (n - 1)
+    | _ -> ()
+
+let arm_kill ~tid ~after =
+  match !active with
+  | None -> ()
+  | Some w -> Hashtbl.replace w.kills tid (max 1 after)
+
+let disarm_kill ~tid =
+  match !active with None -> () | Some w -> Hashtbl.remove w.kills tid
+
+let killed_threads () =
+  match !active with None -> 0 | Some w -> w.killed
+
+let with_no_kill f =
+  match current_thread () with
+  | None -> f ()
+  | Some t ->
+      let w = t.world in
+      Hashtbl.replace w.nokill t.tid (nokill_depth w t.tid + 1);
+      let leave () =
+        let d = nokill_depth w t.tid - 1 in
+        if d <= 0 then Hashtbl.remove w.nokill t.tid
+        else Hashtbl.replace w.nokill t.tid d
+      in
+      (match f () with
+      | v ->
+          leave ();
+          v
+      | exception e ->
+          leave ();
+          raise e)
+
 let advance ns =
   if ns < 0 then invalid_arg "Sim.advance: negative duration";
   match current_thread () with
   | None -> ()
   | Some t ->
       t.time <- t.time + ns;
+      maybe_kill t;
       reschedule t.world t
 
 let yield () =
@@ -215,7 +285,7 @@ let sleep_until at =
   | None -> ()
   | Some t -> if at > t.time then advance (at - t.time)
 
-let spawn w ?proc ?at ~name body =
+let spawn_tid w ?proc ?at ~name body =
   let proc =
     match proc with
     | Some p -> p
@@ -244,7 +314,10 @@ let spawn w ?proc ?at ~name body =
             | _ -> None);
       }
   in
-  schedule w start thunk
+  schedule w start thunk;
+  tid
+
+let spawn w ?proc ?at ~name body = ignore (spawn_tid w ?proc ?at ~name body)
 
 let run w =
   let saved = !active in

@@ -33,6 +33,11 @@ val spawn : world -> ?proc:Proc.t -> ?at:int -> name:string -> (unit -> unit) ->
     time at which it becomes runnable (default 0, or the current time when
     called from inside a running thread). *)
 
+val spawn_tid :
+  world -> ?proc:Proc.t -> ?at:int -> name:string -> (unit -> unit) -> int
+(** Like {!spawn} but returns the new thread's id, so fault injectors can
+    target it (see {!arm_kill}). *)
+
 exception Deadlock of string
 (** Raised by {!run} if threads remain blocked with no runnable thread. *)
 
@@ -70,6 +75,32 @@ val yield : unit -> unit
 val sleep_until : int -> unit
 (** Advance the current thread to the given absolute virtual time (no-op if
     already past it). *)
+
+(** {1 Thread-kill injection}
+
+    Fault injection for chaos testing: an armed kill makes its target thread
+    die at a later {!advance} suspension point — the simulated equivalent of
+    a process being SIGKILLed mid-syscall.  Death drops the thread's
+    continuation {e without unwinding}: no finalizer, no exception handler,
+    no lock release runs, exactly as when a real process vanishes.  Survivors
+    must cope through crash-safe on-media protocols (lease expiry, intention
+    records). *)
+
+val arm_kill : tid:int -> after:int -> unit
+(** [arm_kill ~tid ~after] arms the active world so thread [tid] dies at its
+    [after]-th subsequent {!advance} (clamped to at least 1).  Re-arming
+    replaces the countdown; no-op outside a running world. *)
+
+val disarm_kill : tid:int -> unit
+
+val killed_threads : unit -> int
+(** Threads killed so far in the active world (0 outside a sim). *)
+
+val with_no_kill : (unit -> 'a) -> 'a
+(** Run [f] with kill delivery deferred for the current thread: an armed
+    kill neither fires nor counts down inside.  Used around simulated-kernel
+    critical sections — a thread dying while holding the KernFS mutex would
+    model a kernel panic, not a process death. *)
 
 (** {1 Synchronization} *)
 

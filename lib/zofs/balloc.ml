@@ -49,7 +49,10 @@ let format dev ~custom =
 
 let attach dev ~custom ~cid kfs =
   if Nvm.Device.read_u32 dev (custom + Layout.c_magic) <> Layout.custom_magic
-  then failwith "Balloc.attach: bad custom page magic";
+  then
+    raise
+      (Treasury.Ufs_intf.Zofs_corrupt
+         (Printf.sprintf "coffer %d: bad custom page magic at 0x%x" cid custom));
   { dev; custom; cid; kfs; my_slot = Hashtbl.create 8 }
 
 let create dev ~custom ~cid kfs =
@@ -157,7 +160,10 @@ let refill_from_global t slot n =
 
 (* Ask KernFS for more pages and chain them into the slot. *)
 let enlarge_into_slot t slot =
-  match Treasury.Kernfs.coffer_enlarge t.kfs t.cid ~n:!enlarge_batch with
+  match
+    Transient.retry (fun () ->
+        Treasury.Kernfs.coffer_enlarge t.kfs t.cid ~n:!enlarge_batch)
+  with
   | Error e -> Error e
   | Ok runs ->
       let a = slot_addr t slot in
@@ -185,7 +191,10 @@ let rec alloc_page_global t =
   match r with
   | Some page -> Ok page
   | None -> (
-      match Treasury.Kernfs.coffer_enlarge t.kfs t.cid ~n:!enlarge_batch with
+      match
+        Transient.retry (fun () ->
+            Treasury.Kernfs.coffer_enlarge t.kfs t.cid ~n:!enlarge_batch)
+      with
       | Error e -> Error e
       | Ok runs ->
           Lease.with_lease t.dev (t.custom + Layout.c_global_lease) (fun () ->

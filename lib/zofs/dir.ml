@@ -188,16 +188,25 @@ let insert dev balloc ~ino ~name ~kind ~coffer ~inode =
             match slot with
             | Error e -> Error e
             | Ok addr ->
+                (* Intention first: if this thread dies before the final
+                   clear, the lease stealer rolls the half-inserted dentry
+                   back (the op was never acknowledged). *)
+                Intent.record dev ~ino Intent.Insert ~arg:addr;
                 write_dentry dev addr ~name ~kind ~coffer ~inode;
                 Inode.touch_mtime dev ~ino;
+                Intent.clear dev ~ino;
                 Ok ()))
 
 let remove dev ~ino name =
   match lookup dev ~ino name with
   | None -> Error Treasury.Errno.ENOENT
   | Some de ->
+      (* Intention first: a stealer finding this record rolls the removal
+         forward (re-clearing the slot is idempotent). *)
+      Intent.record dev ~ino Intent.Remove ~arg:de.de_addr;
       clear_dentry dev de.de_addr;
       Inode.touch_mtime dev ~ino;
+      Intent.clear dev ~ino;
       Ok ()
 
 (* Update an existing dentry's target in place (used by coffer split: the

@@ -123,6 +123,12 @@ let write dev balloc ~ino ~off data =
   let len = String.length data in
   if len = 0 then Ok 0
   else begin
+    (* Intention: if this thread dies mid-write the stealer rolls the size
+       back to [old_size], hiding any half-written data beyond it (data
+       within the old size may be torn, which POSIX allows for an
+       unacknowledged write). *)
+    let old_size = Inode.size dev ~ino in
+    Intent.record dev ~ino Intent.Size ~arg:old_size;
     let rec loop src_off dst_off =
       if src_off >= len then Ok ()
       else
@@ -138,12 +144,16 @@ let write dev balloc ~ino ~off data =
             loop (src_off + n) (dst_off + n)
     in
     match loop 0 off with
-    | Error e -> Error e
+    | Error e ->
+        (* Size never moved, so the record is moot — drop it. *)
+        Intent.clear dev ~ino;
+        Error e
     | Ok () ->
         Nvm.Device.sfence dev;
         let new_end = off + len in
         if new_end > Inode.size dev ~ino then Inode.set_size dev ~ino new_end
         else Inode.touch_mtime dev ~ino;
+        Intent.clear dev ~ino;
         Ok len
   end
 

@@ -40,6 +40,11 @@ let init dev ~ino ~kind ~mode ~uid ~gid =
   Nvm.Device.write_u64 dev (ino + i_mtime) now;
   Nvm.Device.write_u64 dev (ino + i_ctime) now;
   Nvm.Device.write_u64 dev (ino + i_lease) 0;
+  (* Zero the intention record (the page may be recycled with a stale one);
+     the persist_range below covers bytes 0..i_double_indirect+8, so this is
+     made durable with the rest of the inode. *)
+  Nvm.Device.write_u64 dev (ino + i_intent) 0;
+  Nvm.Device.write_u64 dev (ino + i_intent + 8) 0;
   for i = 0 to n_direct - 1 do
     Nvm.Device.write_u64 dev (ino + i_direct + (i * 8)) 0
   done;
@@ -55,7 +60,10 @@ let kind dev ~ino = kind_of_code (Nvm.Device.read_u32 dev (ino + i_kind))
 let kind_exn dev ~ino =
   match kind dev ~ino with
   | Some k -> k
-  | None -> failwith "Zofs: corrupted inode (bad kind)"
+  | None ->
+      raise
+        (Treasury.Ufs_intf.Zofs_corrupt
+           (Printf.sprintf "inode 0x%x: bad kind byte" ino))
 
 let mode dev ~ino = Nvm.Device.read_u32 dev (ino + i_mode)
 let uid dev ~ino = Nvm.Device.read_u32 dev (ino + i_uid)

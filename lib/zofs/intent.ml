@@ -1,0 +1,89 @@
+(* Intention records for online lease-steal repair.
+
+   A thread that dies mid-mutation leaves its lease to expire and its update
+   half-done; the next acquirer (the "stealer") must make the structure
+   consistent before using it.  Every µFS mutation protected by an inode
+   lease therefore records an intention in the inode page — ONE u64 at
+   [Layout.i_intent] packing the tag in the top byte and the argument in
+   the low 56 bits, so a single store publishes tag and argument together
+   and no crash point can pair a fresh tag with a stale argument — before
+   touching the structure, and clears it as its last persist before
+   releasing the lease:
+
+     Insert  arg = dentry slot address   repair rolls the insert back
+                                         (invalidate the slot)
+     Remove  arg = dentry slot address   repair rolls the removal forward
+                                         (invalidate the slot)
+     Size    arg = previous file size    repair rolls the size back
+
+   Both dentry repairs converge on "slot invalid" because a half-written
+   insert must not become visible and a half-done removal must finish; the
+   size rollback pairs with the write path's write-data-then-publish-size
+   order.  All repairs are idempotent, so a stealer that is itself killed
+   mid-repair leaves a state the next stealer repairs identically.
+
+   [ftruncate] is deliberately intent-less (rolling its size back would
+   resurrect pointers to freed pages): a death mid-truncate is the legacy
+   no-intention path, surfaced to later callers as a graceful EIO by the
+   walk-validation layer and repaired offline.  Offline recovery clears any
+   stale intention it finds during inode scans (applying the same repair),
+   so a post-crash mount never leaves a record that would make a later
+   online acquirer roll back blessed state. *)
+
+open Layout
+
+type kind = Insert | Remove | Size
+
+let tag_of = function Insert -> 1 | Remove -> 2 | Size -> 3
+
+let kind_of_tag = function
+  | 1 -> Some Insert
+  | 2 -> Some Remove
+  | 3 -> Some Size
+  | _ -> None
+
+(* Device addresses and file sizes both fit 56 bits with room to spare. *)
+let arg_mask = (1 lsl 56) - 1
+
+let record dev ~ino kind ~arg =
+  assert (arg land arg_mask = arg);
+  Nvm.Device.write_u64 dev (ino + i_intent) ((tag_of kind lsl 56) lor arg);
+  Nvm.Device.persist_range dev (ino + i_intent) 8
+
+let clear dev ~ino =
+  Nvm.Device.write_u64 dev (ino + i_intent) 0;
+  Nvm.Device.persist_range dev (ino + i_intent) 8
+
+let pending dev ~ino = Nvm.Device.read_u64 dev (ino + i_intent) <> 0
+
+(* Dir.clear_dentry's primitive, inlined to keep Intent below Dir in the
+   module graph (Dir records intents; Intent must not call back into Dir). *)
+let invalidate_slot dev slot =
+  Nvm.Device.write_u8 dev (slot + d_valid) 0;
+  Nvm.Device.persist_range dev (slot + d_valid) 1
+
+(* Apply and clear a pending intention on [ino].  Called by the new holder
+   right after acquiring the inode lease (and by offline recovery during
+   inode scans).  Returns [true] when a repair was applied. *)
+let repair dev ~ino =
+  let word = Nvm.Device.read_u64 dev (ino + i_intent) in
+  if word = 0 then false
+  else begin
+    let tag = word lsr 56 in
+    let arg = word land arg_mask in
+    (match kind_of_tag tag with
+    | Some Insert | Some Remove ->
+        (* Bounds-sanity only: a record is written before the mutation, so
+           the slot always lies in a structure page the directory owned. *)
+        if arg > 0 && arg + dentry_size <= Nvm.Device.size dev then
+          invalidate_slot dev arg
+    | Some Size ->
+        if Nvm.Device.read_u64 dev (ino + i_size) <> arg then begin
+          Nvm.Device.write_u64 dev (ino + i_size) arg;
+          Nvm.Device.persist_range dev (ino + i_size) 8
+        end
+    | None -> () (* unknown tag: just clear it *));
+    clear dev ~ino;
+    Obs.cnt "intent.repairs" 1;
+    true
+  end

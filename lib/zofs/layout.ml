@@ -24,6 +24,12 @@ let i_atime = 32
 let i_mtime = 40
 let i_ctime = 48
 let i_lease = 56
+(* Intention record for online lease-steal repair (bytes 64..79, previously
+   unused between i_lease and i_direct): one u64 at [i_intent] packing the
+   operation tag (top byte) and argument (low 56 bits) — a single store, so
+   no crash point can publish a tag with a stale argument (see Intent).
+   Zero means "no mutation in flight"; bytes 72..79 stay reserved. *)
+let i_intent = 64
 let i_direct = 80 (* 32 × u64 block pointers *)
 let n_direct = 32
 let i_indirect = i_direct + (n_direct * 8) (* 336 *)

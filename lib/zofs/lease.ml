@@ -39,6 +39,9 @@ let acquire ?(duration = default_duration) dev addr =
          lease has expired by construction. *)
       let desired = pack ~expiry:(t + duration) ~code:me in
       if Nvm.Device.cas_u64 dev addr ~expected:v ~desired then begin
+        (* Taking over a nonzero expired word is a steal: the holder died
+           (or stalled past its lease) mid-operation. *)
+        if v <> 0 && code_of v <> me then Obs.cnt "lease.steals" 1;
         Obs.lease_end tok ~retries:!retries;
         Check.on_lease_acquired dev addr
       end
@@ -56,22 +59,33 @@ let acquire ?(duration = default_duration) dev addr =
   in
   attempt ~fresh_clock:true
 
-(* Renew the current thread's lease (no-op if it was stolen). *)
+(* Renew the current thread's lease (no-op if it was stolen).  The CAS with
+   the exact word read means a stale holder can never clobber a stealer's
+   lease; a failed CAS (or a word already carrying another owner's code) is
+   the moment a steal becomes visible to the old holder — counted so the
+   chaos campaign can reconcile steals against detections. *)
 let renew ?(duration = default_duration) dev addr =
   let me = owner_code () in
   let v = Nvm.Device.read_u64 dev addr in
   if code_of v = me then begin
     let t = now () in
-    ignore
-      (Nvm.Device.cas_u64 dev addr ~expected:v
-         ~desired:(pack ~expiry:(t + duration) ~code:me))
+    if
+      not
+        (Nvm.Device.cas_u64 dev addr ~expected:v
+           ~desired:(pack ~expiry:(t + duration) ~code:me))
+    then Obs.cnt "lease.stolen_detected" 1
   end
+  else if v <> 0 then Obs.cnt "lease.stolen_detected" 1
 
 let release dev addr =
   let me = owner_code () in
   Check.on_lease_release dev addr;
   let v = Nvm.Device.read_u64 dev addr in
-  if code_of v = me then ignore (Nvm.Device.cas_u64 dev addr ~expected:v ~desired:0)
+  if code_of v = me then begin
+    if not (Nvm.Device.cas_u64 dev addr ~expected:v ~desired:0) then
+      Obs.cnt "lease.stolen_detected" 1
+  end
+  else if v <> 0 then Obs.cnt "lease.stolen_detected" 1
 
 let holds dev addr =
   let v = Nvm.Device.read_u64 dev addr in

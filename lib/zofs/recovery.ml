@@ -37,6 +37,11 @@ type finding =
       (* transient "<dst>.zofs-mv" coffer from an in-flight cross-coffer
          rename: rolled forward (merged into the destination's coffer and
          linked at the destination path) *)
+  | Cleared_intent of { coffer : int; ino : int }
+      (* a thread died between recording a mutation intention and clearing
+         it: the intention was applied (rolled forward/back, see Intent) and
+         cleared, so a later online lease acquirer can never roll back
+         post-fsck state *)
 
 let finding_to_string = function
   | Dropped_dentry { coffer; path } ->
@@ -55,6 +60,9 @@ let finding_to_string = function
       Printf.sprintf "freed orphan run [%d,+%d) owned by %d" start len owner
   | Completed_migration { coffer; path } ->
       Printf.sprintf "completed migration of coffer %d to %s" coffer path
+  | Cleared_intent { coffer; ino } ->
+      Printf.sprintf "cleared stale intention on inode 0x%x (coffer %d)" ino
+        coffer
 
 type report = {
   mutable coffers_scanned : int;
@@ -128,6 +136,13 @@ let scan_coffer dev kfs report ~cid ~root_file ~coffer_path xrefs =
     if (not (owned ino)) || not (Inode.valid dev ~ino) then false
     else begin
       mark ino;
+      (* A mutation intention still recorded here means its writer died
+         mid-operation: apply it now (same repair an online lease stealer
+         would run), before trusting size / dentries below. *)
+      if Intent.pending dev ~ino then begin
+        ignore (Intent.repair dev ~ino);
+        add_finding report (Cleared_intent { coffer = cid; ino })
+      end;
       (match Inode.kind dev ~ino with
       | Some Inode.Regular ->
           List.iter
@@ -200,7 +215,7 @@ let scan_coffer dev kfs report ~cid ~root_file ~coffer_path xrefs =
   in_use
 
 (* Recover a single coffer; the caller must be able to map it (recovery runs
-   as root).  Returns the pages kept. *)
+   as root).  Returns true when the coffer was scanned and left readable. *)
 let recover_coffer ufs kfs report xrefs (info : Coffer.info) =
   let dev = K.device kfs in
   (* A crash during coffer creation can leave the custom (allocator) page
@@ -209,18 +224,23 @@ let recover_coffer ufs kfs report xrefs (info : Coffer.info) =
      the coffer is not mapped yet). *)
   let mpk = K.mpk kfs in
   Mpk.with_kernel mpk (fun () ->
-      if
-        Nvm.Device.read_u32 dev (info.Coffer.custom + Layout.c_magic)
-        <> Layout.custom_magic
-      then
+      (* An unreadable magic (media error) is as bad as a wrong one: the
+         rebuild's stores scrub non-sticky poison off the page. *)
+      let magic_ok =
+        try
+          Nvm.Device.read_u32 dev (info.Coffer.custom + Layout.c_magic)
+          = Layout.custom_magic
+        with Nvm.Fault { kind = Nvm.Media; _ } -> false
+      in
+      if not magic_ok then
         Mpk.with_write_window mpk (fun () ->
             Balloc.format dev ~custom:info.Coffer.custom));
   match Ufs.map_coffer ufs info.Coffer.id with
-  | Error _ -> ()
-  | Ok cs ->
+  | Error _ -> false
+  | Ok cs -> (
       let t_user0 = Sim.now () in
-      (match K.coffer_recover_begin kfs info.Coffer.id with
-      | Error _ -> ()
+      match K.coffer_recover_begin kfs info.Coffer.id with
+      | Error _ -> false
       | Ok runs ->
           let total_pages =
             List.fold_left (fun acc (_, l) -> acc + l) 0 runs
@@ -248,7 +268,23 @@ let recover_coffer ufs kfs report xrefs (info : Coffer.info) =
             report.pages_reclaimed + (total_pages - 1 - List.length pages);
           report.user_ns <- report.user_ns + (t_scan - t_kernel0);
           report.kernel_ns <-
-            report.kernel_ns + (t_kernel0 - t_user0) + (t_end - t_scan))
+            report.kernel_ns + (t_kernel0 - t_user0) + (t_end - t_scan);
+          (* Probe: the scan drops structures it cannot read, but a sticky
+             media error on a page recovery itself rewrites (the root inode,
+             the allocator's custom page) survives the stores.  Re-read
+             those lines so a still-faulting coffer fails its recovery —
+             letting the dispatcher quarantine it — instead of looping
+             fault -> "successful" repair -> fault on every later op. *)
+          try
+            Ufs.with_coffer ufs cs ~write:false (fun () ->
+                ignore (Inode.valid dev ~ino:info.Coffer.root_file);
+                let a = ref info.Coffer.custom in
+                while !a < info.Coffer.custom + Layout.page_size do
+                  ignore (Nvm.Device.read_u64 dev !a);
+                  a := !a + 64
+                done);
+            true
+          with Nvm.Fault { kind = Nvm.Media; _ } -> false)
 
 (* Validate the recorded cross-coffer references against KernFS metadata
    (G3 at fsck time).  The path map is kernel-maintained and trusted, so a
@@ -463,7 +499,17 @@ let migration_pass ufs kfs report =
                                         Dir.retarget dev ~ino:dir_ino base
                                           ~coffer:0 ~inode:root
                                       with
-                                      | Ok () -> true
+                                      | Ok () ->
+                                          (* The crashed rename may have died
+                                             between committing this dentry
+                                             and clearing its insert
+                                             intention; this roll-forward
+                                             supersedes the per-coffer scan's
+                                             rollback, which would otherwise
+                                             invalidate the dentry again. *)
+                                          if Intent.pending dev ~ino:dir_ino
+                                          then Intent.clear dev ~ino:dir_ino;
+                                          true
                                       | Error _ -> false)
                               | Some de ->
                                   de.Dir.de_coffer = 0
@@ -511,7 +557,18 @@ let recover_all kfs =
       let ordered =
         List.sort (fun a b -> compare a.Coffer.path b.Coffer.path) coffers
       in
-      List.iter (fun info -> recover_coffer ufs kfs report xrefs info) ordered);
+      List.iter
+        (fun info ->
+          (* Quarantined / offline coffers are fenced-off fault domains:
+             their media keeps faulting under load, so rescanning them here
+             would just re-drop the same structures every run.  Leave them
+             alone; a fresh mount resets health and the next fsck (or the
+             online repair path) re-assesses them. *)
+          match K.coffer_health kfs info.Coffer.id with
+          | K.Quarantined | K.Offline -> ()
+          | K.Healthy | K.Suspect ->
+              ignore (recover_coffer ufs kfs report xrefs info))
+        ordered);
   validate_cross_refs ufs kfs report !xrefs;
   orphan_coffer_pass ufs kfs report !xrefs;
   (* Pages owned by a coffer id the path map does not know (a torn
@@ -527,3 +584,21 @@ let recover_all kfs =
         runs);
   (match K.fs_umount kfs with Ok () | Error _ -> ());
   report
+
+(* Scoped online fsck: recover exactly one coffer while the rest of the
+   file system keeps serving — this is the dispatcher's repair callback
+   after a media fault.  Same scan/reset machinery as the offline pass
+   restricted to [cid]; coffer_recover_begin unmaps the coffer from every
+   other process for the duration, and the initiator's own stale sessions
+   were already invalidated by the dispatcher.  Returns true when the
+   coffer came back consistent and readable. *)
+let recover_one kfs cid =
+  match K.coffer_stat kfs cid with
+  | Error _ -> false
+  | Ok info ->
+      let ufs = Ufs.create kfs in
+      let report = fresh_report () in
+      let xrefs = ref [] in
+      let ok = recover_coffer ufs kfs report xrefs info in
+      if ok then validate_cross_refs ufs kfs report !xrefs;
+      ok

@@ -1,0 +1,23 @@
+(* Bounded retry for transient kernel failures (paper §3.4.2: FSLib absorbs
+   recoverable errors instead of surfacing them to the application).
+
+   A coffer_enlarge or coffer_map can fail transiently — ENOMEM under
+   allocation pressure, EAGAIN when the kernel wants the caller to back off.
+   Those are retried a few times with exponential backoff; anything still
+   failing after that is a real error and propagates.  Permanent errnos
+   (EACCES, ENOSPC, ...) are never retried. *)
+
+let max_attempts = 4
+let base_backoff = 2_000 (* ns; doubled per attempt *)
+
+let is_transient = function
+  | Treasury.Errno.ENOMEM | Treasury.Errno.EAGAIN -> true
+  | _ -> false
+
+let rec retry ?(attempt = 0) f =
+  match f () with
+  | Error e when is_transient e && attempt < max_attempts ->
+      Obs.cnt "retry.transient" 1;
+      Sim.advance (base_backoff lsl attempt);
+      retry ~attempt:(attempt + 1) f
+  | r -> r

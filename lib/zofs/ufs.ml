@@ -98,8 +98,27 @@ let create ?(variant = default_variant) kfs =
 (* ---- coffer sessions ------------------------------------------------------ *)
 
 let with_coffer t cs ~write f =
+  (* Fault-domain enforcement (one health load, see Kernfs.coffer_health):
+     a quarantined coffer still serves reads — its data may be the only
+     surviving copy — but refuses mutation; an offline coffer refuses
+     everything.  The dispatcher maps the exception to EIO without another
+     repair attempt. *)
+  (match K.coffer_health t.kfs cs.cs_cid with
+  | K.Healthy | K.Suspect -> ()
+  | K.Quarantined ->
+      if write then raise (Ui.Coffer_unavailable { cid = cs.cs_cid; write })
+  | K.Offline -> raise (Ui.Coffer_unavailable { cid = cs.cs_cid; write }));
   let perm = if write then Mpk.Pk_read_write else Mpk.Pk_read in
   Mpk.with_keys t.mpk [ (cs.cs_pkey, perm) ] f
+
+(* Take [ino]'s lease and, before running [f], roll forward/back any
+   intention record a dead previous holder left mid-mutation (the record can
+   only be pending here if its writer never reached its clearing store —
+   i.e. the lease was stolen from a killed thread). *)
+let with_inode_lease t ~ino f =
+  Lease.with_lease t.dev (Inode.lease_addr ~ino) (fun () ->
+      if Intent.repair t.dev ~ino then Obs.cnt "lease.steals_repaired" 1;
+      f ())
 
 let forget_session t cs =
   Hashtbl.remove t.sessions cs.cs_cid;
@@ -128,7 +147,7 @@ let evict_one t =
 
 let rec map_coffer t cid =
   Obs.span ~cat:"coffer" ~name:"map" @@ fun () ->
-  match K.coffer_map t.kfs cid with
+  match Transient.retry (fun () -> K.coffer_map t.kfs cid) with
   | Ok m -> (
       let info =
         Mpk.with_keys t.mpk
@@ -305,7 +324,7 @@ let create_sub_coffer t ~path ~kind ~mode ~uid ~gid =
   let* info = K.coffer_new t.kfs ~path ~ctype ~mode ~uid ~gid in
   (* Map first with the raw kernel mapping and initialize the µFS structures
      (custom page, root inode) before attaching the allocator. *)
-  let* m = K.coffer_map t.kfs info.Coffer.id in
+  let* m = Transient.retry (fun () -> K.coffer_map t.kfs info.Coffer.id) in
   Mpk.with_keys t.mpk
     [ (m.K.m_pkey, Mpk.Pk_read_write) ]
     (fun () ->
@@ -326,7 +345,7 @@ let new_inode_same_coffer t cs ~kind ~mode ~uid ~gid =
    concurrent duplicate. *)
 let insert_dentry t cs ~dir_ino ~name ~kind ~coffer ~inode =
   with_coffer t cs ~write:true (fun () ->
-      Lease.with_lease t.dev (Inode.lease_addr ~ino:dir_ino) (fun () ->
+      with_inode_lease t ~ino:dir_ino (fun () ->
           match Dir.lookup t.dev ~ino:dir_ino name with
           | Some _ -> Error E.EEXIST
           | None ->
@@ -419,7 +438,7 @@ let openf t path flags mode : int Ui.outcome =
         if Ft.flag_mem Ft.O_TRUNC flags && writable && r.r_kind = Inode.Regular
         then
           with_coffer t r.r_cs ~write:true (fun () ->
-              Lease.with_lease t.dev (Inode.lease_addr ~ino:r.r_ino) (fun () ->
+              with_inode_lease t ~ino:r.r_ino (fun () ->
                   ignore (File.truncate t.dev r.r_cs.cs_balloc ~ino:r.r_ino 0)));
         Ok (alloc_handle t r.r_cs ~ino:r.r_ino ~readable ~writable)
       end
@@ -499,7 +518,7 @@ let find_dentry t pcs ~dir_ino name =
 
 let remove_dentry_locked t pcs ~dir_ino name =
   with_coffer t pcs ~write:true (fun () ->
-      Lease.with_lease t.dev (Inode.lease_addr ~ino:dir_ino) (fun () ->
+      with_inode_lease t ~ino:dir_ino (fun () ->
           Dir.remove t.dev ~ino:dir_ino name))
 
 let unlink t path : unit Ui.outcome =
@@ -848,8 +867,7 @@ let apply_perm_change t path ~new_mode ~new_uid ~new_gid : unit Ui.outcome =
                     | Ok () ->
                         let retargeted =
                           with_coffer t pcs ~write:true (fun () ->
-                              Lease.with_lease t.dev
-                                (Inode.lease_addr ~ino:dir_ino) (fun () ->
+                              with_inode_lease t ~ino:dir_ino (fun () ->
                                   Dir.retarget t.dev ~ino:dir_ino base ~coffer:0
                                     ~inode:r.r_ino))
                         in
@@ -891,8 +909,7 @@ let apply_perm_change t path ~new_mode ~new_uid ~new_gid : unit Ui.outcome =
             (* Point the parent dentry at the new coffer. *)
             let retargeted =
               with_coffer t pcs ~write:true (fun () ->
-                  Lease.with_lease t.dev (Inode.lease_addr ~ino:dir_ino)
-                    (fun () ->
+                  with_inode_lease t ~ino:dir_ino (fun () ->
                       Dir.retarget t.dev ~ino:dir_ino base
                         ~coffer:info.Coffer.id ~inode:r.r_ino))
             in
@@ -942,7 +959,7 @@ let write t h ~off data =
       if t.variant.sysempty then Treasury.Gate.empty_syscall (K.gate t.kfs);
       let body () =
         with_coffer t cs ~write:true (fun () ->
-            Lease.with_lease t.dev (Inode.lease_addr ~ino:hd.h_ino) (fun () ->
+            with_inode_lease t ~ino:hd.h_ino (fun () ->
                 let real_off =
                   match off with
                   | `At o -> o
@@ -977,5 +994,18 @@ let ftruncate t h len =
   else
     let* cs = handle_session t hd in
     with_coffer t cs ~write:true (fun () ->
-        Lease.with_lease t.dev (Inode.lease_addr ~ino:hd.h_ino) (fun () ->
+        with_inode_lease t ~ino:hd.h_ino (fun () ->
             File.truncate t.dev cs.cs_balloc ~ino:hd.h_ino len))
+
+(* Drop cached session state for [cid] (dispatcher callback after an online
+   repair rewrote the coffer's structures: the cached balloc / root-file
+   addresses may be stale, and the kernel mapping was torn down by the
+   recovery protocol anyway).  Open handles into the coffer keep working —
+   their next operation remaps it through [session_of_cid]. *)
+let invalidate_coffer t cid =
+  match Hashtbl.find_opt t.sessions cid with
+  | Some cs ->
+      forget_session t cs;
+      ignore (K.coffer_unmap t.kfs cid);
+      Obs.cnt "coffer.unmaps" 1
+  | None -> ()

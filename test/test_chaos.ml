@@ -1,0 +1,341 @@
+(* Runtime robustness: media-error injection, thread-kill injection,
+   lease-steal repair of intention records, and the chaos campaign itself
+   (smoke run + quarantine-disabled negative self-check). *)
+
+module D = Nvm.Device
+module K = Treasury.Kernfs
+module V = Treasury.Vfs
+module E = Treasury.Errno
+
+let obs_on () = if not (Obs.enabled ()) then Obs.enable ~spans:false ()
+
+let counter_delta snap0 name =
+  let d = Obs.Snapshot.diff snap0 (Obs.Snapshot.take ()) in
+  Option.value ~default:0 (Obs.Snapshot.counter_value d name)
+
+(* ---- media-error injection ---------------------------------------------- *)
+
+let test_poison_scrub_on_write () =
+  let dev = D.create ~perf:Nvm.Perf.free ~size:(4 * Nvm.page_size) () in
+  D.write_u64 dev 512 0xABCD;
+  D.inject_poison dev 512;
+  (match D.read_u64 dev 512 with
+  | _ -> Alcotest.fail "poisoned load did not fault"
+  | exception Nvm.Fault { kind = Nvm.Media; _ } -> ());
+  Alcotest.(check int) "media fault counted" 1 (D.stat_media_faults dev);
+  (* an ordinary store scrubs non-sticky poison *)
+  D.write_u64 dev 512 7;
+  Alcotest.(check bool) "store scrubbed the line" false (D.is_poisoned dev 512);
+  Alcotest.(check int) "line readable again" 7 (D.read_u64 dev 512)
+
+let test_poison_sticky () =
+  let dev = D.create ~perf:Nvm.Perf.free ~size:(4 * Nvm.page_size) () in
+  D.inject_poison ~sticky:true dev 1024;
+  D.write_u64 dev 1024 1;
+  Alcotest.(check bool) "sticky survives a store" true (D.is_poisoned dev 1024);
+  (match D.read_u64 dev 1024 with
+  | _ -> Alcotest.fail "sticky poisoned load did not fault"
+  | exception Nvm.Fault { kind = Nvm.Media; _ } -> ());
+  D.clear_poison dev 1024;
+  Alcotest.(check bool) "clear_poison heals sticky" false
+    (D.is_poisoned dev 1024);
+  Alcotest.(check int) "no poisoned lines left" 0 (D.poisoned_lines dev)
+
+(* ---- thread-kill injection ---------------------------------------------- *)
+
+let test_kill_fires () =
+  let w = Sim.create ~seed:3L () in
+  let finished = ref false and killed = ref (-1) in
+  let tid =
+    Sim.spawn_tid w ~name:"victim" (fun () ->
+        for _ = 1 to 100 do
+          Sim.advance 10
+        done;
+        finished := true)
+  in
+  Sim.spawn w ~name:"killer" (fun () -> Sim.arm_kill ~tid ~after:5);
+  Sim.spawn w ~at:100_000 ~name:"observer" (fun () ->
+      killed := Sim.killed_threads ());
+  Sim.run w;
+  Alcotest.(check bool) "victim did not finish" false !finished;
+  Alcotest.(check int) "one thread killed" 1 !killed
+
+let test_no_kill_defers () =
+  let w = Sim.create ~seed:4L () in
+  let region_done = ref false and after_region = ref false in
+  let killed = ref (-1) in
+  let tid =
+    Sim.spawn_tid w ~name:"victim" (fun () ->
+        Sim.with_no_kill (fun () ->
+            for _ = 1 to 20 do
+              Sim.advance 10
+            done;
+            region_done := true);
+        for _ = 1 to 20 do
+          Sim.advance 10
+        done;
+        after_region := true)
+  in
+  Sim.spawn w ~name:"killer" (fun () -> Sim.arm_kill ~tid ~after:5);
+  Sim.spawn w ~at:100_000 ~name:"observer" (fun () ->
+      killed := Sim.killed_threads ());
+  Sim.run w;
+  Alcotest.(check bool) "protected region ran to completion" true !region_done;
+  Alcotest.(check bool) "death landed after the region" false !after_region;
+  Alcotest.(check int) "one thread killed" 1 !killed
+
+(* ---- lease steal: stale holder cannot clobber --------------------------- *)
+
+let test_stale_release_cannot_clobber () =
+  obs_on ();
+  let snap0 = Obs.Snapshot.take () in
+  let dev = D.create ~perf:Nvm.Perf.free ~size:Nvm.page_size () in
+  let addr = 512 in
+  let w = Sim.create ~seed:5L () in
+  let a_acquired = ref false and b_stole = ref false in
+  let b_code = ref 0 in
+  Sim.spawn w ~name:"holder" (fun () ->
+      Zofs.Lease.acquire ~duration:1_000 dev addr;
+      a_acquired := true;
+      while not !b_stole do
+        Sim.advance 50
+      done;
+      (* the stale holder's release must see the steal, not zero the word *)
+      Zofs.Lease.release dev addr);
+  Sim.spawn w ~name:"stealer" (fun () ->
+      while not !a_acquired do
+        Sim.advance 50
+      done;
+      Sim.advance 2_000 (* let the holder's 1 µs lease expire *);
+      Zofs.Lease.acquire ~duration:1_000_000 dev addr;
+      b_code := Sim.self_tid () + 2;
+      b_stole := true);
+  Sim.run w;
+  let word = D.read_u64 dev addr in
+  Alcotest.(check bool) "stolen lease survived the stale release" true
+    (word <> 0 && word land 0xFFFF = !b_code);
+  Alcotest.(check bool) "steal counted" true
+    (counter_delta snap0 "lease.steals" >= 1);
+  Alcotest.(check bool) "stale holder detected the steal" true
+    (counter_delta snap0 "lease.stolen_detected" >= 1)
+
+(* ---- lease-holder death in a live µFS ----------------------------------- *)
+
+(* ZoFS + FSLib built inside the calling sim thread (the dispatcher's repair
+   hook wired like the chaos campaign does). *)
+let mk_zofs () =
+  let dev =
+    D.create ~perf:Nvm.Perf.optane ~size:(1024 * Nvm.page_size) ()
+  in
+  let mpk = Mpk.create dev in
+  let kfs =
+    K.mkfs dev mpk ~nbuckets:256 ~root_ctype:Zofs.Ufs.ctype ~root_mode:0o777
+      ~root_uid:0 ~root_gid:0 ()
+  in
+  Zofs.Ufs.mkfs kfs;
+  let disp = Treasury.Dispatcher.create kfs in
+  let ufs = Zofs.Ufs.create kfs in
+  Treasury.Dispatcher.register_ufs disp (module Zofs.Ufs) ufs;
+  Treasury.Dispatcher.set_repair disp (fun cid ->
+      Zofs.Recovery.recover_one kfs cid);
+  (dev, kfs, Treasury.Dispatcher.as_vfs disp)
+
+(* Spawn [op] in a victim thread, arm a kill, and pump the world until the
+   victim finishes or dies.  Returns [true] if the kill landed. *)
+let kill_one_attempt w proc ~after fails op =
+  let finished = ref false in
+  let k0 = Sim.killed_threads () in
+  let tid =
+    Sim.spawn_tid w ~proc ~name:"victim" (fun () ->
+        (try ignore (op ())
+         with e -> fails ("exception escaped: " ^ Printexc.to_string e));
+        finished := true)
+  in
+  Sim.arm_kill ~tid ~after;
+  let budget = ref 100_000 in
+  while (not !finished) && Sim.killed_threads () = k0 && !budget > 0 do
+    decr budget;
+    Sim.advance 100
+  done;
+  if !finished then begin
+    Sim.disarm_kill ~tid;
+    false
+  end
+  else if Sim.killed_threads () > k0 then true
+  else begin
+    fails "victim thread neither finished nor died";
+    false
+  end
+
+let orig = String.make 120 'o'
+let vblock = String.make 80 'V'
+let dblock = String.make 40 'D'
+
+(* Content must be [orig] followed by whole victim/driver blocks: a torn
+   tail (partial block visible) means a dead holder's half-done append
+   leaked past the size rollback. *)
+let untorn s =
+  let n = String.length s in
+  n >= 120
+  && String.sub s 0 120 = orig
+  &&
+  let rec go i =
+    if i = n then true
+    else if i + 80 <= n && String.sub s i 80 = vblock then go (i + 80)
+    else if i + 40 <= n && String.sub s i 40 = dblock then go (i + 40)
+    else false
+  in
+  go 120
+
+let test_kill_mid_append_steal_repairs () =
+  obs_on ();
+  let snap0 = Obs.Snapshot.take () in
+  let w = Sim.create ~seed:6L () in
+  let proc = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let failures = ref [] in
+  let fails m = failures := m :: !failures in
+  let kills = ref 0 and stole = ref false in
+  Sim.spawn w ~proc ~name:"driver" (fun () ->
+      let _dev, _kfs, fs = mk_zofs () in
+      (match V.write_file fs "/f" orig with
+      | Ok () -> ()
+      | Error e -> fails ("setup: " ^ E.to_string e));
+      (* Kill appenders at ever-later points, sweeping through the whole
+         mutation, until a death lands inside the size-intention window (the
+         follow-up append then steals the lease and repairs the record). *)
+      let repaired () =
+        counter_delta snap0 "lease.steals_repaired" >= 1
+        || counter_delta snap0 "intent.repairs" >= 1
+      in
+      let attempt = ref 0 in
+      while (not (repaired ())) && !attempt < 200 && !failures = [] do
+        incr attempt;
+        if
+          kill_one_attempt w proc ~after:(1 + !attempt) fails (fun () ->
+              V.append_file fs "/f" vblock)
+        then begin
+          incr kills;
+          (* the next op on the inode steals the dead holder's lease and
+             rolls any pending size intention back *)
+          (match V.append_file fs "/f" dblock with
+          | Ok () -> ()
+          | Error e -> fails ("follow-up append: " ^ E.to_string e));
+          if counter_delta snap0 "lease.steals" >= 1 then stole := true
+        end
+      done;
+      match V.read_file fs "/f" with
+      | Ok d ->
+          if not (untorn d) then
+            fails
+              (Printf.sprintf "torn content (%d bytes) after %d kills"
+                 (String.length d) !kills)
+      | Error e -> fails ("final read: " ^ E.to_string e));
+  Sim.run w;
+  (match !failures with [] -> () | m :: _ -> Alcotest.fail m);
+  Alcotest.(check bool) "at least one kill landed" true (!kills >= 1);
+  Alcotest.(check bool) "a lease steal was observed" true !stole;
+  Alcotest.(check bool) "size intention rolled back at least once" true
+    (counter_delta snap0 "lease.steals_repaired" >= 1
+    || counter_delta snap0 "intent.repairs" >= 1)
+
+let test_kill_mid_truncate_legacy_path () =
+  obs_on ();
+  let w = Sim.create ~seed:8L () in
+  let proc = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let failures = ref [] in
+  let fails m = failures := m :: !failures in
+  let kills = ref 0 in
+  let fixpoint = ref true in
+  Sim.spawn w ~proc ~name:"driver" (fun () ->
+      let _dev, kfs, fs = mk_zofs () in
+      let big = String.init 9000 (fun i -> Char.chr (97 + (i mod 26))) in
+      (match V.write_file fs "/g" big with
+      | Ok () -> ()
+      | Error e -> fails ("setup: " ^ E.to_string e));
+      (* ftruncate is deliberately intent-less (the legacy path): a death
+         mid-shrink must surface as a graceful error or a consistent state,
+         never an exception or torn metadata. *)
+      let attempt = ref 0 in
+      while !kills = 0 && !attempt < 80 && !failures = [] do
+        incr attempt;
+        if
+          kill_one_attempt w proc ~after:(2 + (4 * !attempt)) fails (fun () ->
+              V.truncate fs "/g" 100)
+        then incr kills
+      done;
+      (* later callers: graceful errno or success, and a redo converges *)
+      (match V.truncate fs "/g" 100 with
+      | Ok () | Error _ -> ());
+      (match V.read_file fs "/g" with
+      | Ok d ->
+          if String.length d <> 100 || String.sub d 0 100 <> String.sub big 0 100
+          then fails "truncate redo did not converge"
+      | Error e -> fails ("final read: " ^ E.to_string e));
+      (* offline fsck must reach a clean fixpoint over the residue *)
+      ignore (Zofs.Recovery.recover_all kfs);
+      let rep2 = Zofs.Recovery.recover_all kfs in
+      fixpoint := Zofs.Recovery.findings rep2 = []);
+  Sim.run w;
+  (match !failures with [] -> () | m :: _ -> Alcotest.fail m);
+  Alcotest.(check bool) "at least one kill landed" true (!kills >= 1);
+  Alcotest.(check bool) "fsck fixpoint clean after kill residue" true !fixpoint
+
+(* ---- the campaign itself ------------------------------------------------ *)
+
+let test_campaign_smoke () =
+  let r = Chaos.run ~seed:42L ~pages:8192 ~min_faults:60 ~max_rounds:200 () in
+  (match r.Chaos.c_violations with
+  | [] -> ()
+  | v :: _ -> Alcotest.fail ("containment violation: " ^ v));
+  Alcotest.(check bool) "fault floor reached" true
+    (r.Chaos.c_faults_tripped >= 60);
+  Alcotest.(check bool) "all four kinds tripped" true
+    (r.Chaos.c_media_faults > 0
+    && r.Chaos.c_kills_fired > 0
+    && r.Chaos.c_transients_tripped > 0
+    && r.Chaos.c_scribbles_blocked > 0);
+  (* the campaign's fault counters must surface on the human-readable
+     robustness line (zofs_stat / zofs_shell stats) *)
+  let rendered = Obs.Snapshot.render (Obs.Snapshot.take ()) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "robustness line rendered" true
+    (contains rendered "robustness: media-faults")
+
+let test_campaign_negative_selfcheck () =
+  Alcotest.(check bool) "quarantine-disabled campaign is flagged" true
+    (Chaos.negative_selfcheck ())
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "poison",
+        [
+          Alcotest.test_case "scrub on write" `Quick test_poison_scrub_on_write;
+          Alcotest.test_case "sticky + clear" `Quick test_poison_sticky;
+        ] );
+      ( "kill",
+        [
+          Alcotest.test_case "armed kill fires" `Quick test_kill_fires;
+          Alcotest.test_case "no-kill region defers" `Quick test_no_kill_defers;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "stale release cannot clobber a stolen lease"
+            `Quick test_stale_release_cannot_clobber;
+          Alcotest.test_case "kill mid-append: steal + size rollback" `Quick
+            test_kill_mid_append_steal_repairs;
+          Alcotest.test_case "kill mid-truncate: intent-less legacy path"
+            `Quick test_kill_mid_truncate_legacy_path;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "smoke run, no violations" `Slow
+            test_campaign_smoke;
+          Alcotest.test_case "negative self-check" `Slow
+            test_campaign_negative_selfcheck;
+        ] );
+    ]

@@ -355,10 +355,10 @@ let test_protection_hook_called () =
 let test_protection_hook_can_block () =
   let d = mk () in
   D.set_protection_hook d (fun ~addr ~write ->
-      if write then raise (Nvm.Fault { addr; write; reason = "ro" }));
+      if write then raise (Nvm.Fault { addr; write; kind = Nvm.Protection; reason = "ro" }));
   ignore (D.read_u64 d 0);
   Alcotest.check_raises "write faults"
-    (Nvm.Fault { addr = 0; write = true; reason = "ro" }) (fun () ->
+    (Nvm.Fault { addr = 0; write = true; kind = Nvm.Protection; reason = "ro" }) (fun () ->
       D.write_u64 d 0 1)
 
 (* --- property tests ---------------------------------------------------- *)
