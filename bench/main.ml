@@ -853,6 +853,29 @@ let bechamel () =
     tests;
   print_newline ()
 
+(* ==== perf trend ================================================================ *)
+
+(* `--perf-trend`: run the perf gate's pinned experiment set inline (always
+   log mode — the failing version is `dune build @perf`) and, when a
+   BENCH_perf.json baseline sits in the working directory, print the
+   regression/improvement verdict against it. *)
+let perf_trend ~quick () =
+  Report.section
+    (Printf.sprintf "perf-trend: pinned hot-path experiments%s"
+       (if quick then " (quick)" else ""));
+  let results = Perf_gate.run_all ~quick () in
+  print_string (Perf_gate.render_results results);
+  if Sys.file_exists "BENCH_perf.json" then (
+    match Perf_gate.read_file "BENCH_perf.json" with
+    | Error e -> Printf.printf "  (baseline unreadable: %s)\n" e
+    | Ok base ->
+        let v = Perf_gate.compare_results ~baseline:base ~current:results () in
+        Printf.printf "  trend vs BENCH_perf.json (tol %.0f%%, log mode):\n"
+          (100.0 *. Perf_gate.default_tol);
+        print_string (Perf_gate.render_verdict v))
+  else print_endline "  (no BENCH_perf.json in cwd; trend comparison skipped)";
+  print_newline ()
+
 (* ==== driver ==================================================================== *)
 
 let experiments =
@@ -876,6 +899,7 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
   let args =
     if List.mem "--quick" args then begin
       thread_counts := [ 1; 4; 12 ];
@@ -893,12 +917,21 @@ let () =
      BENCH_<experiment>.json per experiment. *)
   let obs_on = List.mem "--obs" args in
   let json_on = List.mem "--json" args in
-  let args = List.filter (fun a -> a <> "--obs" && a <> "--json") args in
+  let trend_on = List.mem "--perf-trend" args in
+  let args =
+    List.filter
+      (fun a -> a <> "--obs" && a <> "--json" && a <> "--perf-trend")
+      args
+  in
   if obs_on then Obs.enable ();
   if json_on then Report.json_enable ".";
-  let selected = if args = [] then List.map fst experiments else args in
+  let selected =
+    if args = [] then if trend_on then [] else List.map fst experiments
+    else args
+  in
   print_endline
     "ZoFS reproduction benchmark harness (simulated NVM; see DESIGN.md)";
+  if trend_on then perf_trend ~quick ();
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with

@@ -1,0 +1,95 @@
+(* zofs_perf: run the pinned hot-path experiment set and gate on the
+   committed baseline (BENCH_perf.json).
+
+     zofs_perf [--quick] [--mode fail|log] [--tol F]
+               [--baseline FILE] [--write-baseline FILE] [--out FILE]
+
+   The experiments are deterministic (single simulated thread, no wall
+   clock), so the emitted JSON is byte-identical across runs of the same
+   binary.  With --baseline, per-op sim-ns / flushes / fences / kernel
+   crossings / enlarge calls are compared against the committed numbers and
+   any regression beyond the tolerance fails the run (mode fail, the @perf
+   alias) or is merely reported (mode log).  Files are only written when
+   --out / --write-baseline ask for them, so the gate runs happily inside
+   the dune sandbox. *)
+
+module P = Perf_gate
+
+type mode = Fail | Log
+
+let usage () =
+  prerr_endline
+    "usage: zofs_perf [--quick] [--mode fail|log] [--tol F] [--baseline \
+     FILE] [--write-baseline FILE] [--out FILE]";
+  exit 2
+
+let () =
+  let quick = ref false in
+  let mode = ref Fail in
+  let tol = ref P.default_tol in
+  let baseline = ref None in
+  let write_baseline = ref None in
+  let out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--mode" :: m :: rest ->
+        (match m with
+        | "fail" -> mode := Fail
+        | "log" -> mode := Log
+        | _ -> usage ());
+        parse rest
+    | "--tol" :: t :: rest ->
+        (match float_of_string_opt t with
+        | Some v when v >= 0.0 -> tol := v
+        | _ -> usage ());
+        parse rest
+    | "--baseline" :: f :: rest ->
+        baseline := Some f;
+        parse rest
+    | "--write-baseline" :: f :: rest ->
+        write_baseline := Some f;
+        parse rest
+    | "--out" :: f :: rest ->
+        out := Some f;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let results = P.run_all ~quick:!quick () in
+  Printf.printf "zofs_perf: pinned experiments%s\n"
+    (if !quick then " (quick)" else "");
+  print_string (P.render_results results);
+  Option.iter (fun f -> P.write_file f results) !out;
+  Option.iter
+    (fun f ->
+      P.write_file f results;
+      Printf.printf "zofs_perf: baseline written to %s\n" f)
+    !write_baseline;
+  match !baseline with
+  | None -> ()
+  | Some f -> (
+      match P.read_file f with
+      | Error e ->
+          Printf.eprintf "zofs_perf: cannot read baseline %s: %s\n" f e;
+          exit 1
+      | Ok base ->
+          let v = P.compare_results ~tol:!tol ~baseline:base ~current:results () in
+          Printf.printf "zofs_perf: trend vs %s (tol %.0f%%)\n" f
+            (100.0 *. !tol);
+          print_string (P.render_verdict v);
+          if not (P.clean v) then begin
+            (match !mode with
+            | Fail ->
+                Printf.eprintf
+                  "zofs_perf: FAILED — %d regression(s) vs baseline\n"
+                  (List.length v.P.regressions)
+            | Log ->
+                Printf.printf
+                  "zofs_perf: %d regression(s) vs baseline (log mode)\n"
+                  (List.length v.P.regressions));
+            if !mode = Fail then exit 1
+          end
+          else print_endline "zofs_perf: OK — no regressions")

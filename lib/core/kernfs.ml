@@ -412,6 +412,15 @@ let coffer_delete t cid =
             Hashtbl.remove t.mappers cid;
             Ok ())
 
+(* Pages are granted in chunks so one large batched request degrades
+   gracefully: allocation pressure (an armed transient fault, or the table
+   running out) striking after the first chunk returns the pages already
+   granted instead of failing — and forcing a retry of — the whole call.
+   Partial grants therefore never double-count the enlarge metrics: the
+   syscall, its TLB shootdown and [enlarge_calls] are paid exactly once
+   whether the grant is full or partial. *)
+let enlarge_chunk = 16
+
 let coffer_enlarge t cid ~n =
   kernel_op t (fun () ->
       match trip_transient t with
@@ -424,9 +433,20 @@ let coffer_enlarge t cid ~n =
          7(d)/(g). *)
       Sim.advance (1500 + (200 * Sim.live_threads ()));
       let* _ = check_access t cid [ `W ] in
-      match Alloc_table.alloc t.at ~cid ~n with
-      | None -> Error Errno.ENOSPC
-      | Some runs ->
+      let rec grab acc got =
+        if got >= n then Ok (List.rev acc)
+        else if got > 0 && trip_transient t <> None then
+          (* Mid-batch transient: absorb it, keep the partial grant. *)
+          Ok (List.rev acc)
+        else
+          let m = min enlarge_chunk (n - got) in
+          match Alloc_table.alloc t.at ~cid ~n:m with
+          | None -> if got = 0 then Error Errno.ENOSPC else Ok (List.rev acc)
+          | Some runs -> grab (List.rev_append runs acc) (got + m)
+      in
+      match grab [] 0 with
+      | Error e -> Error e
+      | Ok runs ->
           (* New pages become visible to every process mapping the coffer. *)
           List.iter
             (fun pid ->

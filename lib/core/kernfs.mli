@@ -135,9 +135,13 @@ val coffer_delete : t -> int -> (unit, Errno.t) result
 (** Unmap everywhere, free all pages, remove the path-map entry. *)
 
 val coffer_enlarge : t -> int -> n:int -> ((int * int) list, Errno.t) result
-(** Grant [n] more pages (as page runs) to the coffer and map them into
-    every process currently mapping it.  Pays a TLB shootdown — the
-    scalability-limiting kernel work of Figure 7(d)/(g). *)
+(** Grant up to [n] more pages (as page runs) to the coffer and map them
+    into every process currently mapping it.  Pays a TLB shootdown — the
+    scalability-limiting kernel work of Figure 7(d)/(g).  Pages are granted
+    in chunks: allocation pressure (a transient fault, or the table filling
+    up) after the first chunk returns a partial, nonempty grant instead of
+    an error, and the call's metrics ([enlarge_count], the shootdown) are
+    paid exactly once either way.  An error means no pages were granted. *)
 
 val coffer_shrink : t -> int -> runs:(int * int) list -> (unit, Errno.t) result
 (** Return pages to the global pool (validated to belong to the coffer and

@@ -100,6 +100,7 @@ module Device = struct
     read_chan : Sim.Resource.t;
     write_chan : Sim.Resource.t;
     line_caches : (int, int array) Hashtbl.t;  (* tid -> direct-mapped tags *)
+    mutable pollute_cursor : int;  (* rotating eviction window (per device!) *)
     mutable n_reads : int;
     mutable n_writes : int;
     mutable n_flushes : int;
@@ -133,6 +134,7 @@ module Device = struct
       read_chan = Sim.Resource.create ~name:"nvm-read-bw" ();
       write_chan = Sim.Resource.create ~name:"nvm-write-bw" ();
       line_caches = Hashtbl.create 16;
+      pollute_cursor = 0;
       n_reads = 0;
       n_writes = 0;
       n_flushes = 0;
@@ -276,19 +278,20 @@ module Device = struct
         a
 
   (* A kernel crossing displaces part of the working set, not all of it:
-     evict a rotating 1/8 window of the simulated cache. *)
+     evict a rotating 1/8 window of the simulated cache.  The cursor lives
+     on the device, not at module level: a global cursor would carry cache
+     state from one simulated world into the next, making identical runs
+     time differently (the perf gate's determinism test catches this). *)
   let pollute_window = cache_slots / 8
-
-  let pollute_cursor = ref 0
 
   let pollute_cache d =
     match Hashtbl.find_opt d.line_caches (Sim.self_tid ()) with
     | Some a ->
-        let start = !pollute_cursor in
+        let start = d.pollute_cursor in
         for i = 0 to pollute_window - 1 do
           a.((start + i) land (cache_slots - 1)) <- -1
         done;
-        pollute_cursor := (start + pollute_window) land (cache_slots - 1)
+        d.pollute_cursor <- (start + pollute_window) land (cache_slots - 1)
     | None -> ()
 
   let effective_write_bw d =
@@ -558,11 +561,19 @@ module Device = struct
     d.n_flushes <- d.n_flushes + 1;
     let t0 = t_begin d in
     let line = addr / line_size in
+    (* Write-back bandwidth is charged BEFORE the line-state transition: the
+       bandwidth channel can block (a simulated context switch), and a fence
+       issued by another thread during that wait must see — and let trace
+       subscribers see — either the whole transition or none of it.  The
+       state change and its trace event stay adjacent, with no scheduling
+       point between them; the state is re-read after the wait because the
+       interleaved thread may have changed it. *)
+    if Hashtbl.find_opt d.pending line = Some Dirty then
+      charge_writeback d line_size;
     (match Hashtbl.find_opt d.pending line with
     | Some Dirty ->
         Hashtbl.replace d.pending line Flushing;
-        d.flushing <- line :: d.flushing;
-        charge_writeback d line_size
+        d.flushing <- line :: d.flushing
     | Some Flushing | None -> d.n_redundant_flushes <- d.n_redundant_flushes + 1);
     (* The event fires before the trailing advance (keeping its ordering
        relative to the line-state change), so that known constant is folded
@@ -681,14 +692,18 @@ module Device = struct
     let page, off = scalar_loc d addr 8 in
     Bytes.set_int64_le (vol_page d page) off (Int64.of_int v);
     let line = addr / line_size in
+    (* As in [clwb]: charge (and possibly block) before the state change so
+       the transition and its trace event are not separated by a scheduling
+       point an interleaved fence could slip through. *)
+    if Hashtbl.find_opt d.pending line <> Some Flushing then
+      charge_writeback d line_size;
     atomic_note d line;
     heal_poison d line;
     (match Hashtbl.find_opt d.pending line with
     | Some Flushing -> ()
     | Some Dirty | None ->
         Hashtbl.replace d.pending line Flushing;
-        d.flushing <- line :: d.flushing;
-        charge_writeback d line_size);
+        d.flushing <- line :: d.flushing);
     trace_nt_store d addr 8 t0
 
   let nt_write_string d addr s =
@@ -708,6 +723,10 @@ module Device = struct
         dst := !dst + n;
         remaining := !remaining - n
       done;
+      (* Charge before the per-line transitions (see [clwb]): the bandwidth
+         wait can context-switch, and the state changes plus the trace event
+         must form one unseparated step. *)
+      charge_writeback d len;
       let first = addr / line_size and last = (addr + len - 1) / line_size in
       for line = first to last do
         atomic_note d line;
@@ -718,7 +737,6 @@ module Device = struct
             Hashtbl.replace d.pending line Flushing;
             d.flushing <- line :: d.flushing
       done;
-      charge_writeback d len;
       trace_nt_store d addr len t0
     end
 
@@ -743,6 +761,8 @@ module Device = struct
         dst := !dst + n;
         remaining := !remaining - n
       done;
+      (* Same ordering discipline as [nt_write_string]. *)
+      charge_writeback d len;
       let first = addr / line_size and last = (addr + len - 1) / line_size in
       for line = first to last do
         atomic_note d line;
@@ -753,7 +773,6 @@ module Device = struct
             Hashtbl.replace d.pending line Flushing;
             d.flushing <- line :: d.flushing
       done;
-      charge_writeback d len;
       trace_nt_store d addr len t0
     end
 
@@ -765,6 +784,19 @@ module Device = struct
     if d.subs != [] then emit d T_reset
 
   let pending_lines d = Hashtbl.length d.pending
+
+  (* Line-grained state queries for software that keeps its own persist
+     bookkeeping (the µFS commit-path batcher).  These model a library
+     tracking which of its *own* stores are already flushed / fenced; the
+     device's pending table is the authoritative version of that
+     bookkeeping, so exposing it keeps the batcher honest even when a
+     kernel call fences in the middle of a user-space operation. *)
+  let flushing_lines d = List.length d.flushing
+
+  let line_needs_flush d addr =
+    match Hashtbl.find_opt d.pending (addr / line_size) with
+    | Some Dirty -> true
+    | Some Flushing | None -> false
 
   type crash_policy = [ `Random | `Drop_all | `Keep_all ]
 

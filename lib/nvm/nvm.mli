@@ -168,6 +168,18 @@ module Device : sig
   val pending_lines : t -> int
   (** Number of lines not yet durable (observable for tests). *)
 
+  val flushing_lines : t -> int
+  (** Number of lines flushed but not yet fenced.  When this is 0 an
+      [sfence] would be a no-op (and is counted redundant); persist
+      batchers use it to elide exactly those fences. *)
+
+  val line_needs_flush : t -> int -> bool
+  (** [line_needs_flush d addr] is true iff the cache line holding [addr]
+      has stores that no [clwb] has reached yet (state Dirty).  A line
+      already Flushing will persist its latest contents at the next fence,
+      so re-flushing it is unnecessary; a clean line has nothing volatile.
+      Persist batchers use this to coalesce same-cacheline flushes. *)
+
   (** {2 Crash simulation} *)
 
   type crash_policy =

@@ -18,12 +18,22 @@
 let enlarge_batch = ref 16
 let force_global = ref false
 
+(* Append-heavy workloads drain a fixed-size batch at a constant rate, so the
+   kernel-crossing staircase of Figure 7(d) has a step every [enlarge_batch]
+   pages.  Each time a thread's slot runs dry again it doubles its next
+   request, up to [enlarge_cap] — growth-phase crossings become logarithmic
+   while a thread that stops allocating keeps at most cap-1 slack pages.  A
+   partial grant (the kernel under allocation pressure) resets the thread to
+   the base batch. *)
+let enlarge_cap = ref 256
+
 type t = {
   dev : Nvm.Device.t;
   custom : int;  (* byte address of the custom page *)
   cid : int;
   kfs : Treasury.Kernfs.t;
   my_slot : (int, int) Hashtbl.t;  (* tid -> claimed slot index *)
+  next_enlarge : (int, int) Hashtbl.t;  (* tid -> next request size *)
 }
 
 let slot_addr t i = t.custom + Layout.c_slots + (i * Layout.slot_size)
@@ -53,7 +63,14 @@ let attach dev ~custom ~cid kfs =
     raise
       (Treasury.Ufs_intf.Zofs_corrupt
          (Printf.sprintf "coffer %d: bad custom page magic at 0x%x" cid custom));
-  { dev; custom; cid; kfs; my_slot = Hashtbl.create 8 }
+  {
+    dev;
+    custom;
+    cid;
+    kfs;
+    my_slot = Hashtbl.create 8;
+    next_enlarge = Hashtbl.create 8;
+  }
 
 let create dev ~custom ~cid kfs =
   format dev ~custom;
@@ -158,14 +175,28 @@ let refill_from_global t slot n =
   done;
   !moved
 
-(* Ask KernFS for more pages and chain them into the slot. *)
+(* Ask KernFS for more pages and chain them into the slot.  Requests follow
+   the per-thread doubling policy; the kernel may grant fewer pages than
+   asked (a mid-batch transient fault or allocation pressure), which resets
+   the thread's growth — and still counts as success, since the grant is
+   nonempty. *)
 let enlarge_into_slot t slot =
+  let tid = Sim.self_tid () in
+  let want =
+    match Hashtbl.find_opt t.next_enlarge tid with
+    | Some v -> v
+    | None -> !enlarge_batch
+  in
   match
     Transient.retry (fun () ->
-        Treasury.Kernfs.coffer_enlarge t.kfs t.cid ~n:!enlarge_batch)
+        Treasury.Kernfs.coffer_enlarge t.kfs t.cid ~n:want)
   with
   | Error e -> Error e
   | Ok runs ->
+      let granted = List.fold_left (fun acc (_, len) -> acc + len) 0 runs in
+      Hashtbl.replace t.next_enlarge tid
+        (if granted >= want then min (want * 2) (max !enlarge_cap !enlarge_batch)
+         else !enlarge_batch);
       let a = slot_addr t slot in
       List.iter
         (fun (start, len) ->
@@ -175,7 +206,7 @@ let enlarge_into_slot t slot =
               (p * Layout.page_size)
           done)
         runs;
-      Ok ()
+      if granted = 0 then Error Treasury.Errno.ENOSPC else Ok ()
 
 (* ---- public allocation API ---------------------------------------------- *)
 
@@ -221,10 +252,23 @@ let rec alloc_page t =
         with
         | Some page -> Ok page
         | None ->
-            (* Refill: first from the coffer-global list, then from KernFS. *)
+            (* Refill: first from the coffer-global list, then from KernFS.
+               The global count is peeked without the lease first — in the
+               steady growth state the global list stays empty, and taking
+               (and fencing, at release) a coffer-shared lease on every
+               refill would put a cross-thread contention point back on the
+               disjoint-file fast path.  The unlocked read is advisory
+               either way: a stale zero just goes to the kernel for fresh
+               pages, a stale nonzero finds the list empty under the lease
+               and falls through. *)
             let got =
-              Lease.with_lease t.dev (t.custom + Layout.c_global_lease)
-                (fun () -> refill_from_global t slot !enlarge_batch)
+              if
+                Nvm.Device.read_u64 t.dev (t.custom + Layout.c_global_count)
+                = 0
+              then 0
+              else
+                Lease.with_lease t.dev (t.custom + Layout.c_global_lease)
+                  (fun () -> refill_from_global t slot !enlarge_batch)
             in
             if got > 0 then alloc_page t
             else (

@@ -51,12 +51,19 @@ let write_dentry dev addr ~name ~kind ~coffer ~inode =
   Nvm.Device.write_u64 dev (addr + d_coffer) coffer;
   Nvm.Device.write_u64 dev (addr + d_inode) inode;
   Nvm.Device.write_string dev (addr + d_name) name;
-  Nvm.Device.persist_range dev addr dentry_size;
-  (* publish *)
+  (* One coalesced flush of the body, one fence right before the publish
+     point — which also makes the caller's intention record (same-line with
+     the inode's direct pointers) durable in the same ordering stroke. *)
+  Pbatch.flush dev addr dentry_size;
+  Pbatch.barrier dev;
   Check.publish dev ~label:"dentry-insert" addr dentry_size;
   Nvm.Device.write_u8 dev (addr + d_valid) 1;
-  Nvm.Device.persist_range dev addr 1
+  (* The valid byte's flush rides the lease-release fence: if it is lost the
+     insert simply never happened (the op was not yet acknowledged). *)
+  Pbatch.flush dev addr 1
 
+(* Durable variant, used outside lease-protected operations (recovery's
+   dentry drops, which have no release fence to ride). *)
 let clear_dentry dev addr =
   Nvm.Device.write_u8 dev (addr + d_valid) 0;
   Nvm.Device.persist_range dev addr 1
@@ -89,8 +96,11 @@ let ensure_l2 dev balloc l1 hash =
     match Balloc.alloc_zeroed balloc with
     | Error e -> Error e
     | Ok page ->
+        (* The page is zeroed-and-fenced by alloc_zeroed; the pointer to it
+           only has to be durable before the dentry that uses it is visible,
+           so its flush rides the insert's pre-publish barrier. *)
         Nvm.Device.write_u64 dev (l1_slot_addr l1 hash) page;
-        Nvm.Device.persist_range dev (l1_slot_addr l1 hash) 8;
+        Pbatch.flush dev (l1_slot_addr l1 hash) 8;
         Ok page
 
 (* ---- lookup -------------------------------------------------------------- *)
@@ -177,12 +187,17 @@ let insert dev balloc ~ino ~name ~kind ~coffer ~inode =
                       match Balloc.alloc_zeroed balloc with
                       | Error e -> Error e
                       | Ok page ->
-                          (* link new chain page at the bucket head *)
+                          (* Link the new chain page at the bucket head.  The
+                             page's next pointer must be durable BEFORE the
+                             bucket points at it (or a crash truncates the
+                             old chain), so a real fence separates the two;
+                             the bucket store itself rides the insert's
+                             pre-publish barrier. *)
                           Nvm.Device.write_u64 dev page
                             (Nvm.Device.read_u64 dev bucket);
-                          Nvm.Device.persist_range dev page 8;
+                          Pbatch.persist dev page 8;
                           Nvm.Device.write_u64 dev bucket page;
-                          Nvm.Device.persist_range dev bucket 8;
+                          Pbatch.flush dev bucket 8;
                           Ok (chain_slot page 1)))
             in
             match slot with
@@ -202,9 +217,14 @@ let remove dev ~ino name =
   | None -> Error Treasury.Errno.ENOENT
   | Some de ->
       (* Intention first: a stealer finding this record rolls the removal
-         forward (re-clearing the slot is idempotent). *)
+         forward (re-clearing the slot is idempotent).  Nothing here needs
+         an ordering point of its own — every store (record, valid byte,
+         mtime, clear) rides the lease-release fence, in any combination of
+         which the directory is consistent — so a remove costs ZERO fences
+         beyond the release. *)
       Intent.record dev ~ino Intent.Remove ~arg:de.de_addr;
-      clear_dentry dev de.de_addr;
+      Nvm.Device.write_u8 dev (de.de_addr + d_valid) 0;
+      Pbatch.flush dev (de.de_addr + d_valid) 1;
       Inode.touch_mtime dev ~ino;
       Intent.clear dev ~ino;
       Ok ()

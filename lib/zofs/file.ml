@@ -58,7 +58,7 @@ let pointer_addr dev balloc ~ino b =
             | Ok 0 -> Ok 0
             | Ok page ->
                 Nvm.Device.write_u64 dev outer_addr page;
-                Nvm.Device.persist_range dev outer_addr 8;
+                Pbatch.flush dev outer_addr 8;
                 Ok page
         with
         | Error e -> Error e
@@ -90,7 +90,7 @@ let ensure_block dev balloc ~ino ~zero b =
         | Ok page ->
             if zero then Nvm.Device.nt_fill dev page page_size '\000';
             Nvm.Device.write_u64 dev ptr page;
-            Nvm.Device.clwb dev ptr;
+            Pbatch.flush dev ptr 8;
             Ok page)
 
 (* ---- read ---------------------------------------------------------------- *)
@@ -145,11 +145,19 @@ let write dev balloc ~ino ~off data =
     in
     match loop 0 off with
     | Error e ->
-        (* Size never moved, so the record is moot — drop it. *)
+        (* Size never moved, so the record is moot — drop it (the clear
+           rides the lease-release fence). *)
         Intent.clear dev ~ino;
         Error e
     | Ok () ->
-        Nvm.Device.sfence dev;
+        (* One ordering point makes the intention record, the data and the
+           block pointers durable together; the size/mtime update and the
+           intention clear after it ride the lease-release fence.  Any crash
+           combination of those two pending lines is safe: size-new with the
+           record still present is rolled back by the stealer, size-old is
+           the op never happening — both fine for an unacknowledged write.
+           Two fences per append, down from four. *)
+        Pbatch.barrier dev;
         let new_end = off + len in
         if new_end > Inode.size dev ~ino then Inode.set_size dev ~ino new_end
         else Inode.touch_mtime dev ~ino;
@@ -159,8 +167,83 @@ let write dev balloc ~ino ~off data =
 
 (* ---- truncate -------------------------------------------------------------- *)
 
+(* Zero (and optionally free) one block pointer.  The reference is always
+   scrubbed and flushed BEFORE the page goes to a free list — whose chaining
+   writes into the page — so no interruption point leaves a page both
+   referenced and freed, and a repair re-run can use "pointer still set" as
+   "page still mine".  [free] is [None] during offline intent repair, where
+   the page is simply leaked until fsck's reachability rebuild reclaims it. *)
+let drop_ptr dev ~free ptr =
+  let addr = Nvm.Device.read_u64 dev ptr in
+  if addr <> 0 then begin
+    Nvm.Device.write_u64 dev ptr 0;
+    Pbatch.flush dev ptr 8;
+    match free with Some f -> f addr | None -> ()
+  end
+
+(* The shrink body shared by [truncate] and the Trunc intent repair.  It
+   walks the pointer STRUCTURE (not the size): a repair must not trust
+   [i_size], which a crash may have already advanced to the target while
+   some pointer scrubs were lost.  Idempotent — already-zero pointers are
+   skipped. *)
+let shrink_to dev ~free ~ino new_size =
+  let first_dead = blocks_for new_size in
+  (* direct blocks *)
+  for b = first_dead to n_direct - 1 do
+    drop_ptr dev ~free (Inode.direct_addr ~ino b)
+  done;
+  (* single-indirect tree: blocks [n_direct, n_direct + ptrs_per_page) *)
+  let ind = Inode.indirect dev ~ino in
+  if ind <> 0 then begin
+    let lo = max 0 (first_dead - n_direct) in
+    for i = lo to ptrs_per_page - 1 do
+      drop_ptr dev ~free (ind + (i * 8))
+    done;
+    if first_dead <= n_direct then begin
+      Inode.set_indirect dev ~ino 0;
+      (match free with Some f -> f ind | None -> ())
+    end
+  end;
+  (* double-indirect tree *)
+  let dind = Inode.double_indirect dev ~ino in
+  if dind <> 0 then begin
+    let base = n_direct + ptrs_per_page in
+    for o = 0 to ptrs_per_page - 1 do
+      let mid = Nvm.Device.read_u64 dev (dind + (o * 8)) in
+      if mid <> 0 then begin
+        let mid_base = base + (o * ptrs_per_page) in
+        let lo = max 0 (first_dead - mid_base) in
+        if lo < ptrs_per_page then
+          for i = lo to ptrs_per_page - 1 do
+            drop_ptr dev ~free (mid + (i * 8))
+          done;
+        if first_dead <= mid_base then
+          (* the mid page itself is dead: scrub its reference first *)
+          drop_ptr dev ~free (dind + (o * 8))
+      end
+    done;
+    if first_dead <= base then begin
+      Inode.set_double_indirect dev ~ino 0;
+      (match free with Some f -> f dind | None -> ())
+    end
+  end;
+  (* Partial last block: zero the tail so growth re-exposes zeros. *)
+  if new_size mod page_size <> 0 then begin
+    let b = block_of_off new_size in
+    let addr = block_addr dev ~ino b in
+    if addr <> 0 then begin
+      let tail = new_size mod page_size in
+      Nvm.Device.fill dev (addr + tail) (page_size - tail) '\000';
+      Pbatch.flush dev (addr + tail) (page_size - tail)
+    end
+  end
+
 (* Free the data blocks beyond [new_size] (and any indirect pages that become
-   entirely unused). *)
+   entirely unused).  Three ordering points: the Trunc intention must be
+   durable before the first destructive store (roll-FORWARD records, unlike
+   the roll-back kinds, cannot ride the mutation's own fence), the scrubs
+   and the new size must be durable before the intention clear is flushed,
+   and the clear itself rides the lease-release fence. *)
 let truncate dev balloc ~ino new_size =
   let old_size = Inode.size dev ~ino in
   if new_size >= old_size then begin
@@ -168,52 +251,23 @@ let truncate dev balloc ~ino new_size =
     Ok ()
   end
   else begin
-    let first_dead = blocks_for new_size in
-    let last = blocks_for old_size - 1 in
-    for b = first_dead to last do
-      match pointer_addr dev None ~ino b with
-      | Ok (Some ptr) ->
-          let addr = Nvm.Device.read_u64 dev ptr in
-          if addr <> 0 then begin
-            Nvm.Device.write_u64 dev ptr 0;
-            Nvm.Device.clwb dev ptr;
-            Balloc.free_page balloc addr
-          end
-      | Ok None | Error _ -> ()
-    done;
-    Nvm.Device.sfence dev;
-    (* Drop indirect pages if now unused. *)
-    if first_dead <= n_direct then begin
-      let ind = Inode.indirect dev ~ino in
-      if ind <> 0 then begin
-        Inode.set_indirect dev ~ino 0;
-        Balloc.free_page balloc ind
-      end
-    end;
-    if first_dead <= n_direct + ptrs_per_page then begin
-      let dind = Inode.double_indirect dev ~ino in
-      if dind <> 0 then begin
-        for o = 0 to ptrs_per_page - 1 do
-          let mid = Nvm.Device.read_u64 dev (dind + (o * 8)) in
-          if mid <> 0 then Balloc.free_page balloc mid
-        done;
-        Inode.set_double_indirect dev ~ino 0;
-        Balloc.free_page balloc dind
-      end
-    end;
-    (* Partial last block: zero the tail so growth re-exposes zeros. *)
-    if new_size mod page_size <> 0 then begin
-      let b = block_of_off new_size in
-      let addr = block_addr dev ~ino b in
-      if addr <> 0 then begin
-        let tail = new_size mod page_size in
-        Nvm.Device.fill dev (addr + tail) (page_size - tail) '\000';
-        Nvm.Device.persist_range dev (addr + tail) (page_size - tail)
-      end
-    end;
+    Intent.record dev ~ino Intent.Trunc ~arg:new_size;
+    Pbatch.barrier dev;
+    shrink_to dev ~free:(Some (Balloc.free_page balloc)) ~ino new_size;
     Inode.set_size dev ~ino new_size;
+    Pbatch.barrier dev;
+    Intent.clear dev ~ino;
     Ok ()
   end
+
+(* The Trunc intent roll-forward (see intent.ml): complete the shrink to the
+   recorded target size.  Runs under the stolen lease online, or during
+   offline inode scans. *)
+let () =
+  Intent.set_trunc_repair (fun dev ~free ~ino new_size ->
+      shrink_to dev ~free ~ino new_size;
+      if Inode.size dev ~ino <> new_size then Inode.set_size dev ~ino new_size;
+      Nvm.Device.sfence dev)
 
 (* Every data / indirect page of the file — for unlink and recovery. *)
 let data_pages dev ~ino =

@@ -79,6 +79,12 @@ let renew ?(duration = default_duration) dev addr =
 
 let release dev addr =
   let me = owner_code () in
+  (* Release is the operation's final ordering point: the batched commit
+     paths leave their last stores (size/mtime, intention clear, dentry
+     valid byte) flushed but unfenced, and this barrier makes them durable
+     exactly once — before the durability audit below, and elided entirely
+     when nothing is in flight (e.g. after a read-only critical section). *)
+  Pbatch.barrier dev;
   Check.on_lease_release dev addr;
   let v = Nvm.Device.read_u64 dev addr in
   if code_of v = me then begin

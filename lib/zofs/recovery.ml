@@ -508,7 +508,9 @@ let migration_pass ufs kfs report =
                                              rollback, which would otherwise
                                              invalidate the dentry again. *)
                                           if Intent.pending dev ~ino:dir_ino
-                                          then Intent.clear dev ~ino:dir_ino;
+                                          then
+                                            Intent.clear_durable dev
+                                              ~ino:dir_ino;
                                           true
                                       | Error _ -> false)
                               | Some de ->

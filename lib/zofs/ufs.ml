@@ -114,10 +114,16 @@ let with_coffer t cs ~write f =
 (* Take [ino]'s lease and, before running [f], roll forward/back any
    intention record a dead previous holder left mid-mutation (the record can
    only be pending here if its writer never reached its clearing store —
-   i.e. the lease was stolen from a killed thread). *)
-let with_inode_lease t ~ino f =
+   i.e. the lease was stolen from a killed thread).  [balloc] lets a Trunc
+   roll-forward return the freed pages to this coffer's allocator.
+
+   The batched commit paths leave their last stores (size/mtime, intention
+   clear, dentry valid byte) flushed but unfenced; [Lease.release] is the
+   operation's final ordering point and fences them exactly once. *)
+let with_inode_lease t ?balloc ~ino f =
   Lease.with_lease t.dev (Inode.lease_addr ~ino) (fun () ->
-      if Intent.repair t.dev ~ino then Obs.cnt "lease.steals_repaired" 1;
+      let free = Option.map (fun b page -> Balloc.free_page b page) balloc in
+      if Intent.repair ?free t.dev ~ino then Obs.cnt "lease.steals_repaired" 1;
       f ())
 
 let forget_session t cs =
@@ -345,7 +351,7 @@ let new_inode_same_coffer t cs ~kind ~mode ~uid ~gid =
    concurrent duplicate. *)
 let insert_dentry t cs ~dir_ino ~name ~kind ~coffer ~inode =
   with_coffer t cs ~write:true (fun () ->
-      with_inode_lease t ~ino:dir_ino (fun () ->
+      with_inode_lease t ~balloc:cs.cs_balloc ~ino:dir_ino (fun () ->
           match Dir.lookup t.dev ~ino:dir_ino name with
           | Some _ -> Error E.EEXIST
           | None ->
@@ -438,7 +444,7 @@ let openf t path flags mode : int Ui.outcome =
         if Ft.flag_mem Ft.O_TRUNC flags && writable && r.r_kind = Inode.Regular
         then
           with_coffer t r.r_cs ~write:true (fun () ->
-              with_inode_lease t ~ino:r.r_ino (fun () ->
+              with_inode_lease t ~balloc:r.r_cs.cs_balloc ~ino:r.r_ino (fun () ->
                   ignore (File.truncate t.dev r.r_cs.cs_balloc ~ino:r.r_ino 0)));
         Ok (alloc_handle t r.r_cs ~ino:r.r_ino ~readable ~writable)
       end
@@ -518,7 +524,7 @@ let find_dentry t pcs ~dir_ino name =
 
 let remove_dentry_locked t pcs ~dir_ino name =
   with_coffer t pcs ~write:true (fun () ->
-      with_inode_lease t ~ino:dir_ino (fun () ->
+      with_inode_lease t ~balloc:pcs.cs_balloc ~ino:dir_ino (fun () ->
           Dir.remove t.dev ~ino:dir_ino name))
 
 let unlink t path : unit Ui.outcome =
@@ -867,7 +873,8 @@ let apply_perm_change t path ~new_mode ~new_uid ~new_gid : unit Ui.outcome =
                     | Ok () ->
                         let retargeted =
                           with_coffer t pcs ~write:true (fun () ->
-                              with_inode_lease t ~ino:dir_ino (fun () ->
+                              with_inode_lease t ~balloc:pcs.cs_balloc
+                                ~ino:dir_ino (fun () ->
                                   Dir.retarget t.dev ~ino:dir_ino base ~coffer:0
                                     ~inode:r.r_ino))
                         in
@@ -909,7 +916,8 @@ let apply_perm_change t path ~new_mode ~new_uid ~new_gid : unit Ui.outcome =
             (* Point the parent dentry at the new coffer. *)
             let retargeted =
               with_coffer t pcs ~write:true (fun () ->
-                  with_inode_lease t ~ino:dir_ino (fun () ->
+                  with_inode_lease t ~balloc:pcs.cs_balloc ~ino:dir_ino
+                    (fun () ->
                       Dir.retarget t.dev ~ino:dir_ino base
                         ~coffer:info.Coffer.id ~inode:r.r_ino))
             in
@@ -959,7 +967,7 @@ let write t h ~off data =
       if t.variant.sysempty then Treasury.Gate.empty_syscall (K.gate t.kfs);
       let body () =
         with_coffer t cs ~write:true (fun () ->
-            with_inode_lease t ~ino:hd.h_ino (fun () ->
+            with_inode_lease t ~balloc:cs.cs_balloc ~ino:hd.h_ino (fun () ->
                 let real_off =
                   match off with
                   | `At o -> o
@@ -994,7 +1002,7 @@ let ftruncate t h len =
   else
     let* cs = handle_session t hd in
     with_coffer t cs ~write:true (fun () ->
-        with_inode_lease t ~ino:hd.h_ino (fun () ->
+        with_inode_lease t ~balloc:cs.cs_balloc ~ino:hd.h_ino (fun () ->
             File.truncate t.dev cs.cs_balloc ~ino:hd.h_ino len))
 
 (* Drop cached session state for [cid] (dispatcher callback after an online

@@ -238,7 +238,11 @@ let test_kill_mid_append_steal_repairs () =
     (counter_delta snap0 "lease.steals_repaired" >= 1
     || counter_delta snap0 "intent.repairs" >= 1)
 
-let test_kill_mid_truncate_legacy_path () =
+(* A death anywhere in a shrinking truncate: whatever residue it leaves
+   (pending Trunc intention, half-walked block pointers), a redo must
+   converge on the target state and offline fsck must reach a clean
+   fixpoint. *)
+let test_kill_mid_truncate_converges () =
   obs_on ();
   let w = Sim.create ~seed:8L () in
   let proc = Sim.Proc.create ~uid:0 ~gid:0 () in
@@ -252,9 +256,9 @@ let test_kill_mid_truncate_legacy_path () =
       (match V.write_file fs "/g" big with
       | Ok () -> ()
       | Error e -> fails ("setup: " ^ E.to_string e));
-      (* ftruncate is deliberately intent-less (the legacy path): a death
-         mid-shrink must surface as a graceful error or a consistent state,
-         never an exception or torn metadata. *)
+      (* ftruncate records a packed Trunc intention before touching layout
+         (file.ml): a death mid-shrink must surface as a graceful error or a
+         consistent state, never an exception or torn metadata. *)
       let attempt = ref 0 in
       while !kills = 0 && !attempt < 80 && !failures = [] do
         incr attempt;
@@ -279,6 +283,54 @@ let test_kill_mid_truncate_legacy_path () =
   (match !failures with [] -> () | m :: _ -> Alcotest.fail m);
   Alcotest.(check bool) "at least one kill landed" true (!kills >= 1);
   Alcotest.(check bool) "fsck fixpoint clean after kill residue" true !fixpoint
+
+(* Sweep kills through ever-later points of a shrinking truncate until one
+   lands inside the Trunc-intention window (intention recorded, not yet
+   cleared).  The next lease taker must then steal the dead holder's lease
+   and roll the truncate FORWARD (intent.ml): the observable state is the
+   post-truncate one, never a torn in-between. *)
+let test_kill_mid_ftruncate_steal_rolls_forward () =
+  obs_on ();
+  let snap0 = Obs.Snapshot.take () in
+  let w = Sim.create ~seed:9L () in
+  let proc = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let failures = ref [] in
+  let fails m = failures := m :: !failures in
+  let kills = ref 0 in
+  Sim.spawn w ~proc ~name:"driver" (fun () ->
+      let _dev, _kfs, fs = mk_zofs () in
+      let big = String.init 9000 (fun i -> Char.chr (97 + (i mod 26))) in
+      let repaired () = counter_delta snap0 "intent.repairs" >= 1 in
+      let attempt = ref 0 in
+      while (not (repaired ())) && !attempt < 250 && !failures = [] do
+        incr attempt;
+        (* Reset to the full file each round; when the previous round's
+           victim died holding the lease, this write is the "next op" that
+           steals it and repairs the pending intention. *)
+        (match V.write_file fs "/t" big with
+        | Ok () -> ()
+        | Error e -> fails ("reset write: " ^ E.to_string e));
+        if
+          kill_one_attempt w proc ~after:(2 + (2 * !attempt)) fails (fun () ->
+              V.truncate fs "/t" 2000)
+        then incr kills
+      done;
+      (* converge and verify the roll-forward left no torn middle state *)
+      (match V.truncate fs "/t" 2000 with Ok () | Error _ -> ());
+      match V.read_file fs "/t" with
+      | Ok d ->
+          if String.length d <> 2000 || d <> String.sub big 0 2000 then
+            fails
+              (Printf.sprintf "content torn after %d kills (%d bytes)" !kills
+                 (String.length d))
+      | Error e -> fails ("final read: " ^ E.to_string e));
+  Sim.run w;
+  (match !failures with [] -> () | m :: _ -> Alcotest.fail m);
+  Alcotest.(check bool) "at least one kill landed" true (!kills >= 1);
+  Alcotest.(check bool) "a lease steal was observed" true
+    (counter_delta snap0 "lease.steals" >= 1);
+  Alcotest.(check bool) "the Trunc intention was rolled forward" true
+    (counter_delta snap0 "intent.repairs" >= 1)
 
 (* ---- the campaign itself ------------------------------------------------ *)
 
@@ -328,8 +380,10 @@ let () =
             `Quick test_stale_release_cannot_clobber;
           Alcotest.test_case "kill mid-append: steal + size rollback" `Quick
             test_kill_mid_append_steal_repairs;
-          Alcotest.test_case "kill mid-truncate: intent-less legacy path"
-            `Quick test_kill_mid_truncate_legacy_path;
+          Alcotest.test_case "kill mid-truncate: redo converges + fsck"
+            `Quick test_kill_mid_truncate_converges;
+          Alcotest.test_case "kill mid-ftruncate: steal + roll-forward"
+            `Quick test_kill_mid_ftruncate_steal_rolls_forward;
         ] );
       ( "campaign",
         [

@@ -137,6 +137,48 @@ let test_exhaustive_directory_growth () =
   in
   assert_clean "dir-growth" (C.check s)
 
+(* The fence-elided append commit path (lib/zofs/pbatch.ml): appends that
+   stay inside a page, cross into a fresh page (allocation + pointer link
+   mid-op), and follow a just-grown file.  Every crash point of the
+   coalesced flush/single-barrier sequence must recover to an
+   oracle-tolerated state. *)
+let test_exhaustive_batched_append () =
+  let s =
+    {
+      Op.sname = "unit-batched-append";
+      setup =
+        [ Op.Create { path = "/f"; mode = 0o644; data = String.make 3900 'a' } ];
+      body =
+        [
+          Op.Append { path = "/f"; data = String.make 120 'b' };
+          Op.Append { path = "/f"; data = String.make 300 'c' };
+          Op.Append { path = "/f"; data = String.make 80 'd' };
+        ];
+    }
+  in
+  assert_clean "batched-append" (C.check s)
+
+(* The coalesced same-directory rename (the MWRL op): dentry remove + insert
+   under one inode lease, fences elided down to the publish points. *)
+let test_exhaustive_rename_samedir () =
+  let s =
+    {
+      Op.sname = "unit-rename-samedir";
+      setup =
+        [
+          Op.Mkdir "/d";
+          Op.Create { path = "/d/r0"; mode = 0o644; data = "zero" };
+          Op.Create { path = "/d/r1"; mode = 0o644; data = "one" };
+        ];
+      body =
+        [
+          Op.Rename { src = "/d/r0"; dst = "/d/rn0" };
+          Op.Rename { src = "/d/r1"; dst = "/d/rn1" };
+        ];
+    }
+  in
+  assert_clean "rename-samedir" (C.check s)
+
 (* A short mixed history exercising every op kind the oracle models. *)
 let test_exhaustive_mixed_ops () =
   let s =
@@ -166,6 +208,64 @@ let test_missing_fence_is_caught () =
   | Some _reason -> ()
   | None -> Alcotest.fail "injected missing fence was not caught"
 
+(* The persist batcher's own negative knob: [Zofs.Pbatch.over_elide] makes
+   [Pbatch.barrier] drop fences it knows are needed — an over-aggressive
+   optimizer.  Both independent auditors must catch the resulting bug
+   class; if either goes quiet, an elision bug could ship silently. *)
+
+(* 1. The persistence checker: publish points see lines flushed but never
+   fenced, and flag missing-fence. *)
+let test_over_elide_flagged_by_persistence_checker () =
+  Check.enable_auto ~persist:Check.Log ~guideline:Check.Off ~lock:Check.Off;
+  Check.reset_report ();
+  Zofs.Pbatch.over_elide := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Zofs.Pbatch.over_elide := false;
+      Check.disable_auto ();
+      Check.detach ();
+      Check.reset_report ())
+    (fun () ->
+      Sim.run_thread ~proc:(Sim.Proc.create ~uid:0 ~gid:0 ()) (fun () ->
+          let inst = Workloads.Fslab.make ~pages:2048 Workloads.Fslab.Zofs in
+          let fs = inst.Workloads.Fslab.fs in
+          let module V = Treasury.Vfs in
+          ignore (V.mkdir fs "/d" 0o755);
+          ignore (V.write_file fs "/d/f" "hello");
+          ignore (V.append_file fs "/d/f" (String.make 200 'x'));
+          ignore (V.rename fs "/d/f" "/d/g"));
+      let rules =
+        List.map (fun v -> v.Check.v_rule) (Check.report ()).Check.r_violations
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "missing-fence flagged (saw: %s)"
+           (String.concat "," rules))
+        true
+        (List.mem "missing-fence" rules))
+
+(* 2. The crash model checker: some crash point now loses an acknowledged
+   op (its lines were flushed but never ordered), and recovery lands on a
+   state the oracle rejects. *)
+let test_over_elide_caught_by_crashmc () =
+  Zofs.Pbatch.over_elide := true;
+  Fun.protect
+    ~finally:(fun () -> Zofs.Pbatch.over_elide := false)
+    (fun () ->
+      let s =
+        {
+          Op.sname = "unit-over-elide";
+          setup = [ Op.Mkdir "/d" ];
+          body =
+            [
+              Op.Create { path = "/d/f"; mode = 0o644; data = "hello" };
+              Op.Append { path = "/d/f"; data = String.make 150 'w' };
+            ];
+        }
+      in
+      let rep = C.check s in
+      Alcotest.(check bool) "crashmc reports divergences" true
+        (rep.C.r_divergences <> []))
+
 let () =
   Alcotest.run "crashmc"
     [
@@ -187,11 +287,19 @@ let () =
             test_exhaustive_coffer_split_rename;
           Alcotest.test_case "directory growth" `Slow
             test_exhaustive_directory_growth;
+          Alcotest.test_case "batched append" `Slow
+            test_exhaustive_batched_append;
+          Alcotest.test_case "same-dir rename" `Slow
+            test_exhaustive_rename_samedir;
           Alcotest.test_case "mixed ops" `Slow test_exhaustive_mixed_ops;
         ] );
       ( "negative",
         [
           Alcotest.test_case "missing fence caught" `Quick
             test_missing_fence_is_caught;
+          Alcotest.test_case "over-elided fence: persistence checker" `Quick
+            test_over_elide_flagged_by_persistence_checker;
+          Alcotest.test_case "over-elided fence: crashmc" `Slow
+            test_over_elide_caught_by_crashmc;
         ] );
     ]

@@ -213,6 +213,88 @@ let test_shrink_rejects_foreign_pages () =
       expect_err E.EINVAL
         (K.coffer_shrink kfs c1.Coffer.id ~runs:[ (c1.Coffer.id, 1) ]))
 
+(* Enlarge grants pages in chunks (kernfs.ml): when the allocation table
+   runs dry after at least one chunk, the syscall returns the partial grant
+   as a success — and pays its metrics (enlarge_calls, the shootdown)
+   exactly once, with no pages leaked for the chunks that failed. *)
+let test_enlarge_partial_on_exhaustion () =
+  let _, _, kfs = mk () in
+  as_user (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/big" ~ctype:zofs_ctype ~mode:0o600
+             ~uid:1000 ~gid:1000)
+      in
+      ignore (ok_or_fail (K.coffer_map kfs c.Coffer.id));
+      let free = K.free_pages kfs in
+      let e0 = K.enlarge_count kfs in
+      (* Ask for more than exists: whole chunks succeed, then the table runs
+         dry mid-batch. *)
+      let runs = ok_or_fail (K.coffer_enlarge kfs c.Coffer.id ~n:(free + 64)) in
+      let total = List.fold_left (fun a (_, l) -> a + l) 0 runs in
+      Alcotest.(check int) "whole chunks granted" (free / 16 * 16) total;
+      Alcotest.(check bool) "partial, not full" true (total < free + 64);
+      Alcotest.(check int) "enlarge metric paid once" 1 (K.enlarge_count kfs - e0);
+      Alcotest.(check int) "no pages leaked" (free - total) (K.free_pages kfs);
+      (* Once even the first chunk cannot be cut, the call is a real error
+         and still grants nothing. *)
+      if K.free_pages kfs < 16 then begin
+        let e1 = K.enlarge_count kfs in
+        expect_err E.ENOSPC (K.coffer_enlarge kfs c.Coffer.id ~n:64);
+        Alcotest.(check int) "error grants nothing" (free - total)
+          (K.free_pages kfs);
+        ignore e1
+      end)
+
+(* A transient kernel failure (chaos-style injection) arming itself while an
+   enlarge batch is in flight: the batch absorbs it after the first chunk —
+   partial success, the armed fault consumed, metrics counted once.  Being a
+   success, FSLib's [Transient.retry] will NOT re-issue the call, so nothing
+   is double-counted and the already-granted chunk cannot leak. *)
+let test_enlarge_midbatch_transient_counts_once () =
+  if not (Obs.enabled ()) then Obs.enable ~spans:false ();
+  let snap0 = Obs.Snapshot.take () in
+  let counter name =
+    let d = Obs.Snapshot.diff snap0 (Obs.Snapshot.take ()) in
+    Option.value ~default:0 (Obs.Snapshot.counter_value d name)
+  in
+  let _, _, kfs = mk () in
+  let w = Sim.create ~seed:11L () in
+  let proc = Sim.Proc.create ~uid:1000 ~gid:1000 () in
+  let result = ref None in
+  let free0 = ref 0 in
+  Sim.spawn w ~proc ~name:"grower" (fun () ->
+      ok_or_fail (K.fs_mount kfs);
+      let c =
+        ok_or_fail
+          (K.coffer_new kfs ~path:"/big" ~ctype:zofs_ctype ~mode:0o600
+             ~uid:1000 ~gid:1000)
+      in
+      ignore (ok_or_fail (K.coffer_map kfs c.Coffer.id));
+      free0 := K.free_pages kfs;
+      result := Some (K.coffer_enlarge kfs c.Coffer.id ~n:48));
+  Sim.spawn w ~name:"injector" (fun () ->
+      (* enlarge_calls is bumped at batch entry, before the shootdown delay:
+         arming inside that window lands the fault mid-batch. *)
+      while K.enlarge_count kfs = 0 do
+        Sim.advance 25
+      done;
+      K.inject_transient kfs ~n:1 ());
+  Sim.run w;
+  (match !result with
+  | Some (Ok runs) ->
+      let total = List.fold_left (fun a (_, l) -> a + l) 0 runs in
+      Alcotest.(check int) "first chunk only" 16 total;
+      Alcotest.(check int) "granted pages accounted" (!free0 - 16)
+        (K.free_pages kfs)
+  | Some (Error e) ->
+      Alcotest.failf "mid-batch transient was not absorbed: %s" (E.to_string e)
+  | None -> Alcotest.fail "enlarge never ran");
+  Alcotest.(check int) "enlarge metric paid once" 1 (K.enlarge_count kfs);
+  Alcotest.(check int) "armed fault consumed" 0 (K.pending_transients kfs);
+  Alcotest.(check int) "fault tripped exactly once" 1 (counter "fault.transient")
+
 let test_delete () =
   let _, _, kfs = mk () in
   as_user (fun () ->
@@ -465,6 +547,10 @@ let () =
       ( "space",
         [
           Alcotest.test_case "enlarge/shrink" `Quick test_enlarge_and_shrink;
+          Alcotest.test_case "partial grant on exhaustion" `Quick
+            test_enlarge_partial_on_exhaustion;
+          Alcotest.test_case "mid-batch transient counted once" `Quick
+            test_enlarge_midbatch_transient_counts_once;
           Alcotest.test_case "shrink validation" `Quick
             test_shrink_rejects_foreign_pages;
         ] );

@@ -1,0 +1,145 @@
+(* Tests for the perf-regression gate (lib/perf): the pinned experiments
+   must be deterministic (byte-identical JSON across runs — the property
+   that lets BENCH_perf.json be committed and compared exactly), the JSON
+   must round-trip, and the trend comparator must fail on a synthetic
+   regression while tolerating noise and rewarding improvements. *)
+
+module P = Perf_gate
+module J = Obs.Json
+
+(* ---- determinism --------------------------------------------------------- *)
+
+(* Two independent runs of the full pinned set, same process: every counter
+   and every simulated nanosecond must match, or the committed-baseline
+   scheme breaks down into flaky gates. *)
+let test_two_runs_identical () =
+  let a = P.run_all ~quick:true () in
+  let b = P.run_all ~quick:true () in
+  Alcotest.(check string) "byte-identical JSON"
+    (J.to_string (P.to_json a))
+    (J.to_string (P.to_json b))
+
+(* ---- JSON round trip ------------------------------------------------------ *)
+
+let m0 =
+  {
+    P.ops = 100;
+    sim_ns = 123456;
+    flushes = 800;
+    redundant_flushes = 10;
+    fences = 210;
+    redundant_fences = 0;
+    crossings = 3;
+    enlarge_calls = 2;
+  }
+
+let results0 =
+  [ { P.r_name = "append"; r_m = m0 }; { P.r_name = "create"; r_m = m0 } ]
+
+let test_json_roundtrip () =
+  let s = J.to_string (P.to_json results0) in
+  match J.of_string s with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok j -> (
+      match P.of_json j with
+      | Error e -> Alcotest.failf "decode failed: %s" e
+      | Ok back ->
+          Alcotest.(check bool) "round-trips exactly" true (back = results0))
+
+let test_bad_schema_rejected () =
+  match P.of_json (J.Obj [ ("schema", J.Str "zofs-perf-999") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown schema must be rejected"
+
+(* ---- the trend comparator ------------------------------------------------- *)
+
+let scale f m =
+  {
+    m with
+    P.sim_ns = int_of_float (float_of_int m.P.sim_ns *. f);
+    flushes = int_of_float (float_of_int m.P.flushes *. f);
+    fences = int_of_float (float_of_int m.P.fences *. f);
+  }
+
+let with_m r m = { r with P.r_m = m }
+
+(* +20% on every per-op dimension of one experiment: well past the 10%
+   tolerance, the gate must fail — and name the experiment. *)
+let test_synthetic_regression_fails () =
+  let current =
+    [ with_m (List.nth results0 0) (scale 1.20 m0); List.nth results0 1 ]
+  in
+  let v = P.compare_results ~baseline:results0 ~current () in
+  Alcotest.(check bool) "not clean" false (P.clean v);
+  Alcotest.(check bool) "regression names the experiment" true
+    (List.exists
+       (fun s -> String.length s >= 6 && String.sub s 0 6 = "append")
+       v.P.regressions)
+
+(* +5% is inside the tolerance: noise, not a regression. *)
+let test_noise_within_tolerance_passes () =
+  let current = List.map (fun r -> with_m r (scale 1.05 m0)) results0 in
+  let v = P.compare_results ~baseline:results0 ~current () in
+  Alcotest.(check (list string)) "no regressions" [] v.P.regressions
+
+(* -30%: an improvement is reported, never a failure. *)
+let test_improvement_reported_not_failed () =
+  let current = List.map (fun r -> with_m r (scale 0.70 m0)) results0 in
+  let v = P.compare_results ~baseline:results0 ~current () in
+  Alcotest.(check bool) "clean" true (P.clean v);
+  Alcotest.(check bool) "improvements reported" true (v.P.improvements <> [])
+
+(* A baseline experiment the current run no longer produces is a regression
+   (a silently dropped experiment must not weaken the gate). *)
+let test_missing_experiment_is_regression () =
+  let v =
+    P.compare_results ~baseline:results0 ~current:[ List.nth results0 0 ] ()
+  in
+  Alcotest.(check bool) "not clean" false (P.clean v)
+
+(* Different op counts compare per-op (with a note), so re-pinning the ops
+   of an experiment does not spuriously fail the gate. *)
+let test_ops_change_compares_per_op () =
+  let doubled =
+    {
+      m0 with
+      P.ops = 200;
+      sim_ns = m0.P.sim_ns * 2;
+      flushes = m0.P.flushes * 2;
+      fences = m0.P.fences * 2;
+      crossings = m0.P.crossings * 2;
+      enlarge_calls = m0.P.enlarge_calls * 2;
+    }
+  in
+  let current = List.map (fun r -> with_m r doubled) results0 in
+  let v = P.compare_results ~baseline:results0 ~current () in
+  Alcotest.(check (list string)) "no regressions" [] v.P.regressions;
+  Alcotest.(check bool) "ops change noted" true (v.P.notes <> [])
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "two runs byte-identical" `Quick
+            test_two_runs_identical;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "bad schema rejected" `Quick
+            test_bad_schema_rejected;
+        ] );
+      ( "comparator",
+        [
+          Alcotest.test_case "+20%% fails" `Quick test_synthetic_regression_fails;
+          Alcotest.test_case "+5%% noise passes" `Quick
+            test_noise_within_tolerance_passes;
+          Alcotest.test_case "improvement reported" `Quick
+            test_improvement_reported_not_failed;
+          Alcotest.test_case "missing experiment fails" `Quick
+            test_missing_experiment_is_regression;
+          Alcotest.test_case "ops re-pin compares per-op" `Quick
+            test_ops_change_compares_per_op;
+        ] );
+    ]
