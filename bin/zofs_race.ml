@@ -1,0 +1,370 @@
+(* Run the workload suite under the race sanitizer (lib/race).
+
+   Every fxmark microbenchmark and filebench personality is executed on
+   ZoFS with the happens-before + lockset detector attached, plus a
+   chaos-lite scenario (a lease holder dies mid-write and a survivor
+   steals the lease).  The process exits nonzero if any unannotated race
+   is found, and also runs two negative self-checks that MUST race — a
+   lease-elided append and a torn dual-thread dentry insert — failing if
+   the sanitizer does not catch them.
+
+     zofs_race [--mode off|log|fail] [--threads N] [--ops N] [--quick]
+               [--json PATH] [--baseline PATH] [WORKLOAD ...]
+
+   `--json` writes the deterministic per-workload shadow-map/race summary
+   (no timestamps: every field derives from the simulated clock, so the
+   bytes are identical run to run); `--baseline` additionally compares the
+   freshly generated summary against a committed copy (BENCH_race.json)
+   and fails on any drift — this is what `dune build @race` enforces. *)
+
+module FL = Workloads.Fslab
+module Fx = Workloads.Fxmark
+module Fb = Workloads.Filebench
+module V = Treasury.Vfs
+module Ft = Treasury.Fs_types
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("zofs_race op failed: " ^ Treasury.Errno.to_string e)
+
+let block = String.make 4096 'r'
+
+let mode_of_string = function
+  | "off" -> Race.Off
+  | "log" -> Race.Log
+  | "fail" -> Race.Fail
+  | s ->
+      Printf.eprintf "zofs_race: unknown mode %S (want off|log|fail)\n" s;
+      exit 2
+
+let string_of_mode = function
+  | Race.Off -> "off"
+  | Race.Log -> "log"
+  | Race.Fail -> "fail"
+
+let usage () =
+  prerr_endline
+    "usage: zofs_race [--mode off|log|fail] [--threads N] [--ops N] [--quick] \
+     [--json PATH] [--baseline PATH] [WORKLOAD ...]";
+  exit 2
+
+(* ---- chaos-lite: lease-holder death + steal ------------------------------ *)
+
+(* Three victims with staggered kill points (so at least one dies inside a
+   leased write) hammer private files; a stealer then overwrites the same
+   files.  The acquire path's dead-victim steal joins the corpse's whole
+   vector clock, so the stealer's overwrites of the victim's unfenced tail
+   must NOT be reported — this scenario is a false-positive regression
+   test for the steal happens-before edge. *)
+let chaos_lite ~nthreads:_ ~ops =
+  let world = Sim.create () in
+  let proc = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let nvictims = 3 in
+  Sim.spawn world ~proc ~name:"setup" (fun () ->
+      let inst = FL.make FL.Zofs in
+      let fs = inst.FL.fs in
+      for v = 0 to nvictims - 1 do
+        let path = Printf.sprintf "/victim%d" v in
+        let fd = ok (V.openf fs path [ Ft.O_CREAT; Ft.O_WRONLY ] 0o644) in
+        for _ = 1 to 2 do
+          ignore (ok (V.write fs fd block))
+        done;
+        ok (V.close fs fd)
+      done;
+      for v = 0 to nvictims - 1 do
+        let path = Printf.sprintf "/victim%d" v in
+        let vt =
+          Sim.spawn_tid world ~proc ~name:(Printf.sprintf "victim%d" v)
+            (fun () ->
+              let fd = ok (V.openf fs path [ Ft.O_WRONLY ] 0) in
+              for _ = 1 to max 4 ops do
+                ignore (ok (V.pwrite fs fd ~off:0 block))
+              done;
+              ok (V.close fs fd))
+        in
+        (* Staggered suspension-point counts, all inside the write loop
+           (a victim's 12 overwrites suspend a couple of hundred times in
+           total), so each victim dies holding its inode lease at a
+           different depth. *)
+        Sim.arm_kill ~tid:vt ~after:(60 + (v * 60))
+      done;
+      Sim.spawn world ~proc ~name:"stealer" (fun () ->
+          (* Outlive every victim's lease, then overwrite their files: the
+             acquires steal the dead holders' leases. *)
+          Sim.sleep_until 2_000_000;
+          for v = 0 to nvictims - 1 do
+            let path = Printf.sprintf "/victim%d" v in
+            let fd = ok (V.openf fs path [ Ft.O_WRONLY ] 0) in
+            for _ = 1 to max 4 ops do
+              ignore (ok (V.pwrite fs fd ~off:0 block))
+            done;
+            ok (V.close fs fd)
+          done;
+          (* The scenario is vacuous unless the victims actually died
+             mid-write; the count is deterministic, so print it for the
+             transcript rather than silently passing. *)
+          Printf.printf "  chaos-lite: %d lease holder(s) killed mid-write\n%!"
+            (Sim.killed_threads ())));
+  Sim.run world
+
+(* ---- negative self-checks ------------------------------------------------ *)
+
+(* Both scenarios run with the detector in Fail mode and must raise
+   {!Race.Race_found}: they exist to prove the sanitizer still has teeth.
+   The [Lease.elide_for_tid] knob makes one thread skip its leases — the
+   simulated equivalent of the locking bug the sanitizer is for. *)
+
+let run_negative ~name body =
+  Race.reset_report ();
+  let caught = ref None in
+  Fun.protect
+    ~finally:(fun () -> Zofs.Lease.elide_for_tid := None)
+    (fun () ->
+      let world = Sim.create () in
+      let proc = Sim.Proc.create ~uid:0 ~gid:0 () in
+      Sim.spawn world ~proc ~name:"setup" (fun () -> body world proc caught);
+      try Sim.run world with Race.Race_found v -> caught := Some v);
+  let detected = !caught <> None || (Race.report ()).Race.r_races <> [] in
+  (match (detected, !caught) with
+  | true, Some v ->
+      Printf.printf "  negative %-22s caught:\n%s\n%!" name
+        (Race.string_of_violation v)
+  | true, None -> Printf.printf "  negative %-22s caught (logged)\n%!" name
+  | false, _ -> Printf.printf "  negative %-22s NOT CAUGHT\n%!" name);
+  detected
+
+(* Negative 1: two appenders overwrite the same file block; one elides the
+   inode lease.  The elided thread's size/mtime/data stores conflict with
+   the leased thread's. *)
+let negative_elided_append () =
+  run_negative ~name:"lease-elided-append" (fun world proc caught ->
+      let inst = FL.make FL.Zofs in
+      let fs = inst.FL.fs in
+      let fd0 = ok (V.openf fs "/shared" [ Ft.O_CREAT; Ft.O_WRONLY ] 0o644) in
+      for _ = 1 to 2 do
+        ignore (ok (V.write fs fd0 block))
+      done;
+      ok (V.close fs fd0);
+      for w = 0 to 1 do
+        Sim.spawn world ~proc ~name:(Printf.sprintf "appender%d" w) (fun () ->
+            if w = 0 then Zofs.Lease.elide_for_tid := Some (Sim.self_tid ());
+            try
+              let fd = ok (V.openf fs "/shared" [ Ft.O_WRONLY ] 0) in
+              for _ = 1 to 24 do
+                ignore (ok (V.pwrite fs fd ~off:4096 block))
+              done;
+              ok (V.close fs fd)
+            with Race.Race_found v -> caught := Some v)
+      done)
+
+(* Negative 2: two creators insert dentries into the same directory; one
+   elides the directory lease, so both scan to the same free dentry slot
+   and tear each other's insert. *)
+let negative_torn_insert () =
+  run_negative ~name:"torn-dentry-insert" (fun world proc caught ->
+      let inst = FL.make FL.Zofs in
+      let fs = inst.FL.fs in
+      ok (V.mkdir fs "/d" 0o755);
+      for w = 0 to 1 do
+        Sim.spawn world ~proc ~name:(Printf.sprintf "creator%d" w) (fun () ->
+            if w = 0 then Zofs.Lease.elide_for_tid := Some (Sim.self_tid ());
+            try
+              for i = 0 to 15 do
+                let path = Printf.sprintf "/d/w%d_%d" w i in
+                let fd = ok (V.openf fs path [ Ft.O_CREAT; Ft.O_WRONLY ] 0o644) in
+                ignore (ok (V.write fs fd "x"));
+                ok (V.close fs fd)
+              done
+            with Race.Race_found v -> caught := Some v)
+      done)
+
+(* ---- deterministic JSON summary ------------------------------------------ *)
+
+type row = {
+  rw_name : string;
+  rw_races : int;
+  rw_allowlist : (string * int) list; (* sorted by site *)
+  rw_words : int;
+  rw_sync : int;
+  rw_shadow : int;
+}
+
+let json_of ~mode ~threads ~ops ~rows ~neg1 ~neg2 =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"zofs-race-bench-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": %S,\n" (string_of_mode mode));
+  Buffer.add_string b (Printf.sprintf "  \"threads\": %d,\n" threads);
+  Buffer.add_string b (Printf.sprintf "  \"ops\": %d,\n" ops);
+  Buffer.add_string b "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"races\": %d, \"words_tracked\": %d, \
+            \"sync_words\": %d, \"shadow_bytes\": %d, \"allowlist\": [" r.rw_name
+           r.rw_races r.rw_words r.rw_sync r.rw_shadow);
+      List.iteri
+        (fun j (site, n) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b (Printf.sprintf "{\"site\": %S, \"hits\": %d}" site n))
+        r.rw_allowlist;
+      Buffer.add_string b
+        (if i = List.length rows - 1 then "]}\n" else "]},\n"))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"negatives\": {\"lease_elided_append\": %b, \"torn_dentry_insert\": \
+        %b}\n"
+       neg1 neg2);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---- driver -------------------------------------------------------------- *)
+
+let () =
+  let mode = ref Race.Fail in
+  let threads = ref 4 in
+  let ops = ref 40 in
+  let json = ref None in
+  let baseline = ref None in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--mode" :: m :: rest ->
+        mode := mode_of_string m;
+        parse rest
+    | "--threads" :: n :: rest ->
+        threads := int_of_string n;
+        parse rest
+    | "--ops" :: n :: rest ->
+        ops := int_of_string n;
+        parse rest
+    | "--quick" :: rest ->
+        threads := 2;
+        ops := 12;
+        parse rest
+    | "--json" :: p :: rest ->
+        json := Some p;
+        parse rest
+    | "--baseline" :: p :: rest ->
+        baseline := Some p;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | s :: _ when String.length s > 0 && s.[0] = '-' ->
+        Printf.eprintf "zofs_race: unknown option %s\n" s;
+        usage ()
+    | s :: rest ->
+        names := s :: !names;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let suite =
+    List.map
+      (fun w ->
+        (w.Fx.wname, fun () -> ignore (w.Fx.run FL.Zofs ~nthreads:!threads ~ops:!ops)))
+      Fx.all
+    @ List.map
+        (fun p ->
+          (p.Fb.pname, fun () -> ignore (p.Fb.run FL.Zofs ~nthreads:!threads ~ops:!ops)))
+        Fb.all
+    @ [ ("chaos-lite", fun () -> chaos_lite ~nthreads:!threads ~ops:!ops) ]
+  in
+  let suite =
+    match !names with
+    | [] -> suite
+    | wanted -> (
+        List.filter (fun (n, _) -> List.mem n wanted) suite
+        |> function
+        | [] ->
+            Printf.eprintf "zofs_race: no such workload (have: %s)\n"
+              (String.concat " " (List.map fst suite));
+            exit 2
+        | l -> l)
+  in
+  Race.enable_auto !mode;
+  Printf.printf "zofs_race: %d workloads, %d threads, %d ops/thread, mode %s\n%!"
+    (List.length suite) !threads !ops (string_of_mode !mode);
+  let total_races = ref 0 in
+  let rows = ref [] in
+  List.iter
+    (fun (name, run) ->
+      Race.reset_report ();
+      let outcome =
+        match run () with () -> Ok () | exception Race.Race_found v -> Error v
+      in
+      let r = Race.report () in
+      Race.publish_obs_gauges ();
+      let nraces = List.length r.Race.r_races in
+      total_races := !total_races + nraces;
+      let allow = List.sort compare r.Race.r_allowlist in
+      let hits = List.fold_left (fun a (_, n) -> a + n) 0 allow in
+      rows :=
+        {
+          rw_name = name;
+          rw_races = nraces;
+          rw_allowlist = allow;
+          rw_words = r.Race.r_words_tracked;
+          rw_sync = r.Race.r_sync_words;
+          rw_shadow = r.Race.r_shadow_bytes;
+        }
+        :: !rows;
+      (match outcome with
+      | Ok () when nraces = 0 ->
+          Printf.printf "  %-12s ok (%d words shadowed, %d allowlisted)\n%!" name
+            r.Race.r_words_tracked hits
+      | Ok () -> Printf.printf "  %-12s %d race(s)\n%!" name nraces
+      | Error v ->
+          Printf.printf "  %-12s FAILED:\n%s\n%!" name (Race.string_of_violation v));
+      if nraces > 0 then Race.print_report ())
+    suite;
+  let rows = List.rev !rows in
+  (* The negatives always run in Fail mode regardless of --mode: a sanitizer
+     that cannot catch a planted bug gates nothing. *)
+  Race.disable_auto ();
+  Race.enable_auto Race.Fail;
+  let neg1 = negative_elided_append () in
+  let neg2 = negative_torn_insert () in
+  Race.disable_auto ();
+  Race.detach ();
+  let js = json_of ~mode:!mode ~threads:!threads ~ops:!ops ~rows ~neg1 ~neg2 in
+  (match !json with
+  | None -> ()
+  | Some p ->
+      let oc = open_out_bin p in
+      output_string oc js;
+      close_out oc;
+      Printf.printf "zofs_race: wrote %s\n%!" p);
+  let drift =
+    match !baseline with
+    | None -> false
+    | Some p ->
+        let want = read_file p in
+        if want = js then false
+        else begin
+          Printf.printf
+            "zofs_race: summary drifted from %s (re-baseline with --json %s \
+             after auditing the diff)\n\
+             %!"
+            p p;
+          true
+        end
+  in
+  if !total_races > 0 then begin
+    Printf.printf "zofs_race: %d unannotated race(s)\n" !total_races;
+    exit 1
+  end;
+  if not (neg1 && neg2) then begin
+    print_endline "zofs_race: negative self-check escaped the sanitizer";
+    exit 1
+  end;
+  if drift then exit 1;
+  print_endline "zofs_race: clean"

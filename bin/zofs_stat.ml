@@ -52,4 +52,23 @@ let () =
           let title =
             match !title with Some t -> t | None -> Filename.basename file
           in
-          print_string (Obs.Snapshot.render ~title snap))
+          print_string (Obs.Snapshot.render ~title snap);
+          (* Race-sanitizer block: gauges pushed by Race.publish_obs_gauges
+             plus the incrementally counted races / allowlist hits.  Only
+             rendered when the run had the sanitizer attached. *)
+          let counter name = Obs.Snapshot.counter_value snap name in
+          (match
+             ( counter "race.words_tracked",
+               counter "race.races",
+               counter "race.allowlist_hits" )
+           with
+          | None, None, None -> ()
+          | words, races, allow ->
+              let v = Option.value ~default:0 in
+              print_newline ();
+              print_endline "race sanitizer:";
+              Printf.printf "  words tracked   %10d\n" (v words);
+              Printf.printf "  sync words      %10d\n"
+                (v (counter "race.sync_words"));
+              Printf.printf "  races found     %10d\n" (v races);
+              Printf.printf "  allowlist hits  %10d\n" (v allow)))

@@ -317,6 +317,12 @@ let on_nvm_event t (ev : Nvm.Device.trace_event) =
       persist_store t addr len ~nt:true;
       guideline_access t addr ~write:true;
       lock_store t addr len
+  | T_cas { addr; len; _ } ->
+      (* A successful CAS is a store for persistence/guideline/lock
+         purposes; its synchronization role only matters to lib/race. *)
+      persist_store t addr len ~nt:false;
+      guideline_access t addr ~write:true;
+      lock_store t addr len
   | T_load { addr; _ } -> guideline_access t addr ~write:false
   | T_clwb { addr; _ } -> persist_clwb t addr
   | T_fence _ -> persist_fence t
@@ -342,8 +348,10 @@ let current : t option ref = ref None
 let attach ?mpk ?(persist = Log) ?(guideline = Log) ?(lock = Log) dev =
   (match !current with
   | Some old ->
-      Nvm.Device.clear_trace_hook old.dev;
-      (match old.mpk with Some m -> Mpk.clear_trace_hook m | None -> ())
+      Nvm.Device.unsubscribe_named old.dev ~name:"check";
+      (match old.mpk with
+      | Some m -> Mpk.unsubscribe_named m ~name:"check"
+      | None -> ())
   | None -> ());
   let t =
     {
@@ -362,8 +370,10 @@ let attach ?mpk ?(persist = Log) ?(guideline = Log) ?(lock = Log) dev =
       lock_seen = Hashtbl.create 16;
     }
   in
-  Nvm.Device.set_trace_hook dev (on_nvm_event t);
-  (match mpk with Some m -> Mpk.set_trace_hook m (on_mpk_event t) | None -> ());
+  Nvm.Device.subscribe_named dev ~name:"check" (on_nvm_event t);
+  (match mpk with
+  | Some m -> Mpk.subscribe_named m ~name:"check" (on_mpk_event t)
+  | None -> ());
   current := Some t;
   t
 
@@ -371,8 +381,10 @@ let detach () =
   match !current with
   | None -> ()
   | Some t ->
-      Nvm.Device.clear_trace_hook t.dev;
-      (match t.mpk with Some m -> Mpk.clear_trace_hook m | None -> ());
+      Nvm.Device.unsubscribe_named t.dev ~name:"check";
+      (match t.mpk with
+      | Some m -> Mpk.unsubscribe_named m ~name:"check"
+      | None -> ());
       current := None
 
 let set_mode t ck m =

@@ -21,7 +21,15 @@ type ofd = {
    open/close-heavy paths (every FxMark metadata workload opens per op)
    amortized O(1) instead of a scan over every live descriptor: closing
    lowers it, allocating resumes the scan from it.  Invariant: no fd in
-   [first_fd, free_hint) is free. *)
+   [first_fd, free_hint) is free.
+
+   Concurrency audit (race sanitizer): the hint is host DRAM, not NVM, so
+   it is outside the sanitizer's shadow map; and the fd table is
+   per-process state touched only between [Sim.advance] points, so under
+   the cooperative scheduler a read-modify-write of [free_hint] can never
+   interleave with another thread's.  Even if it could, a stale hint only
+   costs a longer [lowest_free] scan — the invariant is a lower bound,
+   re-established by the scan itself.  Benign; no annotation needed. *)
 type t = { mutable slots : ofd option array; first_fd : int; mutable free_hint : int }
 
 let create ?(first_fd = 3) () =

@@ -16,7 +16,9 @@ let syscall t f =
   Obs.with_kernel_crossing @@ fun () ->
   Sim.advance enter_cost;
   Nvm.Device.pollute_cache t.dev;
+  Race.on_gate_enter ();
   let r = Mpk.with_kernel t.mpk (fun () -> Mpk.with_write_window t.mpk f) in
+  Race.on_gate_exit ();
   Sim.advance exit_cost;
   r
 

@@ -312,12 +312,15 @@ let kernel_op t f =
       Sim.with_no_kill (fun () ->
           Sim.Mutex.with_lock t.lock (fun () ->
               Nvm.Device.begin_atomic t.dev;
+              Race.note "kernel atomic begin";
               match f () with
               | v ->
                   Nvm.Device.commit_atomic t.dev;
+                  Race.note "kernel atomic commit";
                   v
               | exception e ->
                   Nvm.Device.abort_atomic t.dev;
+                  Race.note "kernel atomic abort";
                   raise e)))
 
 (* Trip one armed transient failure, if any (called from the allocation-path

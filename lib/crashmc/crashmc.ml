@@ -127,7 +127,8 @@ let prepare ?(pages = 1024) (s : Op.script) =
   }
 
 let count_event = function
-  | D.T_store _ | D.T_nt_store _ | D.T_clwb _ | D.T_fence _ -> true
+  | D.T_store _ | D.T_nt_store _ | D.T_cas _ | D.T_clwb _ | D.T_fence _ ->
+      true
   | D.T_load _ | D.T_media_fault _ | D.T_reset -> false
 
 type replay_result = {

@@ -26,6 +26,7 @@ type t = {
   mutable subs : (int * (trace_event -> unit)) list;  (* delivery order *)
   mutable next_sub_id : int;
   mutable legacy_sub : int option;  (* set_trace_hook's managed slot *)
+  mutable named : (string * int) list;  (* subscribe_named slots *)
 }
 
 (* PKRU encoding, as on x86: two bits per key; bit0 = access-disable,
@@ -128,6 +129,7 @@ let create dev =
       subs = [];
       next_sub_id = 0;
       legacy_sub = None;
+      named = [];
     }
   in
   Nvm.Device.set_protection_hook dev (fun ~addr ~write -> check t ~addr ~write);
@@ -141,7 +143,13 @@ let device t = t.dev
 let add_trace_subscriber t f =
   let id = t.next_sub_id in
   t.next_sub_id <- id + 1;
-  t.subs <- t.subs @ [ (id, f) ];
+  (* Anonymous subscribers stay ahead of the named suffix regardless of
+     registration order (same invariant as Nvm.Device). *)
+  let named_ids = List.map snd t.named in
+  let anon, named =
+    List.partition (fun (i, _) -> not (List.mem i named_ids)) t.subs
+  in
+  t.subs <- anon @ [ (id, f) ] @ named;
   id
 
 let remove_trace_subscriber t id =
@@ -158,6 +166,36 @@ let clear_trace_hook t =
   | Some id ->
       remove_trace_subscriber t id;
       t.legacy_sub <- None
+  | None -> ()
+
+(* Named slots, mirroring Nvm.Device.subscribe_named: one slot per name,
+   delivery order anonymous-first then named in name order, so co-installed
+   checkers see identical event streams regardless of install order. *)
+let reorder_named t =
+  let named_ids = List.map snd t.named in
+  let anon = List.filter (fun (i, _) -> not (List.mem i named_ids)) t.subs in
+  let named_sorted =
+    List.sort (fun (a, _) (b, _) -> compare a b) t.named
+    |> List.filter_map (fun (_, id) ->
+           List.find_opt (fun (j, _) -> j = id) t.subs)
+  in
+  t.subs <- anon @ named_sorted
+
+let subscribe_named t ~name f =
+  (match List.assoc_opt name t.named with
+  | Some id ->
+      remove_trace_subscriber t id;
+      t.named <- List.remove_assoc name t.named
+  | None -> ());
+  let id = add_trace_subscriber t f in
+  t.named <- (name, id) :: t.named;
+  reorder_named t
+
+let unsubscribe_named t ~name =
+  match List.assoc_opt name t.named with
+  | Some id ->
+      remove_trace_subscriber t id;
+      t.named <- List.remove_assoc name t.named
   | None -> ()
 
 let emit t ev = List.iter (fun (_, f) -> f ev) t.subs

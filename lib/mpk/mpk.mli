@@ -93,3 +93,10 @@ val set_trace_hook : t -> (trace_event -> unit) -> unit
     composes with {!add_trace_subscriber} subscriptions. *)
 
 val clear_trace_hook : t -> unit
+
+val subscribe_named : t -> name:string -> (trace_event -> unit) -> unit
+(** Named subscription slot, mirroring {!Nvm.Device.subscribe_named}: one
+    slot per name (same-name subscribe replaces), delivery order
+    anonymous-first then named in name order. *)
+
+val unsubscribe_named : t -> name:string -> unit

@@ -79,6 +79,9 @@ module Device = struct
     | T_store of { addr : int; len : int; ns : int }
     | T_nt_store of { addr : int; len : int; ns : int }
     | T_load of { addr : int; len : int; ns : int }
+    | T_cas of { addr : int; len : int; ns : int }
+        (* successful lock-cmpxchg: a store that is also an acquire/release
+           synchronization point (lease words, allocator slot owners) *)
     | T_clwb of { addr : int; ns : int }
     | T_fence of { nflushing : int; ns : int }
     | T_media_fault of { addr : int; write : bool }
@@ -96,6 +99,7 @@ module Device = struct
     mutable subs : (int * (trace_event -> unit)) list;  (* delivery order *)
     mutable next_sub_id : int;
     mutable legacy_sub : int option;  (* set_trace_hook's managed slot *)
+    mutable named : (string * int) list;  (* subscribe_named slots *)
     crash_rng : Sim.Rng.t;
     read_chan : Sim.Resource.t;
     write_chan : Sim.Resource.t;
@@ -130,6 +134,7 @@ module Device = struct
       subs = [];
       next_sub_id = 0;
       legacy_sub = None;
+      named = [];
       crash_rng = Sim.Rng.create seed;
       read_chan = Sim.Resource.create ~name:"nvm-read-bw" ();
       write_chan = Sim.Resource.create ~name:"nvm-write-bw" ();
@@ -160,7 +165,14 @@ module Device = struct
   let add_trace_subscriber d f =
     let id = d.next_sub_id in
     d.next_sub_id <- id + 1;
-    d.subs <- d.subs @ [ (id, f) ];
+    (* Keep the documented delivery order (anonymous subscribers first,
+       named slots last) even when an anonymous subscriber registers after
+       a named one: insert before the named suffix. *)
+    let named_ids = List.map snd d.named in
+    let anon, named =
+      List.partition (fun (i, _) -> not (List.mem i named_ids)) d.subs
+    in
+    d.subs <- anon @ [ (id, f) ] @ named;
     id
 
   let remove_trace_subscriber d id =
@@ -177,6 +189,42 @@ module Device = struct
     | Some id ->
         remove_trace_subscriber d id;
         d.legacy_sub <- None
+    | None -> ()
+
+  (* Named subscription slots for the analysis layers (lib/check "check",
+     lib/race "race", ...).  Semantics that make multi-checker runs compose
+     without surprises:
+     - one slot per name: re-subscribing under the same name replaces the
+       previous callback in place;
+     - delivery order is anonymous subscribers first (in subscription
+       order), then named subscribers in *name* order — deterministic
+       regardless of which checker was installed first, so "check"+"race"
+       see identical event streams either way. *)
+  let reorder_named d =
+    let named_ids = List.map snd d.named in
+    let anon = List.filter (fun (i, _) -> not (List.mem i named_ids)) d.subs in
+    let named_sorted =
+      List.sort (fun (a, _) (b, _) -> compare a b) d.named
+      |> List.filter_map (fun (_, id) ->
+             List.find_opt (fun (j, _) -> j = id) d.subs)
+    in
+    d.subs <- anon @ named_sorted
+
+  let subscribe_named d ~name f =
+    (match List.assoc_opt name d.named with
+    | Some id ->
+        remove_trace_subscriber d id;
+        d.named <- List.remove_assoc name d.named
+    | None -> ());
+    let id = add_trace_subscriber d f in
+    d.named <- (name, id) :: d.named;
+    reorder_named d
+
+  let unsubscribe_named d ~name =
+    match List.assoc_opt name d.named with
+    | Some id ->
+        remove_trace_subscriber d id;
+        d.named <- List.remove_assoc name d.named
     | None -> ()
 
   let emit d ev = List.iter (fun (_, f) -> f ev) d.subs
@@ -472,7 +520,7 @@ module Device = struct
     if current = expected then begin
       Bytes.set_int64_le b off (Int64.of_int desired);
       mark_dirty d addr 8;
-      trace_store d addr 8 t0;
+      if d.subs != [] then emit d (T_cas { addr; len = 8; ns = Sim.now () - t0 });
       true
     end
     else false

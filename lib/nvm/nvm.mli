@@ -91,6 +91,10 @@ module Device : sig
     | T_nt_store of { addr : int; len : int; ns : int }
         (** non-temporal store *)
     | T_load of { addr : int; len : int; ns : int }
+    | T_cas of { addr : int; len : int; ns : int }
+        (** successful lock-cmpxchg: a store that is also an
+            acquire/release synchronization point (lease words, allocator
+            slot-owner words); a failed CAS emits nothing *)
     | T_clwb of { addr : int; ns : int }
     | T_fence of { nflushing : int; ns : int }
         (** lines persisted by this fence *)
@@ -112,6 +116,18 @@ module Device : sig
       composes with {!add_trace_subscriber} subscriptions. *)
 
   val clear_trace_hook : t -> unit
+
+  val subscribe_named : t -> name:string -> (trace_event -> unit) -> unit
+  (** Named subscription slot for the analysis layers (lib/check uses
+      ["check"], lib/race uses ["race"]).  One slot per name: subscribing
+      again under the same name replaces the previous callback.  Delivery
+      order is anonymous subscribers first (in subscription order), then
+      named subscribers in {e name} order — deterministic regardless of
+      install order, so co-installed checkers see identical event
+      streams. *)
+
+  val unsubscribe_named : t -> name:string -> unit
+  (** Drop a named slot; unknown names are ignored. *)
 
   (** {2 Loads and stores (volatile view)}
 

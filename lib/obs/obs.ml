@@ -652,7 +652,7 @@ let on_device_event ev =
     let ns =
       match (ev : Nvm.Device.trace_event) with
       | T_store { ns; _ } | T_nt_store { ns; _ } | T_load { ns; _ }
-      | T_clwb { ns; _ } | T_fence { ns; _ } ->
+      | T_cas { ns; _ } | T_clwb { ns; _ } | T_fence { ns; _ } ->
           ns
       | T_media_fault _ ->
           cnt "fault.media" 1;

@@ -1,0 +1,120 @@
+(** Treasury race sanitizer: a ThreadSanitizer-style happens-before +
+    lockset hybrid over simulated NVM accesses (DESIGN.md §15).
+
+    One detector instance is attached to one device at a time (the
+    workloads build one device per measurement); the race log and
+    allowlist counters are module-global so a run spanning many
+    short-lived devices still yields one report. *)
+
+type mode =
+  | Off  (** track nothing, report nothing *)
+  | Log  (** record races in the report *)
+  | Fail  (** raise {!Race_found} at the first race *)
+
+(** One side of a conflicting access pair, with the synchronization
+    history its thread had accumulated at access time. *)
+type side = {
+  s_tid : int;
+  s_time : int;
+  s_clk : int;
+  s_write : bool;
+  s_site : string option;
+  s_locks : int list;
+  s_hist : string list;
+}
+
+type violation = { v_word : int; v_prev : side; v_cur : side }
+
+exception Race_found of violation
+
+val string_of_violation : violation -> string
+
+(** {1 Attach / detach} *)
+
+type t
+
+val attach : ?mpk:Mpk.t -> ?mode:mode -> Nvm.Device.t -> t
+(** Subscribe to the device's trace stream (named slot ["race"]) and the
+    scheduler's sync-event hook.  Replaces any previously attached
+    instance.  Default mode is [Log]. *)
+
+val detach : unit -> unit
+val set_mode : t -> mode -> unit
+
+val enable_auto : mode -> unit
+(** Deferred attach for CLI use, mirroring [Check.enable_auto]: after this,
+    every ZoFS world built by [Workloads.Fslab] attaches a fresh detector
+    in the given mode. *)
+
+val disable_auto : unit -> unit
+
+val auto_attach : Nvm.Device.t -> Mpk.t -> unit
+(** Called by [Workloads.Fslab.make_zofs]; no-op unless {!enable_auto}. *)
+
+(** {1 Synchronization annotations}
+
+    All are no-ops unless a detector is attached to [dev]. *)
+
+val publish : Nvm.Device.t -> label:string -> int -> int -> unit
+(** [publish dev ~label addr len]: the caller has fenced [addr..addr+len)
+    and is about to make it reachable (valid byte, dentry link).  The
+    range gets a publish clock — a snapshot of the caller's full vector
+    clock — which later accessors join before the race check, so
+    message-passing hand-offs are ordered. *)
+
+val on_lease_acquired : Nvm.Device.t -> int -> unit
+(** Lease word entered the caller's lockset. *)
+
+val on_lease_release : Nvm.Device.t -> int -> unit
+(** Publishes every write the holder made while leased (the release
+    barrier has already fenced them), then drops the lease from the
+    lockset. *)
+
+val on_lease_steal : Nvm.Device.t -> victim_tid:int -> unit
+(** The caller took a lease (or allocator slot) owned by [victim_tid]
+    without a release handoff.  A dead victim's whole clock is joined (it
+    will never act again); a live victim (expiry takeover) is joined only
+    up to its last fence — its unfenced tail stays racy and visible. *)
+
+val locked : Nvm.Device.t -> addr:int -> (unit -> 'a) -> 'a
+(** Pseudo-lock scope for CAS-claimed ownership protocols that are not
+    lease-word leases (Balloc per-thread slots): while [f] runs, [addr]
+    is in the caller's lockset. *)
+
+val intentional_racy :
+  Nvm.Device.t -> site:string -> justification:string -> (unit -> 'a) -> 'a
+(** Allowlist scope: conflicts found while [f] runs (or found later
+    against accesses made inside [f]) are counted per [site] instead of
+    reported.  [justification] must be non-empty — it documents why the
+    race is benign at the call site.  @raise Invalid_argument on an empty
+    justification. *)
+
+val on_recycle : Nvm.Device.t -> int -> int -> unit
+(** [on_recycle dev addr len]: the allocator freed or handed out the
+    range; its words start a new life, so their access history is
+    dropped. *)
+
+val note : string -> unit
+(** Append a history-only breadcrumb (e.g. kernel atomic-section bounds)
+    to the current thread's sync history. *)
+
+val on_gate_enter : unit -> unit
+val on_gate_exit : unit -> unit
+
+(** {1 Report} *)
+
+type report = {
+  r_races : violation list;  (** oldest first *)
+  r_allowlist : (string * int) list;  (** site -> suppressed conflicts *)
+  r_words_tracked : int;  (** distinct shadow words ever created *)
+  r_sync_words : int;  (** distinct words ever CAS'd *)
+  r_shadow_bytes : int;  (** nominal shadow-map footprint *)
+}
+
+val report : unit -> report
+val reset_report : unit -> unit
+val print_report : unit -> unit
+
+val publish_obs_gauges : unit -> unit
+(** Push words-tracked / sync-words into the obs counter registry (races
+    and allowlist hits are counted there incrementally). *)

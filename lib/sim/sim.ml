@@ -138,9 +138,29 @@ and world = {
   kills : (int, int) Hashtbl.t;  (* tid -> remaining advances before death *)
   nokill : (int, int) Hashtbl.t;  (* tid -> no-kill nesting depth *)
   mutable killed : int;
+  dead : (int, unit) Hashtbl.t;  (* tids that exited or were killed *)
 }
 
 exception Deadlock of string
+
+(* ---- synchronization trace ---------------------------------------------- *)
+
+(* Scheduler-level synchronization events, consumed by dynamic analyses
+   (lib/race) that need the happens-before skeleton: thread creation and
+   termination, and mutex acquire/release.  The hook is module-global (the
+   sim layer cannot depend on its observers) and fires synchronously from
+   the thread performing the event. *)
+type sync_event =
+  | S_spawn of { parent : int; child : int }
+  | S_exit of { tid : int }  (* normal return *)
+  | S_kill of { tid : int }  (* death via arm_kill: no unwinding happened *)
+  | S_mutex_lock of { tid : int; id : int }
+  | S_mutex_unlock of { tid : int; id : int }
+
+let sync_hook : (sync_event -> unit) option ref = ref None
+let set_sync_hook f = sync_hook := Some f
+let clear_sync_hook () = sync_hook := None
+let sync_emit ev = match !sync_hook with None -> () | Some f -> f ev
 
 let create ?(seed = 42L) () =
   {
@@ -154,6 +174,7 @@ let create ?(seed = 42L) () =
     kills = Hashtbl.create 8;
     nokill = Hashtbl.create 8;
     killed = 0;
+    dead = Hashtbl.create 8;
   }
 
 (* The world currently executing [run]; single-domain, so a plain ref. *)
@@ -227,6 +248,8 @@ let die t =
   w.live <- w.live - 1;
   w.killed <- w.killed + 1;
   Hashtbl.remove w.kills t.tid;
+  Hashtbl.replace w.dead t.tid ();
+  sync_emit (S_kill { tid = t.tid });
   (* Drop the continuation: the thread never resumes and nothing unwinds. *)
   suspend (fun _k -> ())
 
@@ -248,6 +271,11 @@ let disarm_kill ~tid =
 
 let killed_threads () =
   match !active with None -> 0 | Some w -> w.killed
+
+let thread_alive tid =
+  match !active with
+  | None -> false
+  | Some w -> tid >= 0 && tid < w.next_tid && not (Hashtbl.mem w.dead tid)
 
 let with_no_kill f =
   match current_thread () with
@@ -300,11 +328,21 @@ let spawn_tid w ?proc ?at ~name body =
   w.next_tid <- tid + 1;
   w.live <- w.live + 1;
   let t = { tid; tname = name; proc; time = start; world = w } in
+  sync_emit
+    (S_spawn
+       {
+         parent = (match w.current with Some p -> p.tid | None -> -1);
+         child = tid;
+       });
   let thunk () =
     w.current <- Some t;
     Effect.Deep.match_with body ()
       {
-        retc = (fun () -> w.live <- w.live - 1);
+        retc =
+          (fun () ->
+            w.live <- w.live - 1;
+            Hashtbl.replace w.dead t.tid ();
+            sync_emit (S_exit { tid = t.tid }));
         exnc = (fun e -> raise e);
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -367,30 +405,47 @@ module Mutex = struct
     mutable owner : int option;  (* tid *)
     waiters : (int -> unit) Queue.t;  (* wake functions *)
     name : string;
+    id : int;  (* unique per mutex, for the sync trace *)
   }
 
-  let create ?(name = "mutex") () = { owner = None; waiters = Queue.create (); name }
+  let next_id = ref 0
+
+  let create ?(name = "mutex") () =
+    let id = !next_id in
+    incr next_id;
+    { owner = None; waiters = Queue.create (); name; id }
+
+  let id m = m.id
 
   let lock m =
     match current_thread () with
     | None -> m.owner <- Some (-1)
     | Some t -> (
         match m.owner with
-        | None -> m.owner <- Some t.tid
+        | None ->
+            m.owner <- Some t.tid;
+            sync_emit (S_mutex_lock { tid = t.tid; id = m.id })
         | Some _ ->
             park t.world t ~on:m.name (fun wake -> Queue.push wake m.waiters);
             (* We are woken holding the lock (handoff). *)
-            m.owner <- Some t.tid)
+            m.owner <- Some t.tid;
+            sync_emit (S_mutex_lock { tid = t.tid; id = m.id }))
 
   let try_lock m =
     match m.owner with
     | None ->
         m.owner <- Some (self_tid ());
+        (match current_thread () with
+        | Some t -> sync_emit (S_mutex_lock { tid = t.tid; id = m.id })
+        | None -> ());
         true
     | Some _ -> false
 
   let unlock m =
     if m.owner = None then invalid_arg "Mutex.unlock: not locked";
+    (match current_thread () with
+    | Some t -> sync_emit (S_mutex_unlock { tid = t.tid; id = m.id })
+    | None -> ());
     m.owner <- None;
     if not (Queue.is_empty m.waiters) then begin
       let wake = Queue.pop m.waiters in

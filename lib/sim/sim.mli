@@ -96,11 +96,36 @@ val disarm_kill : tid:int -> unit
 val killed_threads : unit -> int
 (** Threads killed so far in the active world (0 outside a sim). *)
 
+val thread_alive : int -> bool
+(** [thread_alive tid] is [true] iff [tid] was spawned in the active world
+    and has neither returned nor been killed.  [false] outside a running
+    world.  Used by dynamic analyses: a dead thread's whole history is safe
+    to order before the observer (it will never act again). *)
+
 val with_no_kill : (unit -> 'a) -> 'a
 (** Run [f] with kill delivery deferred for the current thread: an armed
     kill neither fires nor counts down inside.  Used around simulated-kernel
     critical sections — a thread dying while holding the KernFS mutex would
     model a kernel panic, not a process death. *)
+
+(** {1 Synchronization trace}
+
+    Scheduler-level events consumed by dynamic analyses (lib/race) that need
+    the happens-before skeleton.  The hook is module-global — the sim layer
+    cannot depend on its observers — and fires synchronously from the thread
+    performing the event (for [S_spawn], from the {e parent}'s context). *)
+
+type sync_event =
+  | S_spawn of { parent : int; child : int }
+      (** [parent] is [-1] when spawned from outside any simulated thread. *)
+  | S_exit of { tid : int }  (** normal thread return *)
+  | S_kill of { tid : int }
+      (** death via {!arm_kill}: the thread vanished without unwinding *)
+  | S_mutex_lock of { tid : int; id : int }
+  | S_mutex_unlock of { tid : int; id : int }
+
+val set_sync_hook : (sync_event -> unit) -> unit
+val clear_sync_hook : unit -> unit
 
 (** {1 Synchronization} *)
 
@@ -113,6 +138,9 @@ module Mutex : sig
   val unlock : t -> unit
   val with_lock : t -> (unit -> 'a) -> 'a
   val locked : t -> bool
+
+  val id : t -> int
+  (** Unique id of this mutex, as it appears in {!sync_event}. *)
 end
 
 module Rwlock : sig

@@ -47,6 +47,7 @@ let make_zofs ?(root_mode = 0o755) ~pages ~perf () =
      attaching before mkfs lets the checker see the root structures get
      registered.  Both attach as independent trace subscribers. *)
   Check.auto_attach dev mpk;
+  Race.auto_attach dev mpk;
   Obs.attach_device dev;
   (* Root is 0755: its rw-permission class (0644) matches the 0644 files
      the workloads create, so they share the root coffer as the paper's

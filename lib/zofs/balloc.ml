@@ -92,7 +92,14 @@ let claim_slot t =
       if v = 0 || Lease.expiry_of v <= tnow then begin
         let desired = Lease.pack ~expiry:(tnow + Lease.default_duration) ~code:me in
         if Nvm.Device.cas_u64 t.dev (a + Layout.s_owner) ~expected:v ~desired
-        then Some i
+        then begin
+          (* Taking over a slot whose previous owner let the lease expire is
+             a steal: no release handoff ordered its list updates before
+             ours. *)
+          if v <> 0 then
+            Race.on_lease_steal t.dev ~victim_tid:(Lease.code_of v - 2);
+          Some i
+        end
         else try_slot (i + 1)
       end
       else try_slot (i + 1)
@@ -159,6 +166,10 @@ let pop t ~head_addr ~count_addr =
    lease held). *)
 let refill_from_global t slot n =
   let a = slot_addr t slot in
+  (* Slot-list words are guarded by slot ownership (the CAS-claimed owner
+     word), not by a lease the detector can see — declare the ownership as
+     a lockset entry for the duration of the list surgery. *)
+  Race.locked t.dev ~addr:(a + Layout.s_owner) @@ fun () ->
   let moved = ref 0 in
   let continue_ = ref true in
   while !continue_ && !moved < n do
@@ -198,14 +209,15 @@ let enlarge_into_slot t slot =
         (if granted >= want then min (want * 2) (max !enlarge_cap !enlarge_batch)
          else !enlarge_batch);
       let a = slot_addr t slot in
-      List.iter
-        (fun (start, len) ->
-          for p = start to start + len - 1 do
-            push t ~head_addr:(a + Layout.s_head)
-              ~count_addr:(a + Layout.s_count)
-              (p * Layout.page_size)
-          done)
-        runs;
+      Race.locked t.dev ~addr:(a + Layout.s_owner) (fun () ->
+          List.iter
+            (fun (start, len) ->
+              for p = start to start + len - 1 do
+                push t ~head_addr:(a + Layout.s_head)
+                  ~count_addr:(a + Layout.s_count)
+                  (p * Layout.page_size)
+              done)
+            runs);
       if granted = 0 then Error Treasury.Errno.ENOSPC else Ok ()
 
 (* ---- public allocation API ---------------------------------------------- *)
@@ -220,7 +232,9 @@ let rec alloc_page_global t =
           ~count_addr:(t.custom + Layout.c_global_count))
   in
   match r with
-  | Some page -> Ok page
+  | Some page ->
+      Race.on_recycle t.dev page Layout.page_size;
+      Ok page
   | None -> (
       match
         Transient.retry (fun () ->
@@ -248,9 +262,15 @@ let rec alloc_page t =
     | Some slot -> (
         let a = slot_addr t slot in
         match
-          pop t ~head_addr:(a + Layout.s_head) ~count_addr:(a + Layout.s_count)
+          Race.locked t.dev ~addr:(a + Layout.s_owner) (fun () ->
+              pop t ~head_addr:(a + Layout.s_head)
+                ~count_addr:(a + Layout.s_count))
         with
-        | Some page -> Ok page
+        | Some page ->
+            (* The page leaves the allocator: its free-list life is over
+               and its next structure starts with a clean access history. *)
+            Race.on_recycle t.dev page Layout.page_size;
+            Ok page
         | None ->
             (* Refill: first from the coffer-global list, then from KernFS.
                The global count is peeked without the lease first — in the
@@ -263,7 +283,16 @@ let rec alloc_page t =
                and falls through. *)
             let got =
               if
-                Nvm.Device.read_u64 t.dev (t.custom + Layout.c_global_count)
+                Race.intentional_racy t.dev ~site:"balloc.global-count-peek"
+                  ~justification:
+                    "advisory peek: the count is written under the global \
+                     lease, but a stale read is self-correcting — a stale \
+                     zero goes to the kernel for fresh pages, a stale \
+                     nonzero finds the list empty under the lease and falls \
+                     through; taking the lease here would put a cross-thread \
+                     fence back on the disjoint-file fast path"
+                  (fun () ->
+                    Nvm.Device.read_u64 t.dev (t.custom + Layout.c_global_count))
                 = 0
               then 0
               else
@@ -291,6 +320,7 @@ let free_page t page =
   (* Whatever structure lived here is gone; its lease (if any) no longer
      guards the page, and the free-list chaining below writes into it. *)
   Check.on_free t.dev page Layout.page_size;
+  Race.on_recycle t.dev page Layout.page_size;
   if !force_global then
     Lease.with_lease t.dev (t.custom + Layout.c_global_lease) (fun () ->
         push t
@@ -301,7 +331,9 @@ let free_page t page =
   match my_slot t with
   | Some slot ->
       let a = slot_addr t slot in
-      push t ~head_addr:(a + Layout.s_head) ~count_addr:(a + Layout.s_count) page
+      Race.locked t.dev ~addr:(a + Layout.s_owner) (fun () ->
+          push t ~head_addr:(a + Layout.s_head) ~count_addr:(a + Layout.s_count)
+            page)
   | None ->
       (* No slot available: hand it to the global list. *)
       Lease.with_lease t.dev (t.custom + Layout.c_global_lease) (fun () ->

@@ -57,6 +57,7 @@ let write_dentry dev addr ~name ~kind ~coffer ~inode =
   Pbatch.flush dev addr dentry_size;
   Pbatch.barrier dev;
   Check.publish dev ~label:"dentry-insert" addr dentry_size;
+  Race.publish dev ~label:"dentry-insert" addr dentry_size;
   Nvm.Device.write_u8 dev (addr + d_valid) 1;
   (* The valid byte's flush rides the lease-release fence: if it is lost the
      insert simply never happened (the op was not yet acknowledged). *)

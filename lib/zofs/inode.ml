@@ -54,7 +54,8 @@ let init dev ~ino ~kind ~mode ~uid ~gid =
      right before the visibility point the checker audits. *)
   Pbatch.flush dev ino (i_double_indirect + 8);
   Pbatch.barrier dev;
-  Check.publish dev ~label:"inode-commit" ino page_size
+  Check.publish dev ~label:"inode-commit" ino page_size;
+  Race.publish dev ~label:"inode-commit" ino page_size
 
 let valid dev ~ino = Nvm.Device.read_u32 dev (ino + i_magic) = inode_magic
 

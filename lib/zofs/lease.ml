@@ -41,9 +41,15 @@ let acquire ?(duration = default_duration) dev addr =
       if Nvm.Device.cas_u64 dev addr ~expected:v ~desired then begin
         (* Taking over a nonzero expired word is a steal: the holder died
            (or stalled past its lease) mid-operation. *)
-        if v <> 0 && code_of v <> me then Obs.cnt "lease.steals" 1;
+        if v <> 0 && code_of v <> me then begin
+          Obs.cnt "lease.steals" 1;
+          (* The dead (or stalled) holder never released: hand the race
+             detector the ordering edge the CAS chain cannot provide. *)
+          Race.on_lease_steal dev ~victim_tid:(code_of v - 2)
+        end;
         Obs.lease_end tok ~retries:!retries;
-        Check.on_lease_acquired dev addr
+        Check.on_lease_acquired dev addr;
+        Race.on_lease_acquired dev addr
       end
       else begin
         incr retries;
@@ -86,6 +92,7 @@ let release dev addr =
      when nothing is in flight (e.g. after a read-only critical section). *)
   Pbatch.barrier dev;
   Check.on_lease_release dev addr;
+  Race.on_lease_release dev addr;
   let v = Nvm.Device.read_u64 dev addr in
   if code_of v = me then begin
     if not (Nvm.Device.cas_u64 dev addr ~expected:v ~desired:0) then
@@ -97,12 +104,21 @@ let holds dev addr =
   let v = Nvm.Device.read_u64 dev addr in
   code_of v = owner_code () && expiry_of v > Sim.now ()
 
+(* Negative self-check knob (mirroring Pbatch.over_elide): when set to a
+   thread id, [with_lease] on that thread skips the lease entirely and runs
+   [f] bare.  Only bin/zofs_race sets it, to prove the race sanitizer
+   catches a lease-elided mutation; never set in production paths. *)
+let elide_for_tid : int option ref = ref None
+
 let with_lease ?duration dev addr f =
-  acquire ?duration dev addr;
-  match f () with
-  | v ->
-      release dev addr;
-      v
-  | exception e ->
-      release dev addr;
-      raise e
+  if !elide_for_tid = Some (Sim.self_tid ()) then f ()
+  else begin
+    acquire ?duration dev addr;
+    match f () with
+    | v ->
+        release dev addr;
+        v
+    | exception e ->
+        release dev addr;
+        raise e
+  end

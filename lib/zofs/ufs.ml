@@ -254,6 +254,13 @@ let walk t path ~follow_last : (resolved, Ui.fail) result =
         match comps with
         | [] ->
             let kind =
+              Race.intentional_racy t.dev ~site:"dir.lockfree-walk"
+                ~justification:
+                  "path walk reads inode kind/valid bytes without the inode \
+                   lease; a concurrent unlink can tear the view, but walk \
+                   re-validates under the lease before any mutation and a \
+                   stale answer only yields ENOENT/EIO to the caller"
+              @@ fun () ->
               with_coffer t cs ~write:false (fun () ->
                   if Inode.valid t.dev ~ino then Inode.kind t.dev ~ino else None)
             in
@@ -268,6 +275,13 @@ let walk t path ~follow_last : (resolved, Ui.fail) result =
             | Some k -> Ok { r_cs = cs; r_ino = ino; r_kind = k; r_path = cur_path })
         | name :: rest -> (
             let lookup =
+              Race.intentional_racy t.dev ~site:"dir.lockfree-walk"
+                ~justification:
+                  "component lookup scans dentry pages without the directory \
+                   lease (the ZoFS lock-free walk); inserts publish the \
+                   dentry body before flipping the valid byte, so a torn \
+                   observation degrades to ENOENT, never a wild pointer"
+              @@ fun () ->
               with_coffer t cs ~write:false (fun () ->
                   if not (Inode.valid t.dev ~ino) then `Corrupted
                   else
@@ -480,22 +494,47 @@ let readlink t path : string Ui.outcome =
   if r.r_kind <> Inode.Symlink then Ui.errno E.EINVAL
   else
     Ok
-      (with_coffer t r.r_cs ~write:false (fun () ->
-           Inode.symlink_target t.dev ~ino:r.r_ino))
+      (Race.intentional_racy t.dev ~site:"inode.lockfree-readlink"
+         ~justification:
+           "symlink targets are written once at symlink() time before the \
+            dentry publish and never mutated in place; the only race is \
+            against unlink, which frees the whole inode page"
+         (fun () ->
+           with_coffer t r.r_cs ~write:false (fun () ->
+               Inode.symlink_target t.dev ~ino:r.r_ino)))
+
+let stat_justification =
+  "stat reads size/times/nlink without the inode lease (POSIX allows a \
+   point-in-time snapshot); writers flush these fields before their \
+   lease-release fence, so a torn read is at worst one update stale"
 
 let stat t path : Ft.stat Ui.outcome =
   let* r = walk t path ~follow_last:true in
-  Ok (with_coffer t r.r_cs ~write:false (fun () -> Inode.stat t.dev ~ino:r.r_ino))
+  Ok
+    (Race.intentional_racy t.dev ~site:"inode.lockfree-stat"
+       ~justification:stat_justification (fun () ->
+         with_coffer t r.r_cs ~write:false (fun () ->
+             Inode.stat t.dev ~ino:r.r_ino)))
 
 let lstat t path : Ft.stat Ui.outcome =
   let* r = walk t path ~follow_last:false in
-  Ok (with_coffer t r.r_cs ~write:false (fun () -> Inode.stat t.dev ~ino:r.r_ino))
+  Ok
+    (Race.intentional_racy t.dev ~site:"inode.lockfree-stat"
+       ~justification:stat_justification (fun () ->
+         with_coffer t r.r_cs ~write:false (fun () ->
+             Inode.stat t.dev ~ino:r.r_ino)))
 
 let readdir t path : Ft.dirent list Ui.outcome =
   let* r = walk t path ~follow_last:true in
   if r.r_kind <> Inode.Directory then Ui.errno E.ENOTDIR
   else begin
     let acc = ref [] in
+    Race.intentional_racy t.dev ~site:"dir.lockfree-readdir"
+      ~justification:
+        "readdir iterates dentry pages without the directory lease; \
+         concurrent create/unlink may be missed or seen twice, which POSIX \
+         permits for entries modified during the scan"
+    @@ fun () ->
     with_coffer t r.r_cs ~write:false (fun () ->
         Dir.iter t.dev ~ino:r.r_ino (fun de ->
             let kind =
@@ -517,7 +556,14 @@ let readdir t path : Ft.dirent list Ui.outcome =
 
 let find_dentry t pcs ~dir_ino name =
   match
-    with_coffer t pcs ~write:false (fun () -> Dir.lookup t.dev ~ino:dir_ino name)
+    Race.intentional_racy t.dev ~site:"dir.lockfree-lookup"
+      ~justification:
+        "pre-flight dentry probe before taking the directory lease; the \
+         result is advisory — every caller re-checks or re-does the lookup \
+         under the lease before mutating"
+      (fun () ->
+        with_coffer t pcs ~write:false (fun () ->
+            Dir.lookup t.dev ~ino:dir_ino name))
   with
   | Some de -> Ok de
   | None -> Error E.ENOENT
@@ -572,8 +618,15 @@ let rmdir t path : unit Ui.outcome =
           | Error e -> Error (Ui.Errno e)
           | Ok tcs ->
               let empty =
-                with_coffer t tcs ~write:false (fun () ->
-                    Dir.is_empty t.dev ~ino:tcs.cs_root_file)
+                Race.intentional_racy t.dev ~site:"dir.lockfree-is-empty"
+                  ~justification:
+                    "advisory emptiness probe before the delete path; a \
+                     racing create loses either way — the dentry remove runs \
+                     under the directory lease and a stale answer only turns \
+                     into ENOTEMPTY or a benign retry"
+                  (fun () ->
+                    with_coffer t tcs ~write:false (fun () ->
+                        Dir.is_empty t.dev ~ino:tcs.cs_root_file))
               in
               if not empty then Ui.errno E.ENOTEMPTY
               else begin
@@ -589,7 +642,15 @@ let rmdir t path : unit Ui.outcome =
         else begin
           let ino = de.Dir.de_inode in
           let empty =
-            with_coffer t pcs ~write:false (fun () -> Dir.is_empty t.dev ~ino)
+            Race.intentional_racy t.dev ~site:"dir.lockfree-is-empty"
+              ~justification:
+                "advisory emptiness probe before the delete path; a racing \
+                 create loses either way — the dentry remove runs under the \
+                 directory lease and a stale answer only turns into \
+                 ENOTEMPTY or a benign retry"
+              (fun () ->
+                with_coffer t pcs ~write:false (fun () ->
+                    Dir.is_empty t.dev ~ino))
           in
           if not empty then Ui.errno E.ENOTEMPTY
           else
@@ -802,11 +863,25 @@ let apply_perm_change t path ~new_mode ~new_uid ~new_gid : unit Ui.outcome =
   let* r = walk t path ~follow_last:true in
   let cs = r.r_cs in
   let cur_uid, cur_gid =
-    with_coffer t cs ~write:false (fun () ->
-        (Inode.uid t.dev ~ino:r.r_ino, Inode.gid t.dev ~ino:r.r_ino))
+    Race.intentional_racy t.dev ~site:"inode.lockfree-perm-read"
+      ~justification:
+        "chmod/chown reads the current owner/mode without the inode lease \
+         to fill in unchanged fields; a concurrent perm change is a \
+         last-writer-wins race POSIX already exposes, and rw-bit changes \
+         are serialized by the kernel coffer_chmod path"
+      (fun () ->
+        with_coffer t cs ~write:false (fun () ->
+            (Inode.uid t.dev ~ino:r.r_ino, Inode.gid t.dev ~ino:r.r_ino)))
   in
   let mode = match new_mode with Some m -> m | None ->
-    with_coffer t cs ~write:false (fun () -> Inode.mode t.dev ~ino:r.r_ino)
+    Race.intentional_racy t.dev ~site:"inode.lockfree-perm-read"
+      ~justification:
+        "chmod/chown reads the current owner/mode without the inode lease \
+         to fill in unchanged fields; a concurrent perm change is a \
+         last-writer-wins race POSIX already exposes, and rw-bit changes \
+         are serialized by the kernel coffer_chmod path"
+      (fun () ->
+        with_coffer t cs ~write:false (fun () -> Inode.mode t.dev ~ino:r.r_ino))
   in
   let uid = Option.value ~default:cur_uid new_uid in
   let gid = Option.value ~default:cur_gid new_gid in
@@ -902,8 +977,15 @@ let apply_perm_change t path ~new_mode ~new_uid ~new_gid : unit Ui.outcome =
     | Ok custom -> (
         with_coffer t cs ~write:true (fun () -> Balloc.format t.dev ~custom);
         let pages =
-          with_coffer t cs ~write:false (fun () ->
-              subtree_pages t t.dev ~ino:r.r_ino [])
+          Race.intentional_racy t.dev ~site:"inode.lockfree-subtree-scan"
+            ~justification:
+              "coffer-split page census walks the subtree without leases; \
+               the kernel's coffer_split re-validates the run list against \
+               its own page ownership map, so a concurrent mutation can \
+               only fail the split, never corrupt ownership"
+            (fun () ->
+              with_coffer t cs ~write:false (fun () ->
+                  subtree_pages t t.dev ~ino:r.r_ino []))
         in
         match
           K.coffer_split t.kfs ~src:cs.cs_cid ~new_path:r.r_path ~ctype ~mode
@@ -952,8 +1034,16 @@ let read t h ~off buf boff len =
   if not hd.h_readable then Error E.EBADF
   else
     let* cs = handle_session t hd in
-    with_coffer t cs ~write:false (fun () ->
-        File.read t.dev ~ino:hd.h_ino ~off buf boff len)
+    Race.intentional_racy t.dev ~site:"file.lockfree-read"
+      ~justification:
+        "read() takes no lease (the ZoFS disjoint-access fast path); \
+         writers flush data pages and size before their lease-release \
+         fence, so a racing read sees either the old or new bytes of each \
+         word — torn reads across an in-flight write are the documented \
+         POSIX-relaxation the paper accepts for lock-free reads"
+      (fun () ->
+        with_coffer t cs ~write:false (fun () ->
+            File.read t.dev ~ino:hd.h_ino ~off buf boff len))
 
 let write t h ~off data =
   let* hd = handle t h in
@@ -994,7 +1084,11 @@ let fsync t h =
 let fstat t h =
   let* hd = handle t h in
   let* cs = handle_session t hd in
-  Ok (with_coffer t cs ~write:false (fun () -> Inode.stat t.dev ~ino:hd.h_ino))
+  Ok
+    (Race.intentional_racy t.dev ~site:"inode.lockfree-stat"
+       ~justification:stat_justification (fun () ->
+         with_coffer t cs ~write:false (fun () ->
+             Inode.stat t.dev ~ino:hd.h_ino)))
 
 let ftruncate t h len =
   let* hd = handle t h in

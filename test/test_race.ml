@@ -1,0 +1,383 @@
+(* Race sanitizer (lib/race): core detection machinery, the lease-steal
+   happens-before edge, allowlist scopes, and the composition of the
+   check + race trace subscribers through the named-slot helper. *)
+
+module D = Nvm.Device
+
+let page = Nvm.page_size
+
+let mkdev () = D.create ~perf:Nvm.Perf.free ~size:(4 * page) ()
+
+(* Run [f] in a fresh world with a detector attached in Log mode and
+   return the report. *)
+let with_detector ?(mode = Race.Log) f =
+  Race.reset_report ();
+  let dev = mkdev () in
+  let _t = Race.attach ~mode dev in
+  Fun.protect ~finally:Race.detach (fun () ->
+      let w = Sim.create () in
+      Sim.spawn w ~name:"root" (fun () -> f w dev);
+      Sim.run w);
+  Race.report ()
+
+let races r = List.length r.Race.r_races
+
+(* ---- core detection ------------------------------------------------------ *)
+
+(* Two threads store to the same word with no synchronization: the report
+   is deduplicated by (word, previous thread, current thread), so the
+   alternating stores collapse to one race per direction — two entries,
+   not one per iteration. *)
+let test_unsynced_write_write () =
+  let r =
+    with_detector (fun w dev ->
+        for _ = 0 to 1 do
+          Sim.spawn w ~name:"writer" (fun () ->
+              for _ = 1 to 4 do
+                D.write_u64 dev 64 1;
+                Sim.advance 10
+              done)
+        done)
+  in
+  Alcotest.(check int) "one deduplicated race per direction" 2 (races r)
+
+(* The same store pattern under a shared simulated mutex is clean (lockset
+   via the S_mutex_lock/unlock sync events, plus the HB edge the unlock →
+   lock chain provides). *)
+let test_mutex_orders () =
+  let r =
+    with_detector (fun w dev ->
+        let m = Sim.Mutex.create () in
+        for _ = 0 to 1 do
+          Sim.spawn w ~name:"writer" (fun () ->
+              for _ = 1 to 4 do
+                Sim.Mutex.lock m;
+                D.write_u64 dev 64 1;
+                Sim.Mutex.unlock m;
+                Sim.advance 10
+              done)
+        done)
+  in
+  Alcotest.(check int) "mutex-ordered stores are clean" 0 (races r)
+
+(* Reads against a clean snapshot never conflict with each other. *)
+let test_read_read_clean () =
+  let r =
+    with_detector (fun w dev ->
+        D.write_u64 dev 64 7;
+        for _ = 0 to 1 do
+          Sim.spawn w ~name:"reader" (fun () ->
+              for _ = 1 to 4 do
+                ignore (D.read_u64 dev 64);
+                Sim.advance 10
+              done)
+        done)
+  in
+  Alcotest.(check int) "read/read is not a race" 0 (races r)
+
+(* A CAS'd word is a synchronization word: stores racing with the CAS
+   protocol itself (lease words, slot owners) are never reported. *)
+let test_cas_word_exempt () =
+  let r =
+    with_detector (fun w dev ->
+        for _ = 0 to 1 do
+          Sim.spawn w ~name:"caser" (fun () ->
+              for _ = 1 to 4 do
+                let v = D.read_u64 dev 64 in
+                ignore (D.cas_u64 dev 64 ~expected:v ~desired:(v + 1));
+                Sim.advance 10
+              done)
+        done)
+  in
+  Alcotest.(check int) "CAS words are exempt" 0 (races r)
+
+(* intentional_racy suppresses the report and counts the site instead —
+   whether the scope wraps the second access or the first. *)
+let test_allowlist_scope () =
+  let r =
+    with_detector (fun w dev ->
+        Sim.spawn w ~name:"writer" (fun () ->
+            D.write_u64 dev 64 1;
+            Sim.advance 50);
+        Sim.spawn w ~name:"reader" (fun () ->
+            Sim.advance 20;
+            ignore
+              (Race.intentional_racy dev ~site:"test.peek"
+                 ~justification:"unit test: racy peek is the point"
+                 (fun () -> D.read_u64 dev 64))))
+  in
+  Alcotest.(check int) "allowlisted conflict not reported" 0 (races r);
+  Alcotest.(check (list (pair string int)))
+    "hit counted per site"
+    [ ("test.peek", 1) ]
+    (List.sort compare r.Race.r_allowlist)
+
+let test_allowlist_requires_justification () =
+  let dev = mkdev () in
+  match
+    Race.intentional_racy dev ~site:"x" ~justification:"" (fun () -> ())
+  with
+  | () -> Alcotest.fail "empty justification accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Fail mode raises at the racy access itself. *)
+let test_fail_mode_raises () =
+  let raised = ref false in
+  let r =
+    with_detector ~mode:Race.Fail (fun w dev ->
+        Sim.spawn w ~name:"writer" (fun () ->
+            D.write_u64 dev 64 1;
+            Sim.advance 50);
+        Sim.spawn w ~name:"reader" (fun () ->
+            Sim.advance 20;
+            match D.read_u64 dev 64 with
+            | _ -> ()
+            | exception Race.Race_found _ -> raised := true))
+  in
+  Alcotest.(check bool) "Race_found raised" true !raised;
+  Alcotest.(check int) "and recorded" 1 (races r)
+
+(* The publish clock carries the publisher's whole history: a reader that
+   joins it is ordered after everything the publisher did before. *)
+let test_publish_blesses_prior_writes () =
+  let r =
+    with_detector (fun w dev ->
+        Sim.spawn w ~name:"publisher" (fun () ->
+            D.write_u64 dev 64 1;
+            (* payload *)
+            D.flush_range dev 64 8;
+            D.sfence dev;
+            Race.publish dev ~label:"test" 64 8);
+        Sim.spawn w ~name:"reader" (fun () ->
+            Sim.advance 1000;
+            ignore (D.read_u64 dev 64)))
+  in
+  Alcotest.(check int) "published hand-off is ordered" 0 (races r)
+
+(* on_recycle drops a word's history: the next owner starts clean. *)
+let test_recycle_drops_history () =
+  let r =
+    with_detector (fun w dev ->
+        Sim.spawn w ~name:"old-owner" (fun () ->
+            D.write_u64 dev 64 1;
+            Sim.advance 50);
+        Sim.spawn w ~name:"allocator" (fun () ->
+            Sim.advance 100;
+            Race.on_recycle dev 64 8;
+            D.write_u64 dev 64 2))
+  in
+  Alcotest.(check int) "recycled word starts a new life" 0 (races r)
+
+(* ---- lease-steal happens-before ------------------------------------------ *)
+
+(* A victim acquires a lease, writes, and dies without releasing.  A
+   stealer that takes the expired lease joins the corpse's whole clock:
+   overwriting the victim's unreleased writes is NOT a race.  The control
+   run overwrites without stealing and must race — proving the edge comes
+   from the steal, not from some blanket suppression. *)
+let steal_scenario ~steal =
+  with_detector (fun w dev ->
+      let lease = 0 and data = 64 in
+      let vt =
+        Sim.spawn_tid w ~name:"victim" (fun () ->
+            Zofs.Lease.acquire ~duration:10_000 dev lease;
+            D.write_u64 dev data 1;
+            (* die mid-critical-section at a later suspension point *)
+            for _ = 1 to 100 do
+              Sim.advance 100
+            done)
+      in
+      (* Late enough that the acquire (clock read, CAS) and the data store
+         have all happened: the victim dies inside its stall loop, lease
+         still held. *)
+      Sim.arm_kill ~tid:vt ~after:20;
+      Sim.spawn w ~name:"stealer" (fun () ->
+          Sim.sleep_until 50_000;
+          (* past the victim's expiry *)
+          if steal then begin
+            Zofs.Lease.acquire ~duration:10_000 dev lease;
+            Zofs.Lease.release dev lease
+          end;
+          D.write_u64 dev data 2))
+
+let test_steal_gives_hb () =
+  Alcotest.(check int)
+    "stealer is ordered after the dead holder" 0
+    (races (steal_scenario ~steal:true))
+
+let test_no_steal_races () =
+  Alcotest.(check int)
+    "without the steal the overwrite races" 1
+    (races (steal_scenario ~steal:false))
+
+(* An expiry takeover from a LIVE victim only joins the victim's last
+   fence: the fenced prefix is ordered, the unfenced tail stays racy. *)
+let test_live_steal_fenced_prefix () =
+  let r =
+    with_detector (fun w dev ->
+        let lease = 0 and fenced = 64 and unfenced = 128 in
+        Sim.spawn w ~name:"staller" (fun () ->
+            Zofs.Lease.acquire ~duration:5_000 dev lease;
+            D.write_u64 dev fenced 1;
+            D.flush_range dev fenced 8;
+            D.sfence dev;
+            D.write_u64 dev unfenced 1;
+            (* stall past the lease's expiry without releasing *)
+            Sim.advance 100_000);
+        Sim.spawn w ~name:"stealer" (fun () ->
+            Sim.sleep_until 50_000;
+            Zofs.Lease.acquire ~duration:5_000 dev lease;
+            Zofs.Lease.release dev lease;
+            D.write_u64 dev fenced 2;
+            D.write_u64 dev unfenced 2))
+  in
+  Alcotest.(check int) "only the unfenced tail races" 1 (races r);
+  match r.Race.r_races with
+  | [ v ] ->
+      (* v_word is the shadow-word index: byte address asr 3 *)
+      Alcotest.(check int) "race is on the unfenced word" (128 asr 3) v.Race.v_word
+  | _ -> Alcotest.fail "expected exactly one race"
+
+(* ---- subscriber composition ---------------------------------------------- *)
+
+(* The named-slot helper must deliver the same event stream to every
+   subscriber, in a deterministic order (anonymous first, then named
+   slots in name order), regardless of installation order — this is what
+   lets lib/check and lib/race coexist on one device. *)
+let record_stream label log ev =
+  let s =
+    match ev with
+    | D.T_store { addr; len; _ } -> Printf.sprintf "store %d %d" addr len
+    | D.T_nt_store { addr; len; _ } -> Printf.sprintf "nt %d %d" addr len
+    | D.T_cas { addr; len; _ } -> Printf.sprintf "cas %d %d" addr len
+    | D.T_load { addr; len; _ } -> Printf.sprintf "load %d %d" addr len
+    | D.T_clwb { addr; _ } -> Printf.sprintf "clwb %d" addr
+    | D.T_fence _ -> "fence"
+    | _ -> "other"
+  in
+  log := (label ^ ":" ^ s) :: !log
+
+let drive dev =
+  D.write_u64 dev 64 1;
+  ignore (D.read_u64 dev 64);
+  let v = D.read_u64 dev 128 in
+  ignore (D.cas_u64 dev 128 ~expected:v ~desired:9);
+  D.flush_range dev 64 8;
+  D.sfence dev
+
+let streams_of log =
+  let all = List.rev !log in
+  let of_label l =
+    List.filter_map
+      (fun s ->
+        let pre = l ^ ":" in
+        if String.length s > String.length pre
+           && String.sub s 0 (String.length pre) = pre
+        then Some (String.sub s (String.length pre)
+                     (String.length s - String.length pre))
+        else None)
+      all
+  in
+  (of_label "check", of_label "race", of_label "anon", all)
+
+let test_named_slots_compose () =
+  Sim.run_thread (fun () ->
+      (* install order: check then race *)
+      let d1 = mkdev () in
+      let log1 = ref [] in
+      D.subscribe_named d1 ~name:"check" (record_stream "check" log1);
+      D.subscribe_named d1 ~name:"race" (record_stream "race" log1);
+      ignore (D.add_trace_subscriber d1 (record_stream "anon" log1));
+      drive d1;
+      (* install order reversed *)
+      let d2 = mkdev () in
+      let log2 = ref [] in
+      ignore (D.add_trace_subscriber d2 (record_stream "anon" log2));
+      D.subscribe_named d2 ~name:"race" (record_stream "race" log2);
+      D.subscribe_named d2 ~name:"check" (record_stream "check" log2);
+      drive d2;
+      let c1, r1, a1, all1 = streams_of log1 in
+      let c2, r2, _a2, all2 = streams_of log2 in
+      Alcotest.(check (list string)) "check sees the same stream" c1 c2;
+      Alcotest.(check (list string)) "race sees the same stream" r1 r2;
+      Alcotest.(check (list string)) "check and race see identical events" c1 r1;
+      Alcotest.(check (list string)) "anonymous subscriber agrees" a1 c1;
+      Alcotest.(check (list string))
+        "full interleaving is order-independent" all1 all2)
+
+let test_named_slot_replaces () =
+  Sim.run_thread (fun () ->
+      let dev = mkdev () in
+      let hits_old = ref 0 and hits_new = ref 0 in
+      D.subscribe_named dev ~name:"check" (fun _ -> incr hits_old);
+      D.subscribe_named dev ~name:"check" (fun _ -> incr hits_new);
+      D.write_u64 dev 64 1;
+      Alcotest.(check int) "replaced slot is silent" 0 !hits_old;
+      Alcotest.(check bool) "new slot receives events" true (!hits_new > 0);
+      D.unsubscribe_named dev ~name:"check";
+      let before = !hits_new in
+      D.write_u64 dev 64 2;
+      Alcotest.(check int) "unsubscribed slot is silent" before !hits_new)
+
+(* Check and Race — the real subscribers — coexist on one device: both
+   observe the same run, neither starves the other. *)
+let test_check_race_coexist () =
+  Race.reset_report ();
+  Check.reset_report ();
+  let dev = mkdev () in
+  let _r = Race.attach ~mode:Race.Log dev in
+  let _c = Check.attach ~persist:Check.Log dev in
+  Fun.protect
+    ~finally:(fun () ->
+      Race.detach ();
+      Check.detach ())
+    (fun () ->
+      let w = Sim.create () in
+      Sim.spawn w ~name:"a" (fun () ->
+          D.write_u64 dev 64 1;
+          Sim.advance 50);
+      Sim.spawn w ~name:"b" (fun () ->
+          Sim.advance 20;
+          (* unflushed overwrite: a race for lib/race AND a persistence
+             lint candidate for lib/check — both must have seen it *)
+          D.write_u64 dev 64 2);
+      Sim.run w);
+  Alcotest.(check int) "race detector saw the conflict" 1
+    (races (Race.report ()));
+  Alcotest.(check bool) "shadow map populated" true
+    ((Race.report ()).Race.r_words_tracked > 0)
+
+let () =
+  Alcotest.run "race"
+    [
+      ( "detect",
+        [
+          Alcotest.test_case "unsynced W/W" `Quick test_unsynced_write_write;
+          Alcotest.test_case "mutex orders" `Quick test_mutex_orders;
+          Alcotest.test_case "read/read clean" `Quick test_read_read_clean;
+          Alcotest.test_case "CAS word exempt" `Quick test_cas_word_exempt;
+          Alcotest.test_case "allowlist scope" `Quick test_allowlist_scope;
+          Alcotest.test_case "allowlist needs why" `Quick
+            test_allowlist_requires_justification;
+          Alcotest.test_case "fail mode raises" `Quick test_fail_mode_raises;
+          Alcotest.test_case "publish blesses" `Quick
+            test_publish_blesses_prior_writes;
+          Alcotest.test_case "recycle drops" `Quick test_recycle_drops_history;
+        ] );
+      ( "steal",
+        [
+          Alcotest.test_case "steal gives HB" `Quick test_steal_gives_hb;
+          Alcotest.test_case "no steal races" `Quick test_no_steal_races;
+          Alcotest.test_case "live steal: fenced prefix" `Quick
+            test_live_steal_fenced_prefix;
+        ] );
+      ( "compose",
+        [
+          Alcotest.test_case "named slots compose" `Quick
+            test_named_slots_compose;
+          Alcotest.test_case "named slot replaces" `Quick
+            test_named_slot_replaces;
+          Alcotest.test_case "check+race coexist" `Quick
+            test_check_race_coexist;
+        ] );
+    ]
