@@ -945,8 +945,10 @@ let () =
     else args
   in
   (* --obs: per-experiment latency histograms + layer split, and
-     BENCH_obs.json / trace.json at the end.  --json: one machine-readable
-     BENCH_<experiment>.json per experiment. *)
+     BENCH_obs_snapshot.json / trace.json at the end (the plain
+     BENCH_obs.json name is the @obs gate's committed baseline — never
+     clobber it).  --json: one machine-readable BENCH_<experiment>.json
+     per experiment. *)
   let obs_on = List.mem "--obs" args in
   let json_on = List.mem "--json" args in
   let trend_on = List.mem "--perf-trend" args in
@@ -994,11 +996,11 @@ let () =
       output_char oc '\n';
       close_out oc
     in
-    write_file "BENCH_obs.json"
+    write_file "BENCH_obs_snapshot.json"
       (Obs.Json.to_string (Obs.Snapshot.to_json (Obs.Snapshot.take ())));
     write_file "trace.json" (Obs.Json.to_string (Obs.Trace.to_json ()));
     Printf.printf
-      "obs: wrote BENCH_obs.json and trace.json (%d spans, %d dropped, %d \
-       still open)\n"
+      "obs: wrote BENCH_obs_snapshot.json and trace.json (%d spans, %d \
+       dropped, %d still open)\n"
       (Obs.Trace.recorded ()) (Obs.Trace.dropped ()) (Obs.Trace.open_spans ())
   end

@@ -9,11 +9,14 @@
    accounted for, and the post-campaign offline fsck is a clean fixpoint.
 
      zofs_chaos [--mode log|fail] [--seed N] [--faults N] [--pages N]
-                [--quick] [--json FILE]
+                [--quick] [--json FILE] [--flight-dir DIR]
 
-   --faults N   keep injecting until at least N faults have tripped
-   --quick      smaller device, used by the @chaos dune alias (CI latency)
-   --json FILE  write a machine-readable report (BENCH_chaos.json)
+   --faults N      keep injecting until at least N faults have tripped
+   --quick         smaller device, used by the @chaos dune alias (CI latency)
+   --json FILE     write a machine-readable report (BENCH_chaos.json)
+   --flight-dir D  where flight-recorder post-mortem dumps are written
+                   (default "."); the campaign arms auto-dump, so every
+                   coffer that leaves Healthy produces a flight-*.json
 
    The run always finishes with the negative self-check: the same campaign
    with coffer quarantine disabled must report the containment violation
@@ -25,7 +28,7 @@ module Ch = Chaos
 let usage () =
   prerr_endline
     "usage: zofs_chaos [--mode log|fail] [--seed N] [--faults N] [--pages N] \
-     [--quick] [--json FILE]";
+     [--quick] [--json FILE] [--flight-dir DIR]";
   exit 2
 
 let print_report (r : Ch.report) =
@@ -49,7 +52,10 @@ let print_report (r : Ch.report) =
     r.Ch.c_fsck_findings;
   List.iter
     (fun v -> Printf.printf "  VIOLATION: %s\n%!" v)
-    r.Ch.c_violations
+    r.Ch.c_violations;
+  List.iter
+    (fun p -> Printf.printf "  flight-recorder dump: %s\n%!" p)
+    r.Ch.c_flight_dumps
 
 let json_of ~(r : Ch.report) ~min_faults ~negative_caught ~seconds =
   let b = Buffer.create 2048 in
@@ -86,6 +92,13 @@ let json_of ~(r : Ch.report) ~min_faults ~negative_caught ~seconds =
       Printf.bprintf b "%S" v)
     r.Ch.c_violations;
   Buffer.add_string b "],\n";
+  Buffer.add_string b "  \"flight_dumps\": [";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%S" p)
+    r.Ch.c_flight_dumps;
+  Buffer.add_string b "],\n";
   Printf.bprintf b "  \"quarantine_selfcheck_caught\": %b,\n" negative_caught;
   Printf.bprintf b "  \"seconds\": %.3f\n}\n" seconds;
   Buffer.contents b
@@ -96,6 +109,7 @@ let () =
   let min_faults = ref 200 in
   let pages = ref 16384 in
   let json = ref None in
+  let flight_dir = ref "." in
   let rec parse = function
     | [] -> ()
     | "--mode" :: m :: rest ->
@@ -121,6 +135,9 @@ let () =
     | "--json" :: f :: rest ->
         json := Some f;
         parse rest
+    | "--flight-dir" :: d :: rest ->
+        flight_dir := d;
+        parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | s :: _ ->
         Printf.eprintf "zofs_chaos: unknown option %s\n" s;
@@ -128,11 +145,16 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let t0 = Sys.time () in
-  let r = Ch.run ~seed:!seed ~pages:!pages ~min_faults:!min_faults () in
+  let r =
+    Ch.run ~seed:!seed ~pages:!pages ~min_faults:!min_faults
+      ~flight_dir:!flight_dir ()
+  in
   print_report r;
   (* Negative self-check: quarantine off → the campaign must detect that a
      persistently failing coffer was never fenced. *)
-  let neg = Ch.negative_campaign ~seed:(Int64.add !seed 12L) () in
+  let neg =
+    Ch.negative_campaign ~seed:(Int64.add !seed 12L) ~flight_dir:!flight_dir ()
+  in
   let negative_caught = Ch.caught neg in
   if negative_caught then
     Printf.printf

@@ -24,15 +24,22 @@ let print_report (r : Zofs.Recovery.report) =
     (float_of_int (r.Zofs.Recovery.user_ns + r.Zofs.Recovery.kernel_ns) /. 1e3)
     (float_of_int r.Zofs.Recovery.user_ns /. 1e3)
     (float_of_int r.Zofs.Recovery.kernel_ns /. 1e3);
-  match Zofs.Recovery.findings r with
+  (match Zofs.Recovery.findings r with
   | [] -> print_endline "findings:               none"
   | fs ->
       Printf.printf "findings:               %d\n" (List.length fs);
       List.iter
         (fun f -> Printf.printf "  - %s\n" (Zofs.Recovery.finding_to_string f))
-        fs
+        fs);
+  (* auto-dump armed below: a coffer leaving Healthy during the scan writes
+     a flight-recorder post-mortem — point the reader at it *)
+  match Obs.Flight.last_dump_path () with
+  | Some p -> Printf.printf "flight-recorder dump:   %s\n" p
+  | None -> ()
 
 let check_image path =
+  Obs.enable ();
+  Obs.Flight.set_autodump true;
   if not (Sys.file_exists path) then begin
     Printf.eprintf "no such image: %s\n" path;
     exit 1
@@ -53,6 +60,8 @@ let ok = function
   | Error e -> failwith (Treasury.Errno.to_string e)
 
 let demo () =
+  Obs.enable ();
+  Obs.Flight.set_autodump true;
   print_endline "demo: building a file system, corrupting it, repairing it";
   let dev = Nvm.Device.create ~perf:Nvm.Perf.optane ~size:(16384 * Nvm.page_size) () in
   let mpk = Mpk.create dev in

@@ -1,14 +1,48 @@
-(* CI gate for the observability layer (`dune build @obs`).
+(* CI gate for the observability plane (`dune build @obs`).
 
-   Runs one FxMark and one Filebench workload with obs enabled, then checks
-   the invariants the exporter promises: every span balanced, the Chrome
-   trace structurally well-formed (also after a print/parse round-trip),
-   syscalls recorded, and the layer attribution consistent (the four buckets
-   never exceed the total).  Non-zero exit on any violation. *)
+     zofs_obs [--quick] [--mode log|fail] [--baseline FILE]
+              [--write-baseline FILE]
+
+   Two phases over the same workload pair (FxMark MWCL + Filebench varmail,
+   4 threads each, repeated for a measurable host wall time):
+
+     phase A  observability fully OFF   — reference simulated results and
+              host CPU time
+     phase B  observability fully ON    — labels, op tracing, flight
+              recorder — same workloads
+
+   and then three kinds of verdicts:
+
+   1. Invariants (always checked): zero sim-time drift — every workload's
+      simulated results are byte-identical between phases; spans balanced;
+      Chrome trace well-formed and round-trips; layer buckets never exceed
+      the total; labelled series, op-ids, parent/child span links, flight
+      events and SLO reports all present.
+
+   2. Baseline comparison (--baseline): per-workload per-op counts
+      (sim-ns, syscalls, kernel crossings, lease acquires, media-ns) and
+      obs coverage totals (spans, labelled series, flight events) against
+      the committed BENCH_obs.json, using the lib/perf tolerance
+      comparator.  Cost dims fail on increase; coverage dims fail in both
+      directions — silently losing instrumentation is a regression too.
+
+   3. Overhead budget: host CPU time of phase B must stay within the
+      baseline's overhead_budget_pct of phase A (plus a small absolute
+      slack for timer noise).
+
+   Re-baseline with:
+     dune exec bin/zofs_obs.exe -- --quick --write-baseline BENCH_obs.json *)
 
 module FL = Workloads.Fslab
 module Fx = Workloads.Fxmark
 module Fb = Workloads.Filebench
+module R = Workloads.Runner
+module J = Obs.Json
+module P = Perf_gate
+
+let schema = "zofs-obs-1"
+let default_budget_pct = 150.0
+let wall_slack_s = 0.20
 
 let failed = ref false
 
@@ -20,18 +54,221 @@ let checkpoint label ok detail =
 
 let cval name = Obs.Counter.value (Obs.Counter.make name)
 
+(* ---- baseline schema ---------------------------------------------------- *)
+
+type wmetrics = {
+  w_name : string;
+  w_ops : int;
+  w_sim_ns : int;
+  w_syscalls : int;
+  w_crossings : int;
+  w_lease_acquires : int;
+  w_media_ns : int;
+}
+
+type baseline = {
+  b_budget_pct : float;
+  b_workloads : wmetrics list;
+  b_spans : int;
+  b_labeled_series : int;
+  b_flight_events : int;
+}
+
+let num n = J.Num (float_of_int n)
+
+let wmetrics_to_json w =
+  J.Obj
+    [
+      ("name", J.Str w.w_name);
+      ("ops", num w.w_ops);
+      ("sim_ns", num w.w_sim_ns);
+      ("syscalls", num w.w_syscalls);
+      ("crossings", num w.w_crossings);
+      ("lease_acquires", num w.w_lease_acquires);
+      ("media_ns", num w.w_media_ns);
+    ]
+
+let baseline_to_json b ~snapshot =
+  J.Obj
+    [
+      ("schema", J.Str schema);
+      ("overhead_budget_pct", J.Num b.b_budget_pct);
+      ("workloads", J.Arr (List.map wmetrics_to_json b.b_workloads));
+      ("spans", num b.b_spans);
+      ("labeled_series", num b.b_labeled_series);
+      ("flight_events", num b.b_flight_events);
+      (* the full label-sliced snapshot of the instrumented run, under the
+         "obs" member zofs_stat/zofs_top already understand *)
+      ("obs", snapshot);
+    ]
+
+let ( let* ) = Result.bind
+
+let int_member name j =
+  match J.member name j with
+  | Some (J.Num v) -> Ok (int_of_float v)
+  | _ -> Error (Printf.sprintf "missing numeric field %S" name)
+
+let wmetrics_of_json j =
+  let* name =
+    match J.member "name" j with
+    | Some (J.Str s) -> Ok s
+    | _ -> Error "workload without a name"
+  in
+  let* ops = int_member "ops" j in
+  let* sim_ns = int_member "sim_ns" j in
+  let* syscalls = int_member "syscalls" j in
+  let* crossings = int_member "crossings" j in
+  let* lease_acquires = int_member "lease_acquires" j in
+  let* media_ns = int_member "media_ns" j in
+  Ok
+    {
+      w_name = name;
+      w_ops = ops;
+      w_sim_ns = sim_ns;
+      w_syscalls = syscalls;
+      w_crossings = crossings;
+      w_lease_acquires = lease_acquires;
+      w_media_ns = media_ns;
+    }
+
+let baseline_of_json j =
+  match J.member "schema" j with
+  | Some (J.Str s) when s = schema ->
+      let budget =
+        match J.member "overhead_budget_pct" j with
+        | Some (J.Num v) -> v
+        | _ -> default_budget_pct
+      in
+      let* workloads =
+        match J.member "workloads" j with
+        | Some (J.Arr items) ->
+            List.fold_left
+              (fun acc item ->
+                let* acc = acc in
+                let* w = wmetrics_of_json item in
+                Ok (w :: acc))
+              (Ok []) items
+            |> Result.map List.rev
+        | _ -> Error "no workloads array"
+      in
+      let* spans = int_member "spans" j in
+      let* labeled = int_member "labeled_series" j in
+      let* flight = int_member "flight_events" j in
+      Ok
+        {
+          b_budget_pct = budget;
+          b_workloads = workloads;
+          b_spans = spans;
+          b_labeled_series = labeled;
+          b_flight_events = flight;
+        }
+  | Some (J.Str s) -> Error (Printf.sprintf "unknown schema %S" s)
+  | _ -> Error "missing schema"
+
+(* ---- the two phases ------------------------------------------------------ *)
+
+(* One phase: run MWCL [reps] times, then varmail [reps] times, returning
+   per-workload (rep sim results, counter deltas) and the phase's host CPU
+   seconds.  Counter deltas are all zero while obs is off. *)
+let run_phase ~reps ~fx_ops ~fb_ops =
+  let bracket name f =
+    let s0 = Obs.Snapshot.take () in
+    let results = List.init reps (fun _ -> f ()) in
+    let d = Obs.Snapshot.diff s0 (Obs.Snapshot.take ()) in
+    let cv n =
+      match Obs.Snapshot.counter_value d n with Some v -> v | None -> 0
+    in
+    let sum sel = List.fold_left (fun a r -> a + sel r) 0 results in
+    ( results,
+      {
+        w_name = name;
+        w_ops = sum (fun r -> r.R.total_ops);
+        w_sim_ns = sum (fun r -> r.R.elapsed_ns);
+        w_syscalls = cv "syscall.count";
+        w_crossings = cv "gate.crossings";
+        w_lease_acquires = cv "lease.acquires";
+        w_media_ns = cv "nvm.media_ns";
+      } )
+  in
+  let t0 = Sys.time () in
+  let mwcl = bracket "mwcl" (fun () -> Fx.mwcl.Fx.run FL.Zofs ~nthreads:4 ~ops:fx_ops) in
+  let varmail =
+    bracket "varmail" (fun () -> Fb.varmail.Fb.run FL.Zofs ~nthreads:4 ~ops:fb_ops)
+  in
+  let wall = Sys.time () -. t0 in
+  ([ mwcl; varmail ], wall)
+
+let sim_signature phase =
+  List.concat_map
+    (fun (results, w) ->
+      List.map
+        (fun r -> Printf.sprintf "%s:%d:%d" w.w_name r.R.total_ops r.R.elapsed_ns)
+        results)
+    phase
+
+(* ---- main ---------------------------------------------------------------- *)
+
+let usage () =
+  prerr_endline
+    "usage: zofs_obs [--quick] [--mode log|fail] [--baseline FILE] \
+     [--write-baseline FILE]";
+  exit 2
+
 let () =
-  let quick = Array.to_list Sys.argv |> List.mem "--quick" in
-  let fx_ops = if quick then 40 else 100 in
-  let fb_ops = if quick then 25 else 60 in
+  let quick = ref false in
+  let mode = ref `Fail in
+  let baseline_file = ref None in
+  let write_baseline = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--mode" :: m :: rest ->
+        (match m with
+        | "log" -> mode := `Log
+        | "fail" -> mode := `Fail
+        | _ ->
+            Printf.eprintf "zofs_obs: unknown mode %S (want log|fail)\n" m;
+            exit 2);
+        parse rest
+    | "--baseline" :: f :: rest ->
+        baseline_file := Some f;
+        parse rest
+    | "--write-baseline" :: f :: rest ->
+        write_baseline := Some f;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | s :: _ ->
+        Printf.eprintf "zofs_obs: unknown option %s\n" s;
+        usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let fx_ops = if !quick then 40 else 100 in
+  let fb_ops = if !quick then 25 else 60 in
+  let reps = if !quick then 4 else 8 in
+
+  (* ---- phase A: observability off -------------------------------------- *)
+  Obs.disable ();
+  let off_phase, wall_off = run_phase ~reps ~fx_ops ~fb_ops in
+
+  (* ---- phase B: observability fully on ---------------------------------- *)
   Obs.enable ();
-  (* MWCL creates files under a shared directory lease (lease-wait bucket),
-     varmail is fsync-heavy (media bucket); 4 threads so leases contend. *)
-  let r1 = Fx.mwcl.Fx.run FL.Zofs ~nthreads:4 ~ops:fx_ops in
-  let r2 = Fb.varmail.Fb.run FL.Zofs ~nthreads:4 ~ops:fb_ops in
-  Printf.printf "zofs_obs: MWCL %.3f Mops/s, varmail %.1f kops/s\n"
-    r1.Workloads.Runner.mops_per_sec
-    (r2.Workloads.Runner.mops_per_sec *. 1000.0);
+  Obs.reset ();
+  Obs.Flight.set_autodump false;
+  let on_phase, wall_on = run_phase ~reps ~fx_ops ~fb_ops in
+  let r1 = List.hd (fst (List.hd on_phase)) in
+  let r2 = List.hd (fst (List.nth on_phase 1)) in
+  Printf.printf "zofs_obs: MWCL %.3f Mops/s, varmail %.1f kops/s  (x%d reps)\n"
+    r1.R.mops_per_sec
+    (r2.R.mops_per_sec *. 1000.0)
+    reps;
+
+  (* ---- invariants -------------------------------------------------------- *)
+  checkpoint "zero sim-time drift (obs on = off)"
+    (sim_signature off_phase = sim_signature on_phase)
+    "simulated results differ between phases";
 
   checkpoint "spans recorded"
     (Obs.Trace.recorded () > 0)
@@ -63,17 +300,156 @@ let () =
     (total > 0 && parts <= total)
     (Printf.sprintf "fslib+kernfs+media+lease = %d, total = %d" parts total);
 
-  (* Snapshot JSON round-trip: what zofs_stat consumes. *)
+  (* causal tracing: op-ids assigned, parent/child links connected *)
+  let spans = Obs.Trace.spans () in
+  checkpoint "op-ids on spans"
+    (List.exists (fun s -> s.Obs.Trace.sp_op > 0) spans)
+    "no span carries an op-id";
+  let connected =
+    match
+      List.find_opt
+        (fun s -> s.Obs.Trace.sp_cat = "kernfs" && s.Obs.Trace.sp_op > 0)
+        spans
+    with
+    | None -> false
+    | Some s ->
+        List.exists
+          (fun p -> p.Obs.Trace.sp_id = s.Obs.Trace.sp_parent)
+          (Obs.Trace.spans_of_op s.Obs.Trace.sp_op)
+  in
+  checkpoint "kernel crossings parented on their syscall" connected
+    "no kernfs trap span links to a parent span of the same op";
+
+  (* dimensioned metrics + flight recorder + SLOs *)
   let snap = Obs.Snapshot.take () in
+  let snap_json = Obs.Snapshot.to_json snap in
+  let count_labeled () =
+    let keys = function Obs.Json.Obj l -> List.map fst l | _ -> [] in
+    let all =
+      List.concat_map
+        (fun sec ->
+          match Obs.Json.member sec snap_json with
+          | Some o -> keys o
+          | None -> [])
+        [ "counters"; "gauges"; "histograms" ]
+    in
+    List.length (List.filter (fun k -> String.contains k '{') all)
+  in
+  let labeled_series = count_labeled () in
+  checkpoint "labelled series recorded" (labeled_series > 0) "";
+  checkpoint "per-tenant op latency recorded"
+    (Obs.Snapshot.labeled snap ~base:"op.latency" <> [])
+    "";
+  checkpoint "flight events recorded" (Obs.Flight.total () > 0) "";
+  Obs.Slo.define ~name:"open-p99" ~op:"open" ~p99_target_ns:2_000_000;
+  Obs.Slo.define ~name:"write-p99" ~op:"write" ~p99_target_ns:2_000_000;
+  let reports = Obs.Slo.publish snap in
+  checkpoint "SLO reports evaluated" (reports <> []) "no (slo, tenant) samples";
+  let snap = Obs.Snapshot.take () in
+  checkpoint "label-sliced top-k renders"
+    (Obs.Snapshot.render_top snap <> "")
+    "";
+
+  (* snapshot JSON round-trip: what zofs_stat consumes *)
   (match Obs.Snapshot.of_json (Obs.Snapshot.to_json snap) with
   | Ok back ->
       checkpoint "snapshot JSON round-trips"
-        (Obs.Snapshot.render back = Obs.Snapshot.render snap)
+        (Obs.Snapshot.render back = Obs.Snapshot.render snap
+        && Obs.Snapshot.render_top back = Obs.Snapshot.render_top snap)
         "render differs after round-trip"
   | Error m -> checkpoint "snapshot JSON round-trips" false m);
 
-  if !failed then begin
+  let current =
+    {
+      b_budget_pct = default_budget_pct;
+      b_workloads = List.map snd on_phase;
+      b_spans = Obs.Trace.recorded () + Obs.Trace.dropped ();
+      b_labeled_series = labeled_series;
+      b_flight_events = Obs.Flight.total ();
+    }
+  in
+
+  (* ---- overhead + baseline comparison ------------------------------------ *)
+  let overhead_pct =
+    if wall_off <= 0.0 then 0.0 else 100.0 *. ((wall_on /. wall_off) -. 1.0)
+  in
+  Printf.printf "  host CPU: off %.3fs on %.3fs (overhead %+.0f%%)\n" wall_off
+    wall_on overhead_pct;
+
+  (match !baseline_file with
+  | None -> ()
+  | Some f -> (
+      let read () =
+        match In_channel.with_open_bin f In_channel.input_all with
+        | exception Sys_error e -> Error e
+        | s ->
+            let* j = J.of_string (String.trim s) in
+            baseline_of_json j
+      in
+      match read () with
+      | Error m -> checkpoint "baseline loaded" false (f ^ ": " ^ m)
+      | Ok base ->
+          checkpoint "baseline loaded" true "";
+          let regressions = ref [] and improvements = ref [] in
+          let dim ?both_ways name b c =
+            P.check_dim ?both_ways ~name ~base:b ~cur:c ~regressions
+              ~improvements ()
+          in
+          List.iter
+            (fun bw ->
+              match
+                List.find_opt (fun w -> w.w_name = bw.w_name) current.b_workloads
+              with
+              | None ->
+                  regressions :=
+                    Printf.sprintf "%s: workload missing from current run"
+                      bw.w_name
+                    :: !regressions
+              | Some cw ->
+                  let per m v = float_of_int v /. float_of_int (max 1 m.w_ops) in
+                  let d ?both_ways what sel =
+                    dim ?both_ways
+                      (Printf.sprintf "%s: %s/op" bw.w_name what)
+                      (per bw (sel bw)) (per cw (sel cw))
+                  in
+                  d "sim_ns" (fun w -> w.w_sim_ns);
+                  d "media_ns" (fun w -> w.w_media_ns);
+                  d ~both_ways:true "syscalls" (fun w -> w.w_syscalls);
+                  d ~both_ways:true "crossings" (fun w -> w.w_crossings);
+                  d ~both_ways:true "lease_acquires" (fun w ->
+                      w.w_lease_acquires))
+            base.b_workloads;
+          let tot_ops =
+            List.fold_left (fun a w -> a + w.w_ops) 0 current.b_workloads
+          in
+          let per_total v = float_of_int v /. float_of_int (max 1 tot_ops) in
+          dim ~both_ways:true "spans/op" (per_total base.b_spans)
+            (per_total current.b_spans);
+          dim ~both_ways:true "labeled_series" (float_of_int base.b_labeled_series)
+            (float_of_int current.b_labeled_series);
+          dim ~both_ways:true "flight_events/op" (per_total base.b_flight_events)
+            (per_total current.b_flight_events);
+          List.iter (fun s -> Printf.printf "  REGRESSION %s\n" s) !regressions;
+          List.iter (fun s -> Printf.printf "  improved   %s\n" s) !improvements;
+          checkpoint "baseline comparison" (!regressions = [])
+            (Printf.sprintf "%d dimension(s) regressed" (List.length !regressions));
+          checkpoint "obs overhead within budget"
+            (wall_on <= (wall_off *. (1.0 +. (base.b_budget_pct /. 100.0))) +. wall_slack_s)
+            (Printf.sprintf "overhead %+.0f%% exceeds budget %.0f%%" overhead_pct
+               base.b_budget_pct)));
+
+  (match !write_baseline with
+  | None -> ()
+  | Some f ->
+      let oc = open_out f in
+      output_string oc (J.to_string (baseline_to_json current ~snapshot:snap_json));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "  wrote baseline %s\n" f);
+
+  if !failed && !mode = `Fail then begin
     print_endline "zofs_obs: FAILED";
     exit 1
   end
+  else if !failed then print_endline "zofs_obs: violations found (log mode)"
   else print_endline "zofs_obs: all observability invariants hold"

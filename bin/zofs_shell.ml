@@ -85,7 +85,8 @@ let help () =
     \  fsck                offline recovery\n\
     \  save FILE           save NVM image to a host file\n\
     \  time                simulated time consumed so far\n\
-    \  stats               observability: syscall latencies + device stats\n\
+    \  stats               observability: syscall latencies, per-coffer/\n\
+    \                      per-tenant top-k + SLO burn, device stats\n\
     \  help / exit\n"
 
 let run_command w line =
@@ -164,9 +165,15 @@ let run_command w line =
       | [ "save"; path ] ->
           Nvm.Device.save_image w.dev path;
           Printf.printf "saved NVM image to %s\n" path
-      | [ "stats" ] ->
-          print_string
-            (Obs.Snapshot.render ~title:"shell session" (Obs.Snapshot.take ()));
+      | [ "stats" ] | [ "stats"; "--top" ] ->
+          let snap = Obs.Snapshot.take () in
+          print_string (Obs.Snapshot.render ~title:"shell session" snap);
+          (* label-sliced view: worst coffers/tenants by p99 + SLO burn *)
+          (match Obs.Snapshot.render_top snap with
+          | "" -> ()
+          | s ->
+              print_newline ();
+              print_string s);
           Printf.printf
             "device: %s reads, %s writes, %s flushes (%s redundant), %s \
              fences (%s redundant)\n"

@@ -9,15 +9,22 @@
    whose "obs" field holds the snapshot. *)
 
 let usage () =
-  prerr_endline "usage: zofs_stat [--title TITLE] SNAPSHOT.json";
+  prerr_endline "usage: zofs_stat [--title TITLE] [--top K] [--json] SNAPSHOT.json";
   exit 2
 
 let () =
   let title = ref None and file = ref None in
+  let topk = ref 5 and json = ref false in
   let rec parse = function
     | [] -> ()
     | "--title" :: t :: rest ->
         title := Some t;
+        parse rest
+    | "--top" :: n :: rest ->
+        topk := int_of_string n;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
         parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | a :: _ when String.length a > 0 && a.[0] = '-' ->
@@ -42,17 +49,32 @@ let () =
       exit 1
   | Ok j -> (
       let snap_json =
-        match Obs.Json.member "obs" j with Some o -> o | None -> j
+        (* bare snapshot, a BENCH wrapper ("obs"), or a flight-recorder
+           dump ("snapshot") *)
+        match (Obs.Json.member "obs" j, Obs.Json.member "snapshot" j) with
+        | Some o, _ -> o
+        | None, Some s -> s
+        | None, None -> j
       in
       match Obs.Snapshot.of_json snap_json with
       | Error msg ->
           Printf.eprintf "zofs_stat: %s: not an obs snapshot: %s\n" file msg;
           exit 1
+      | Ok snap when !json ->
+          (* normalized snapshot JSON (strips any wrapper), for piping *)
+          print_endline (Obs.Json.to_string (Obs.Snapshot.to_json snap))
       | Ok snap ->
           let title =
             match !title with Some t -> t | None -> Filename.basename file
           in
           print_string (Obs.Snapshot.render ~title snap);
+          (* label-sliced top-k: worst coffers/tenants by p99, tenants by
+             SLO error-budget burn — empty when the run had no labels *)
+          (match Obs.Snapshot.render_top ~k:!topk snap with
+          | "" -> ()
+          | s ->
+              print_newline ();
+              print_string s);
           (* Race-sanitizer block: gauges pushed by Race.publish_obs_gauges
              plus the incrementally counted races / allowlist hits.  Only
              rendered when the run had the sanitizer attached. *)

@@ -1,0 +1,111 @@
+(* One-shot observability dashboard — `top` for a ZoFS instance.
+
+     dune exec bin/zofs_top.exe                       # live: sample a quick
+                                                      # workload mix, render
+     dune exec bin/zofs_top.exe -- BENCH_obs.json     # render a saved snapshot
+     dune exec bin/zofs_top.exe -- --k 3 --json FILE
+
+   Live mode runs one FxMark MWCL + one Filebench varmail round with the
+   full observability plane on (labels, op tracing, flight recorder),
+   defines the stock per-op SLOs, and renders what a fleet operator would
+   want at a glance: totals, label-sliced top-k coffers/tenants by p99,
+   per-tenant SLO error-budget burn, and flight-recorder status.
+
+   File mode renders the same dashboard from a saved snapshot (bare, or a
+   wrapper with an "obs" member, e.g. the committed BENCH_obs.json). *)
+
+module FL = Workloads.Fslab
+module Fx = Workloads.Fxmark
+module Fb = Workloads.Filebench
+
+let usage () =
+  prerr_endline "usage: zofs_top [--k N] [--json] [SNAPSHOT.json]";
+  exit 2
+
+let load_snapshot file =
+  let contents =
+    try In_channel.with_open_bin file In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "zofs_top: %s\n" msg;
+      exit 1
+  in
+  match Obs.Json.of_string contents with
+  | Error msg ->
+      Printf.eprintf "zofs_top: %s: bad JSON: %s\n" file msg;
+      exit 1
+  | Ok j -> (
+      let snap_json =
+        (* bare snapshot, a BENCH wrapper ("obs"), or a flight-recorder
+           dump ("snapshot") *)
+        match (Obs.Json.member "obs" j, Obs.Json.member "snapshot" j) with
+        | Some o, _ -> o
+        | None, Some s -> s
+        | None, None -> j
+      in
+      match Obs.Snapshot.of_json snap_json with
+      | Error msg ->
+          Printf.eprintf "zofs_top: %s: not an obs snapshot: %s\n" file msg;
+          exit 1
+      | Ok snap -> snap)
+
+let live_sample () =
+  Obs.enable ();
+  Obs.reset ();
+  Obs.Slo.define ~name:"open-p99" ~op:"open" ~p99_target_ns:2_000_000;
+  Obs.Slo.define ~name:"write-p99" ~op:"write" ~p99_target_ns:2_000_000;
+  ignore (Fx.mwcl.Fx.run FL.Zofs ~nthreads:4 ~ops:40);
+  ignore (Fb.varmail.Fb.run FL.Zofs ~nthreads:4 ~ops:25);
+  ignore (Obs.Slo.publish (Obs.Snapshot.take ()));
+  Obs.Snapshot.take ()
+
+let () =
+  let k = ref 5 and json = ref false and file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--k" :: n :: rest ->
+        k := int_of_string n;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | a :: _ when String.length a > 0 && a.[0] = '-' ->
+        Printf.eprintf "zofs_top: unknown option %s\n" a;
+        usage ()
+    | a :: rest ->
+        if !file <> None then usage ();
+        file := Some a;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let source, snap =
+    match !file with
+    | Some f -> (f, load_snapshot f)
+    | None -> ("live sample (mwcl + varmail, 4 threads)", live_sample ())
+  in
+  if !json then print_endline (Obs.Json.to_string (Obs.Snapshot.to_json snap))
+  else begin
+    Printf.printf "zofs top — %s\n\n" source;
+    let c name =
+      Option.value ~default:0 (Obs.Snapshot.counter_value snap name)
+    in
+    Printf.printf
+      "ops: %d syscalls   %d kernel crossings   %d lease acquires (%d \
+       steals)\n"
+      (c "syscall.count") (c "gate.crossings") (c "lease.acquires")
+      (c "lease.steals");
+    Printf.printf
+      "faults: %d media   %d graceful errors   quarantined coffers: %d\n\n"
+      (c "fault.media")
+      (c "fault.graceful_errors")
+      (c "health.quarantined");
+    (match Obs.Snapshot.render_top ~k:!k snap with
+    | "" -> print_endline "no label-sliced series in this snapshot"
+    | s -> print_string s);
+    (* live mode only: flight-recorder status from the running process *)
+    if !file = None then begin
+      Printf.printf "\nflight recorder: %d events buffered (%d total)\n"
+        (Obs.Flight.recorded ()) (Obs.Flight.total ());
+      List.iter (Printf.printf "  dump: %s\n") (Obs.Flight.dump_paths ())
+    end
+  end

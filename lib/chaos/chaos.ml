@@ -63,6 +63,7 @@ type report = {
   c_graceful_errors : int;
   c_fsck_findings : int;  (* first post-campaign offline pass *)
   c_violations : string list;  (* containment violations; must be [] *)
+  c_flight_dumps : string list;  (* flight-recorder dumps written this run *)
 }
 
 let canary_path = "/canary"
@@ -90,8 +91,16 @@ let make_fs ~pages ~quarantine =
   (dev, kfs, Treasury.Dispatcher.as_vfs disp)
 
 let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
-    ?(quarantine = true) () =
-  if not (Obs.enabled ()) then Obs.enable ~spans:false ();
+    ?(quarantine = true) ?(flight_dir = ".") () =
+  (* Spans on: the flight-recorder dump written at quarantine time carries
+     the faulting op's span trace, so the campaign needs the ring live even
+     if a caller had enabled obs with spans off.  The flight window is reset
+     so each campaign records its own black box (and its own per-(coffer,
+     state) dump rate-limit). *)
+  Obs.enable ();
+  Obs.Flight.reset ();
+  Obs.Flight.set_autodump ~dir:flight_dir true;
+  let dumps0 = List.length (Obs.Flight.dump_paths ()) in
   let snap0 = Obs.Snapshot.take () in
   let w = Sim.create ~seed () in
   let proc = Sim.Proc.create ~uid:0 ~gid:0 () in
@@ -101,6 +110,9 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
       let rng = Sim.Rng.create (Int64.add seed 0x5EEDL) in
       let violations = ref [] in
       let violation msg =
+        (* a campaign invariant failing is exactly what the black box is
+           for: record it and (auto-dump armed) write the post-mortem *)
+        Obs.Flight.invariant_failure msg;
         if List.length !violations < 40 then violations := msg :: !violations
       in
       let ops = ref 0 in
@@ -173,6 +185,12 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
             D.inject_poison ~sticky dev addr;
             incr armed_poison;
             poison_list := addr :: !poison_list;
+            Obs.Flight.note "inject_poison"
+              [
+                ("addr", string_of_int addr);
+                ("sticky", if sticky then "1" else "0");
+                ("coffer", string_of_int c.Cf.id);
+              ];
             (* traffic that walks into the poisoned coffer *)
             guard
               (Op.Append
@@ -216,6 +234,7 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
         in
         Sim.arm_kill ~tid ~after:(10 + Sim.Rng.int rng 250);
         incr armed_kills;
+        Obs.Flight.note "inject_kill" [ ("tid", string_of_int tid) ];
         (* Wait for the victim to finish or die; a thread that does neither
            within the budget is wedged — itself a containment violation. *)
         let budget = ref 200_000 in
@@ -237,6 +256,8 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
         let errno = if Sim.Rng.bool rng then E.ENOMEM else E.EAGAIN in
         K.inject_transient kfs ~errno ~n ();
         armed_transients := !armed_transients + n;
+        Obs.Flight.note "inject_transient"
+          [ ("n", string_of_int n); ("errno", E.to_string errno) ];
         (* allocation-heavy traffic so the armed failures actually trip *)
         for _ = 1 to 3 do
           guard (fresh_work_create ())
@@ -244,6 +265,7 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
       in
       let inject_scribble () =
         incr armed_scribbles;
+        Obs.Flight.note "inject_scribble" [];
         let addr =
           if Array.length victims = 0 then 64
           else
@@ -427,6 +449,9 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
             c_graceful_errors = cv "fault.graceful_errors";
             c_fsck_findings = !fsck_findings;
             c_violations = List.rev !violations;
+            c_flight_dumps =
+              (let all = Obs.Flight.dump_paths () in
+               List.filteri (fun i _ -> i >= dumps0) all);
           });
   (try Sim.run w
    with Sim.Deadlock msg -> failwith ("chaos: simulation deadlocked: " ^ msg));
@@ -441,8 +466,8 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
 let is_containment v =
   String.length v >= 11 && String.sub v 0 11 = "containment"
 
-let negative_campaign ?(seed = 23L) ?(pages = 8192) () =
-  run ~seed ~pages ~min_faults:40 ~max_rounds:80 ~quarantine:false ()
+let negative_campaign ?(seed = 23L) ?(pages = 8192) ?flight_dir () =
+  run ~seed ~pages ~min_faults:40 ~max_rounds:80 ~quarantine:false ?flight_dir ()
 
 let caught rep = List.exists is_containment rep.c_violations
 

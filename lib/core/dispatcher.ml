@@ -161,7 +161,7 @@ let debug_raise = ref false
 
 let graceful t =
   t.graceful_errors <- t.graceful_errors + 1;
-  Obs.cnt "fault.graceful_errors" 1
+  Obs.cnt_coffer "fault.graceful_errors" 1
 
 let protect_gen t wrap f =
   let rec run retries =

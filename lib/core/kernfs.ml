@@ -430,6 +430,8 @@ let coffer_enlarge t cid ~n =
       | Some e -> Error e
       | None ->
       t.enlarge_calls <- t.enlarge_calls + 1;
+      Obs.cnt "enlarge.calls" 1;
+      Obs.cnt_l "enlarge.calls" (Obs.Labels.of_coffer cid) 1;
       (* Growing a mapping requires a TLB shootdown across every CPU running
          a thread of a mapping process — serialized work that makes very
          frequent coffer_enlarge calls the scalability limit of Figure
@@ -846,11 +848,28 @@ let set_coffer_health t cid h =
     (match h with
     | Healthy -> Hashtbl.remove t.health cid
     | _ -> Hashtbl.replace t.health cid h);
+    let l = Obs.Labels.of_coffer cid in
     (match h with
-    | Healthy -> if prev <> Healthy then Obs.cnt "health.recovered" 1
-    | Suspect -> Obs.cnt "health.suspect" 1
-    | Quarantined -> Obs.cnt "health.quarantined" 1
-    | Offline -> Obs.cnt "health.offline" 1)
+    | Healthy ->
+        if prev <> Healthy then begin
+          Obs.cnt "health.recovered" 1;
+          Obs.cnt_l "health.recovered" l 1
+        end
+    | Suspect ->
+        Obs.cnt "health.suspect" 1;
+        Obs.cnt_l "health.suspect" l 1
+    | Quarantined ->
+        Obs.cnt "health.quarantined" 1;
+        Obs.cnt_l "health.quarantined" l 1
+    | Offline ->
+        Obs.cnt "health.offline" 1;
+        Obs.cnt_l "health.offline" l 1);
+    (* Black-box capture: the flight recorder keeps this coffer's health
+       history and, when armed, auto-dumps the moment a coffer leaves
+       Healthy — the post-mortem is written while the faulting op is still
+       in flight, so its span trace makes it into the dump. *)
+    Obs.Flight.health_transition ~coffer:cid ~from_:(health_to_string prev)
+      ~to_:(health_to_string h)
   end
 
 let quarantine_enabled t = t.quarantine_on

@@ -287,6 +287,30 @@ type verdict = {
 
 let clean v = v.regressions = []
 
+(* The one tolerance rule, shared with the obs gate (bin/zofs_obs):
+   [tol] relative band plus 0.5 of absolute slop (so near-zero counters
+   don't trip on a one-event shift).  An increase beyond the band is a
+   regression; a decrease beyond it is an improvement — unless
+   [both_ways] is set (coverage dimensions: spans recorded, labelled
+   series, flight events — losing instrumentation is a regression too). *)
+let check_dim ?(tol = default_tol) ?(both_ways = false) ~name ~base ~cur
+    ~regressions ~improvements () =
+  if cur > (base *. (1.0 +. tol)) +. 0.5 then
+    regressions :=
+      Printf.sprintf "%s %.2f -> %.2f (+%.0f%%)" name base cur
+        (100.0 *. ((cur /. Float.max base 1e-9) -. 1.0))
+      :: !regressions
+  else if base > (cur *. (1.0 +. tol)) +. 0.5 then begin
+    if both_ways then
+      regressions :=
+        Printf.sprintf "%s %.2f -> %.2f (dropped beyond tolerance)" name base
+          cur
+        :: !regressions
+    else
+      improvements := Printf.sprintf "%s %.2f -> %.2f" name base cur
+        :: !improvements
+  end
+
 let compare_results ?(tol = default_tol) ~baseline ~current () =
   let regressions = ref [] and improvements = ref [] and notes = ref [] in
   List.iter
@@ -303,18 +327,9 @@ let compare_results ?(tol = default_tol) ~baseline ~current () =
                 b.r_name b.r_m.ops c.r_m.ops
               :: !notes;
           let dim name base cur =
-            (* +0.5/op of absolute slop keeps near-zero counters (e.g. one
-               crossing per 32 ops) from tripping on a one-event shift. *)
-            if cur > (base *. (1.0 +. tol)) +. 0.5 then
-              regressions :=
-                Printf.sprintf "%s: %s/op %.2f -> %.2f (+%.0f%%)" b.r_name
-                  name base cur
-                  (100.0 *. ((cur /. Float.max base 1e-9) -. 1.0))
-                :: !regressions
-            else if base > (cur *. (1.0 +. tol)) +. 0.5 then
-              improvements :=
-                Printf.sprintf "%s: %s/op %.2f -> %.2f" b.r_name name base cur
-                :: !improvements
+            check_dim ~tol
+              ~name:(Printf.sprintf "%s: %s/op" b.r_name name)
+              ~base ~cur ~regressions ~improvements ()
           in
           dim "sim_ns" (ns_per_op b.r_m) (ns_per_op c.r_m);
           dim "flushes" (flushes_per_op b.r_m) (flushes_per_op c.r_m);

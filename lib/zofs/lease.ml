@@ -42,7 +42,12 @@ let acquire ?(duration = default_duration) dev addr =
         (* Taking over a nonzero expired word is a steal: the holder died
            (or stalled past its lease) mid-operation. *)
         if v <> 0 && code_of v <> me then begin
-          Obs.cnt "lease.steals" 1;
+          Obs.cnt_coffer "lease.steals" 1;
+          Obs.Flight.note "lease_steal"
+            [
+              ("addr", string_of_int addr);
+              ("victim_tid", string_of_int (code_of v - 2));
+            ];
           (* The dead (or stalled) holder never released: hand the race
              detector the ordering edge the CAS chain cannot provide. *)
           Race.on_lease_steal dev ~victim_tid:(code_of v - 2)

@@ -47,7 +47,7 @@ let flush dev addr len =
   for line = first to last do
     let a = line * Nvm.line_size in
     if Nvm.Device.line_needs_flush dev a then Nvm.Device.clwb dev a
-    else Obs.cnt flushes_elided 1
+    else Obs.cnt_coffer flushes_elided 1
   done
 
 let barrier dev =
@@ -55,7 +55,7 @@ let barrier dev =
     if !over_elide then Obs.cnt "pbatch.fences_overelided" 1
     else Nvm.Device.sfence dev
   end
-  else Obs.cnt fences_elided 1
+  else Obs.cnt_coffer fences_elided 1
 
 (* [flush] + [barrier]: a batched [persist_range] for the spots that are
    themselves ordering points. *)

@@ -108,6 +108,7 @@ let with_coffer t cs ~write f =
   | K.Quarantined ->
       if write then raise (Ui.Coffer_unavailable { cid = cs.cs_cid; write })
   | K.Offline -> raise (Ui.Coffer_unavailable { cid = cs.cs_cid; write }));
+  Obs.set_op_coffer cs.cs_cid;
   let perm = if write then Mpk.Pk_read_write else Mpk.Pk_read in
   Mpk.with_keys t.mpk [ (cs.cs_pkey, perm) ] f
 
@@ -152,6 +153,7 @@ let evict_one t =
   | None -> false
 
 let rec map_coffer t cid =
+  Obs.set_op_coffer cid;
   Obs.span ~cat:"coffer" ~name:"map" @@ fun () ->
   match Transient.retry (fun () -> K.coffer_map t.kfs cid) with
   | Ok m -> (
@@ -202,6 +204,7 @@ let session_of_cid t cid =
   | Some cs ->
       (* Session cache hit: the kernel-backed session vouches for the root
          file, exactly like a fresh map_coffer would (G3). *)
+      Obs.set_op_coffer cid;
       Check.validate_cross t.dev cs.cs_root_file;
       Ok cs
   | None -> map_coffer t cid
@@ -214,6 +217,7 @@ let rec anchor t path =
     Sim.advance prefix_check_cost;
     match Hashtbl.find_opt t.by_path p with
     | Some cid when Hashtbl.mem t.sessions cid ->
+        Obs.set_op_coffer cid;
         Ok (Hashtbl.find t.sessions cid)
     | _ -> if p = "/" then cold_anchor t path else go (Pathx.dirname p)
   in

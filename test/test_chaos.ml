@@ -361,6 +361,87 @@ let test_campaign_negative_selfcheck () =
   Alcotest.(check bool) "quarantine-disabled campaign is flagged" true
     (Chaos.negative_selfcheck ())
 
+(* Acceptance (ISSUE 8): a campaign with injected media faults auto-produces
+   a flight-recorder dump that names the quarantined coffer, carries its
+   health-transition history, and holds the connected parent/child span
+   trace of the faulting op. *)
+let test_campaign_flight_dump () =
+  let dir = Filename.temp_file "zofs-chaos-flight" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun n -> Sys.remove (Filename.concat dir n))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let r =
+        Chaos.run ~seed:42L ~pages:8192 ~min_faults:60 ~max_rounds:200
+          ~flight_dir:dir ()
+      in
+      Alcotest.(check bool) "media faults tripped" true
+        (r.Chaos.c_media_faults > 0);
+      Alcotest.(check bool) "a coffer left Healthy" true
+        (r.Chaos.c_quarantined > 0 || r.Chaos.c_offline > 0);
+      let path =
+        match r.Chaos.c_flight_dumps with
+        | p :: _ -> p
+        | [] -> Alcotest.fail "campaign produced no flight-recorder dump"
+      in
+      let j =
+        match
+          Obs.Json.of_string (In_channel.with_open_bin path In_channel.input_all)
+        with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "dump unparsable: %s" e
+      in
+      let coffer =
+        match Obs.Json.member "coffer" j with
+        | Some (Obs.Json.Num c) when c >= 0. -> int_of_float c
+        | _ -> Alcotest.fail "dump does not name the triggering coffer"
+      in
+      (* the named coffer's health history is in the dump and ends in the
+         non-Healthy state that triggered it *)
+      (match Obs.Json.member "health_history" j with
+      | Some (Obs.Json.Obj entries) -> (
+          match List.assoc_opt (string_of_int coffer) entries with
+          | Some (Obs.Json.Arr (_ :: _ as hist)) ->
+              let last = List.nth hist (List.length hist - 1) in
+              (match Obs.Json.member "to" last with
+              | Some (Obs.Json.Str s) ->
+                  Alcotest.(check bool) "last transition leaves Healthy" true
+                    (String.lowercase_ascii s <> "healthy")
+              | _ -> Alcotest.fail "transition without destination state")
+          | _ -> Alcotest.fail "no history for the named coffer")
+      | _ -> Alcotest.fail "dump lacks health_history");
+      (match Obs.Json.member "events" j with
+      | Some (Obs.Json.Arr (_ :: _)) -> ()
+      | _ -> Alcotest.fail "dump lacks flight events");
+      (* the faulting op's span trace is present and parent/child-connected:
+         at least one span links to another span in the same dump *)
+      match Obs.Json.member "op_trace" j with
+      | Some t -> (
+          match Obs.Json.member "traceEvents" t with
+          | Some (Obs.Json.Arr (_ :: _ as evs)) ->
+              let arg k ev =
+                match Obs.Json.member "args" ev with
+                | Some args -> (
+                    match Obs.Json.member k args with
+                    | Some (Obs.Json.Num v) -> int_of_float v
+                    | _ -> 0)
+                | None -> 0
+              in
+              let ids = List.map (arg "span") evs in
+              Alcotest.(check bool) "parent/child links connected" true
+                (List.exists
+                   (fun ev ->
+                     let p = arg "parent" ev in
+                     p <> 0 && List.mem p ids)
+                   evs)
+          | _ -> Alcotest.fail "op_trace has no spans")
+      | None -> Alcotest.fail "dump lacks op_trace")
+
 let () =
   Alcotest.run "chaos"
     [
@@ -391,5 +472,7 @@ let () =
             test_campaign_smoke;
           Alcotest.test_case "negative self-check" `Slow
             test_campaign_negative_selfcheck;
+          Alcotest.test_case "flight-recorder dump on quarantine" `Slow
+            test_campaign_flight_dump;
         ] );
     ]

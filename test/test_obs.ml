@@ -440,18 +440,422 @@ let test_layer_split_end_to_end () =
       | Ok () -> ()
       | Error e -> Alcotest.failf "trace invalid: %s" e)
 
-(* Acceptance criterion: enabling obs must not change simulated time. *)
+(* Acceptance criterion: enabling obs must not change simulated time — not
+   with spans, and not with the full plane (labels + tracing + flight
+   recorder + SLOs) either.  run_fs_ops itself asserts the simulated
+   *results* (read-back contents) are identical in every configuration. *)
 let test_obs_costs_no_sim_time () =
   Obs.disable ();
   Obs.reset ();
   let elapsed_off = run_fs_ops (Testkit.make_world ()) in
-  let elapsed_on =
+  let elapsed_spans =
     with_obs (fun () ->
         let w = Testkit.make_world () in
         Obs.attach_device w.Testkit.dev;
         run_fs_ops w)
   in
-  Alcotest.(check int) "sim-time identical with obs on" elapsed_off elapsed_on
+  let elapsed_full =
+    with_obs (fun () ->
+        Obs.Slo.define ~name:"write-p99" ~op:"write" ~p99_target_ns:1;
+        Fun.protect ~finally:Obs.Slo.clear_definitions (fun () ->
+            let w = Testkit.make_world () in
+            Obs.attach_device w.Testkit.dev;
+            let elapsed = run_fs_ops w in
+            ignore (Obs.Slo.publish (Obs.Snapshot.take ()));
+            Alcotest.(check bool) "flight saw the ops" true
+              (Obs.Flight.total () > 0);
+            elapsed))
+  in
+  Alcotest.(check int) "sim-time identical with spans on" elapsed_off
+    elapsed_spans;
+  Alcotest.(check int) "sim-time identical with full obs on" elapsed_off
+    elapsed_full
+
+(* ---- JSON round-trips (satellite) --------------------------------------- *)
+
+let test_json_string_escapes () =
+  let nasty = "a\"b\\c\nd\te\rf\x01g" in
+  let j = J.Obj [ (nasty, J.Arr [ J.Str nasty ]) ] in
+  match J.of_string (J.to_string j) with
+  | Error e -> Alcotest.failf "reparse: %s" e
+  | Ok j' ->
+      Alcotest.(check bool) "escaped string round-trips" true (j = j');
+      (match J.member nasty j' with
+      | Some (J.Arr [ J.Str s ]) ->
+          Alcotest.(check string) "value intact" nasty s
+      | _ -> Alcotest.fail "escaped key not found")
+
+let test_json_nested_roundtrip () =
+  let j =
+    J.Arr
+      [
+        J.Arr [ J.Num 1.; J.Arr [ J.Num 2.; J.Arr [] ] ];
+        J.Obj
+          [
+            ("k", J.Arr [ J.Bool true; J.Null; J.Obj [ ("", J.Str "") ] ]);
+            ("n", J.Num (-0.5));
+          ];
+      ]
+  in
+  match J.of_string (J.to_string j) with
+  | Error e -> Alcotest.failf "reparse: %s" e
+  | Ok j' ->
+      Alcotest.(check bool) "nested structure round-trips" true (j = j');
+      Alcotest.(check string) "re-encoding stable" (J.to_string j)
+        (J.to_string j')
+
+let test_json_malformed () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed JSON: %s" s)
+    [
+      ""; "{"; "[1,"; "\"unterminated"; "{\"a\":}"; "tru"; "[1 2]";
+      "{\"a\" 1}"; "{\"a\":1} trailing"; "nul"; "[]]";
+    ]
+
+(* ---- histogram percentiles at bucket edges + after merge (satellite) ---- *)
+
+let test_hist_percentile_bucket_edges () =
+  (* a single sample sitting exactly on a bucket edge reads back exactly *)
+  List.iter
+    (fun v ->
+      let h = hist_of [ v ] in
+      List.iter
+        (fun q ->
+          Alcotest.(check int)
+            (Printf.sprintf "edge %d p%g" v (q *. 100.))
+            v (H.percentile h q))
+        [ 0.01; 0.5; 0.99; 1.0 ])
+    [ 0; 15; 16; 31; 32; 33; 1023; 1024 ];
+  (* within one histogram, percentile is monotone in q and clamped to the
+     observed [min,max] even at the extreme quantiles *)
+  let h = hist_of [ 16; 16; 16; 31 ] in
+  Alcotest.(check int) "p100 = max" 31 (H.percentile h 1.0);
+  (* low quantiles report a value within the minimum's bucket: the estimate
+     is bucket-granular, never below the true min nor past its bucket *)
+  let p1 = H.percentile h 0.01 in
+  let _, min_hi = H.bucket_bounds (H.bucket_index (H.min_value h)) in
+  Alcotest.(check bool) "p1 within min bucket" true (p1 >= 16 && p1 <= min_hi);
+  let last = ref 0 in
+  List.iter
+    (fun q ->
+      let p = H.percentile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone at p%g" (q *. 100.))
+        true (p >= !last);
+      Alcotest.(check bool) "within [min,max]" true
+        (p >= H.min_value h && p <= H.max_value h);
+      last := p)
+    [ 0.01; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+
+let test_hist_percentile_after_merge () =
+  let a = hist_of (List.init 8 (fun i -> i + 1))
+  and b = hist_of (List.init 8 (fun i -> 1000 + i)) in
+  let m = H.merge a b in
+  Alcotest.(check int) "count" 16 (H.count m);
+  Alcotest.(check int) "min" 1 (H.min_value m);
+  Alcotest.(check int) "max" 1007 (H.max_value m);
+  Alcotest.(check int) "p100 = max" 1007 (H.percentile m 1.0);
+  Alcotest.(check int) "p1 = min" 1 (H.percentile m 0.01);
+  (* the two disjoint clusters are separated by the median *)
+  Alcotest.(check bool) "p25 in low cluster" true (H.percentile m 0.25 < 500);
+  Alcotest.(check bool) "p75 in high cluster" true (H.percentile m 0.75 > 500);
+  (* merging preserves tail counting *)
+  Alcotest.(check int) "count_over mid" 8 (H.count_over m 500);
+  (* conservative: the bucket containing the threshold counts as under *)
+  Alcotest.(check int) "count_over at max bucket" 0 (H.count_over m 1000);
+  Alcotest.(check int) "count_over zero" 16 (H.count_over m 0)
+
+(* ---- labels (tentpole: dimensioned metrics) ----------------------------- *)
+
+let test_labels_canonical_and_series () =
+  let a = Obs.Labels.v [ ("b", "2"); ("a", "1") ]
+  and b = Obs.Labels.v [ ("a", "1"); ("b", "2") ] in
+  Alcotest.(check string) "canonical order" "a=1,b=2" (Obs.Labels.to_string a);
+  Alcotest.(check string) "interned equal" (Obs.Labels.to_string a)
+    (Obs.Labels.to_string b);
+  Alcotest.(check (list (pair string string)))
+    "pairs sorted"
+    [ ("a", "1"); ("b", "2") ]
+    (Obs.Labels.pairs a);
+  Alcotest.(check string) "series" "x{a=1,b=2}" (Obs.Labels.series "x" a);
+  Alcotest.(check string) "empty series is bare" "x"
+    (Obs.Labels.series "x" Obs.Labels.empty);
+  let base, pairs = Obs.Labels.parse_series "x{a=1,b=2}" in
+  Alcotest.(check string) "parse base" "x" base;
+  Alcotest.(check (list (pair string string)))
+    "parse pairs"
+    [ ("a", "1"); ("b", "2") ]
+    pairs;
+  let base, pairs = Obs.Labels.parse_series "bare" in
+  Alcotest.(check string) "bare base" "bare" base;
+  Alcotest.(check (list (pair string string))) "bare pairs" [] pairs;
+  Alcotest.(check (list (pair string string)))
+    "of_coffer"
+    [ ("coffer", "7") ]
+    (Obs.Labels.pairs (Obs.Labels.of_coffer 7))
+
+let test_labels_invalid () =
+  List.iter
+    (fun pairs ->
+      match Obs.Labels.v pairs with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "accepted invalid labels")
+    [
+      [ ("a", "1"); ("a", "2") ];
+      [ ("a,b", "1") ];
+      [ ("a", "x=y") ];
+      [ ("a", "{") ];
+      [ ("}", "1") ];
+    ]
+
+let test_labeled_series_in_snapshot () =
+  with_obs (fun () ->
+      let l = Obs.Labels.v [ ("coffer", "3"); ("op", "append") ] in
+      Obs.cnt_l "test.labeled" l 5;
+      Obs.observe_l "test.labeled_h" l 128;
+      let snap = Obs.Snapshot.take () in
+      Alcotest.(check (option int))
+        "labelled counter readable" (Some 5)
+        (Obs.Snapshot.counter_value snap "test.labeled{coffer=3,op=append}");
+      (match Obs.Snapshot.labeled snap ~base:"test.labeled_h" with
+      | [ (pairs, Obs.Snapshot.L_hist h) ] ->
+          Alcotest.(check (list (pair string string)))
+            "slice pairs"
+            [ ("coffer", "3"); ("op", "append") ]
+            pairs;
+          Alcotest.(check int) "slice count" 1 (H.count h)
+      | _ -> Alcotest.fail "expected exactly one labelled slice");
+      (* labelled series are excluded from the flat tables but render in
+         the top-k view, and survive the JSON round-trip *)
+      let r = Obs.Snapshot.render snap in
+      Alcotest.(check bool) "flat render unpolluted" false
+        (contains r "test.labeled{");
+      match Obs.Snapshot.of_json (Obs.Snapshot.to_json snap) with
+      | Error e -> Alcotest.failf "of_json: %s" e
+      | Ok snap' ->
+          Alcotest.(check (option int))
+            "labelled counter survives round-trip" (Some 5)
+            (Obs.Snapshot.counter_value snap'
+               "test.labeled{coffer=3,op=append}"))
+
+(* ---- causal op tracing (tentpole) --------------------------------------- *)
+
+let test_op_ids_parent_child () =
+  with_obs (fun () ->
+      Sim.run_thread (fun () ->
+          Obs.with_syscall "probe" (fun () ->
+              Alcotest.(check bool) "op-id assigned" true (Obs.current_op () > 0);
+              Obs.with_kernel_crossing (fun () -> Sim.advance 5);
+              Sim.advance 1));
+      let spans = Obs.Trace.spans () in
+      Alcotest.(check int) "two spans" 2 (List.length spans);
+      let find cat =
+        match List.find_opt (fun s -> s.Obs.Trace.sp_cat = cat) spans with
+        | Some s -> s
+        | None -> Alcotest.failf "no %s span" cat
+      in
+      let sys = find "syscall" and trap = find "kernfs" in
+      Alcotest.(check bool) "shared op-id" true
+        (sys.Obs.Trace.sp_op > 0 && sys.Obs.Trace.sp_op = trap.Obs.Trace.sp_op);
+      Alcotest.(check int) "trap parented on syscall" sys.Obs.Trace.sp_id
+        trap.Obs.Trace.sp_parent;
+      Alcotest.(check int) "syscall is the root" 0 sys.Obs.Trace.sp_parent;
+      (* spans_of_op returns the whole connected trace of that op *)
+      Alcotest.(check int) "spans_of_op complete" 2
+        (List.length (Obs.Trace.spans_of_op sys.Obs.Trace.sp_op));
+      (* and the Chrome export carries op/span/parent in args *)
+      match J.member "traceEvents" (Obs.Trace.to_json ()) with
+      | Some (J.Arr evs) ->
+          List.iter
+            (fun ev ->
+              match J.member "args" ev with
+              | Some args -> (
+                  match (J.member "op" args, J.member "span" args) with
+                  | Some (J.Num op), Some (J.Num _) ->
+                      Alcotest.(check bool) "args.op positive" true (op > 0.)
+                  | _ -> Alcotest.fail "span args incomplete")
+              | None -> Alcotest.fail "span without args")
+            evs
+      | _ -> Alcotest.fail "no traceEvents")
+
+(* ---- flight recorder (tentpole) ----------------------------------------- *)
+
+let test_flight_ring_and_reset () =
+  with_obs (fun () ->
+      Obs.Flight.set_capacity 2;
+      Fun.protect
+        ~finally:(fun () -> Obs.Flight.set_capacity 2048)
+        (fun () ->
+          Obs.Flight.note "one" [];
+          Obs.Flight.note "two" [ ("k", "v") ];
+          Obs.Flight.note "three" [];
+          Alcotest.(check int) "ring bounded" 2 (Obs.Flight.recorded ());
+          Alcotest.(check int) "total counts drops" 3 (Obs.Flight.total ());
+          (match Obs.Flight.events () with
+          | [ a; b ] ->
+              Alcotest.(check string) "oldest evicted" "two" a.Obs.Flight.e_kind;
+              Alcotest.(check string) "latest kept" "three" b.Obs.Flight.e_kind;
+              Alcotest.(check bool) "seqs increase" true
+                (b.Obs.Flight.e_seq > a.Obs.Flight.e_seq);
+              Alcotest.(check (list (pair string string)))
+                "fields kept"
+                [ ("k", "v") ]
+                a.Obs.Flight.e_fields
+          | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+          Obs.Flight.health_transition ~coffer:5 ~from_:"healthy"
+            ~to_:"suspect";
+          Alcotest.(check int) "history recorded" 1
+            (List.length (Obs.Flight.health_history ~coffer:5));
+          (* satellite: reset clears the ring AND the health histories *)
+          Obs.reset ();
+          Alcotest.(check int) "reset clears ring" 0 (Obs.Flight.recorded ());
+          Alcotest.(check int) "reset clears total" 0 (Obs.Flight.total ());
+          Alcotest.(check int) "reset clears history" 0
+            (List.length (Obs.Flight.health_history ~coffer:5))))
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "zofs-flight" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_flight_autodump_on_health_transition () =
+  with_temp_dir (fun dir ->
+      with_obs (fun () ->
+          Obs.Flight.set_autodump ~dir ~max_dumps:4 true;
+          Fun.protect
+            ~finally:(fun () -> Obs.Flight.set_autodump false)
+            (fun () ->
+              Sim.run_thread (fun () ->
+                  Obs.with_syscall "probe" (fun () ->
+                      Sim.advance 10;
+                      Obs.Flight.health_transition ~coffer:9 ~from_:"healthy"
+                        ~to_:"suspect"));
+              let path =
+                match Obs.Flight.last_dump_path () with
+                | Some p -> p
+                | None -> Alcotest.fail "no dump written"
+              in
+              Alcotest.(check bool) "dump in requested dir" true
+                (Filename.dirname path = dir);
+              let j =
+                match
+                  J.of_string (In_channel.with_open_bin path In_channel.input_all)
+                with
+                | Ok j -> j
+                | Error e -> Alcotest.failf "dump unparsable: %s" e
+              in
+              (match J.member "coffer" j with
+              | Some (J.Num 9.) -> ()
+              | _ -> Alcotest.fail "dump does not name the coffer");
+              (match J.member "health_history" j with
+              | Some (J.Obj [ ("9", J.Arr (_ :: _)) ]) -> ()
+              | _ -> Alcotest.fail "dump lacks the coffer's health history");
+              (match J.member "events" j with
+              | Some (J.Arr (_ :: _)) -> ()
+              | _ -> Alcotest.fail "dump lacks flight events");
+              (* the in-flight op's spans are in the dump, marked open *)
+              (match J.member "op_trace" j with
+              | Some t -> (
+                  match J.member "traceEvents" t with
+                  | Some (J.Arr evs) ->
+                      Alcotest.(check bool) "open syscall span captured" true
+                        (List.exists
+                           (fun ev ->
+                             match J.member "args" ev with
+                             | Some args -> J.member "open" args = Some (J.Bool true)
+                             | None -> false)
+                           evs)
+                  | _ -> Alcotest.fail "op_trace lacks traceEvents")
+              | None -> Alcotest.fail "dump lacks op_trace");
+              (* rate-limited: the same (coffer, state) pair dumps once *)
+              Obs.Flight.health_transition ~coffer:9 ~from_:"healthy"
+                ~to_:"suspect";
+              Alcotest.(check int) "same transition not re-dumped" 1
+                (List.length (Obs.Flight.dump_paths ()));
+              Obs.Flight.health_transition ~coffer:9 ~from_:"suspect"
+                ~to_:"quarantined";
+              Alcotest.(check int) "worse transition dumps again" 2
+                (List.length (Obs.Flight.dump_paths ()));
+              (* satellite: reset clears ring state but keeps dump paths *)
+              Obs.reset ();
+              Alcotest.(check int) "dump paths survive reset" 2
+                (List.length (Obs.Flight.dump_paths ())))))
+
+let test_flight_dump_on_invariant_failure () =
+  with_temp_dir (fun dir ->
+      with_obs (fun () ->
+          Obs.Flight.set_autodump ~dir true;
+          Fun.protect
+            ~finally:(fun () -> Obs.Flight.set_autodump false)
+            (fun () ->
+              Obs.Flight.note "context" [ ("k", "v") ];
+              Obs.Flight.invariant_failure "canary unavailable";
+              match Obs.Flight.last_dump_path () with
+              | None -> Alcotest.fail "invariant failure did not dump"
+              | Some p -> (
+                  let j =
+                    match
+                      J.of_string
+                        (In_channel.with_open_bin p In_channel.input_all)
+                    with
+                    | Ok j -> j
+                    | Error e -> Alcotest.failf "dump unparsable: %s" e
+                  in
+                  match J.member "reason" j with
+                  | Some (J.Str r) ->
+                      Alcotest.(check bool) "reason carries the message" true
+                        (contains r "canary unavailable")
+                  | _ -> Alcotest.fail "dump lacks reason"))))
+
+(* ---- SLOs (tentpole) ----------------------------------------------------- *)
+
+let test_slo_evaluate_publish_ledger () =
+  with_obs (fun () ->
+      Obs.Slo.define ~name:"probe-p99" ~op:"probe" ~p99_target_ns:100;
+      Fun.protect ~finally:Obs.Slo.clear_definitions (fun () ->
+          Sim.run_thread (fun () ->
+              Obs.set_tenant 3;
+              for _ = 1 to 100 do
+                Obs.with_syscall "probe" (fun () -> Sim.advance 150)
+              done);
+          let snap = Obs.Snapshot.take () in
+          (match Obs.Slo.evaluate snap with
+          | [ r ] ->
+              Alcotest.(check string) "slo name" "probe-p99" r.Obs.Slo.s_name;
+              Alcotest.(check string) "tenant" "3" r.Obs.Slo.s_tenant;
+              Alcotest.(check int) "samples" 100 r.Obs.Slo.s_count;
+              Alcotest.(check int) "all over target" 100 r.Obs.Slo.s_over;
+              Alcotest.(check bool) "p99 above target" true
+                (r.Obs.Slo.s_p99 > 100);
+              (* 100 over / (1% of 100) = 100x the error budget *)
+              Alcotest.(check bool) "burn 100x" true
+                (abs_float (r.Obs.Slo.s_burn -. 100.) < 1e-9)
+          | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs));
+          let reports = Obs.Slo.publish snap in
+          Alcotest.(check bool) "rendered table flags violation" true
+            (contains (Obs.Slo.render reports) "VIOLATED");
+          Alcotest.(check bool) "ledger burn accumulated" true
+            (Obs.Slo.ledger_burn ~name:"probe-p99" ~tenant:"3" > 1.0);
+          (* published gauges surface in the labelled top-k view *)
+          let snap = Obs.Snapshot.take () in
+          Alcotest.(check bool) "burn in top-k render" true
+            (contains
+               (Obs.Snapshot.render_top snap)
+               "top tenants by SLO error-budget burn");
+          (* satellite: reset clears the ledger but keeps the definition *)
+          Obs.reset ();
+          Alcotest.(check (float 1e-9)) "reset clears ledger" 0.0
+            (Obs.Slo.ledger_burn ~name:"probe-p99" ~tenant:"3");
+          Alcotest.(check int) "definition survives reset" 1
+            (List.length (Obs.Slo.definitions ()))))
 
 let () =
   Alcotest.run "obs"
@@ -473,6 +877,46 @@ let () =
           Alcotest.test_case "snapshot diff + round-trip" `Quick
             test_snapshot_diff_and_roundtrip;
           Alcotest.test_case "json parser" `Quick test_json_parse;
+          Alcotest.test_case "json string escapes" `Quick
+            test_json_string_escapes;
+          Alcotest.test_case "json nested round-trip" `Quick
+            test_json_nested_roundtrip;
+          Alcotest.test_case "json malformed rejected" `Quick
+            test_json_malformed;
+        ] );
+      ( "percentiles",
+        [
+          Alcotest.test_case "bucket edges" `Quick
+            test_hist_percentile_bucket_edges;
+          Alcotest.test_case "after merge + count_over" `Quick
+            test_hist_percentile_after_merge;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "canonical + series" `Quick
+            test_labels_canonical_and_series;
+          Alcotest.test_case "invalid rejected" `Quick test_labels_invalid;
+          Alcotest.test_case "labelled series in snapshot" `Quick
+            test_labeled_series_in_snapshot;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "op-ids + parent/child links" `Quick
+            test_op_ids_parent_child;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "bounded ring + reset" `Quick
+            test_flight_ring_and_reset;
+          Alcotest.test_case "autodump on health transition" `Quick
+            test_flight_autodump_on_health_transition;
+          Alcotest.test_case "dump on invariant failure" `Quick
+            test_flight_dump_on_invariant_failure;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "evaluate + publish + ledger" `Quick
+            test_slo_evaluate_publish_ledger;
         ] );
       ( "subscribers",
         [
