@@ -37,6 +37,7 @@ let print_report (r : Ch.report) =
     \  armed:   poison=%d kills=%d transients=%d scribbles=%d\n\
     \  tripped: media-faults=%d kills=%d transients=%d scribbles=%d  \
      (total %d)\n\
+    \  procs:   whole-process kills armed=%d fired=%d reaped=%d\n\
     \  poison:  healed=%d patrol-scrubbed=%d fenced=%d   transient \
      residue=%d\n\
     \  healing: repairs ok/failed=%d/%d  lease-steals=%d intent-repairs=%d \
@@ -45,7 +46,8 @@ let print_report (r : Ch.report) =
     r.Ch.c_rounds r.Ch.c_ops r.Ch.c_armed_poison r.Ch.c_armed_kills
     r.Ch.c_armed_transients r.Ch.c_armed_scribbles r.Ch.c_media_faults
     r.Ch.c_kills_fired r.Ch.c_transients_tripped r.Ch.c_scribbles_blocked
-    r.Ch.c_faults_tripped r.Ch.c_poison_healed r.Ch.c_poison_scrubbed
+    r.Ch.c_faults_tripped r.Ch.c_armed_proc_kills r.Ch.c_proc_kills
+    r.Ch.c_procs_reaped r.Ch.c_poison_healed r.Ch.c_poison_scrubbed
     r.Ch.c_poison_fenced r.Ch.c_transient_residue r.Ch.c_repairs_ok
     r.Ch.c_repairs_failed r.Ch.c_lease_steals r.Ch.c_intent_repairs
     r.Ch.c_graceful_errors r.Ch.c_quarantined r.Ch.c_offline
@@ -70,6 +72,9 @@ let json_of ~(r : Ch.report) ~min_faults ~negative_caught ~seconds =
   fld "armed_scribbles" (string_of_int r.Ch.c_armed_scribbles);
   fld "media_faults" (string_of_int r.Ch.c_media_faults);
   fld "kills_fired" (string_of_int r.Ch.c_kills_fired);
+  fld "armed_proc_kills" (string_of_int r.Ch.c_armed_proc_kills);
+  fld "proc_kills" (string_of_int r.Ch.c_proc_kills);
+  fld "procs_reaped" (string_of_int r.Ch.c_procs_reaped);
   fld "transients_tripped" (string_of_int r.Ch.c_transients_tripped);
   fld "scribbles_blocked" (string_of_int r.Ch.c_scribbles_blocked);
   fld "faults_tripped" (string_of_int r.Ch.c_faults_tripped);

@@ -1,14 +1,21 @@
 (* chaos: a randomized fault-injection campaign over a live ZoFS instance.
 
-   One simulated world, one KernFS, one FSLibs process.  The campaign
-   interleaves application traffic (the fxmark / filebench / fslab op
-   scripts plus generated churn) with four injection kinds:
+   One simulated world, one KernFS, MANY FSLibs processes: the driver
+   process plus a pool of tenant processes, each with its own dispatcher,
+   FD table and page table, sharing coffers only through the syscall gate
+   and the NVM device.  The campaign interleaves application traffic (the
+   fxmark / filebench / fslab op scripts, generated churn, and the tenants'
+   cross-process shared-file appends and shared-directory creates) with
+   four injection kinds:
 
      poison     NVM media errors on victim-coffer metadata lines (some
                 sticky — persistently failing cells)
-     kill       thread death mid-syscall (lease-holder death; the next op
-                on the structure steals the lease and repairs the
-                intention record)
+     kill       lease-holder death mid-syscall: alternately a single
+                thread and a WHOLE PROCESS (every thread of a victim pid
+                dies at its next suspension point, no unwinding; a
+                survivor then reaps the dead pid's kernel state and the
+                next op on the structure steals the lease and repairs the
+                intention record — the cross-process recovery of §5.2)
      transient  injected ENOMEM/EAGAIN on coffer_enlarge / coffer_map,
                 absorbed by FSLib's bounded retry
      scribble   stray user-space stores into coffer pages that MPK must
@@ -44,7 +51,10 @@ type report = {
   c_armed_scribbles : int;
   (* tripped, per kind *)
   c_media_faults : int;  (* loads that faulted on poisoned lines *)
-  c_kills_fired : int;
+  c_kills_fired : int;  (* threads killed (single-thread + whole-process) *)
+  c_armed_proc_kills : int;  (* whole-process kills attempted *)
+  c_proc_kills : int;  (* processes with >= 1 thread actually killed *)
+  c_procs_reaped : int;  (* dead pids deregistered via reap_process *)
   c_transients_tripped : int;
   c_scribbles_blocked : int;
   c_faults_tripped : int;  (* sum of the four above *)
@@ -70,9 +80,21 @@ let canary_path = "/canary"
 let canary_data = Op.payload ~tag:4242 300
 let n_victims = 6
 let victim_path i = Printf.sprintf "/v%d" i
+let n_tenants = 4
+let shared_path = "/work/shared"
 
-(* Build ZoFS + a FSLibs instance, keeping the dispatcher handle so the
-   online self-healing callback (scoped fsck of one coffer) can be wired. *)
+(* One FSLibs instance for the CALLING process: must run inside the sim
+   thread of the process that will use it (fs_mount registers that pid). *)
+let fslib_for kfs =
+  let disp = Treasury.Dispatcher.create kfs in
+  let ufs = Zofs.Ufs.create kfs in
+  Treasury.Dispatcher.register_ufs disp (module Zofs.Ufs) ufs;
+  Treasury.Dispatcher.set_repair disp (fun cid ->
+      Zofs.Recovery.recover_one kfs cid);
+  Treasury.Dispatcher.as_vfs disp
+
+(* Build ZoFS + the driver's own FSLibs instance, wiring the online
+   self-healing callback (scoped fsck of one coffer). *)
 let make_fs ~pages ~quarantine =
   let dev = D.create ~perf:Nvm.Perf.optane ~size:(pages * Nvm.page_size) () in
   let mpk = Mpk.create dev in
@@ -83,12 +105,7 @@ let make_fs ~pages ~quarantine =
   in
   Zofs.Ufs.mkfs kfs;
   K.set_quarantine_enabled kfs quarantine;
-  let disp = Treasury.Dispatcher.create kfs in
-  let ufs = Zofs.Ufs.create kfs in
-  Treasury.Dispatcher.register_ufs disp (module Zofs.Ufs) ufs;
-  Treasury.Dispatcher.set_repair disp (fun cid ->
-      Zofs.Recovery.recover_one kfs cid);
-  (dev, kfs, Treasury.Dispatcher.as_vfs disp)
+  (dev, kfs, fslib_for kfs)
 
 let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
     ?(quarantine = true) ?(flight_dir = ".") () =
@@ -160,11 +177,60 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
                | K.Healthy | K.Suspect -> true
                | K.Quarantined | K.Offline -> false)
       in
+      (* ---- multi-process tenant traffic ------------------------------- *)
+      (* Each tenant is its own simulated process with its own FSLib: the
+         only things it shares with the driver (and the other tenants) are
+         the kernel and the NVM device.  Tenants hammer one shared file and
+         the shared /work directory, so lease stealing and intention repair
+         after a kill routinely cross process boundaries. *)
+      guard
+        (Op.Create
+           { path = shared_path; mode = 0o644; data = Op.payload ~tag:777 100 });
+      let stop_tenants = ref false in
+      let tenant_tids =
+        List.init n_tenants (fun i ->
+            let tproc = Sim.Proc.create ~uid:0 ~gid:0 () in
+            Sim.spawn_tid w ~proc:tproc
+              ~name:(Printf.sprintf "chaos-tenant-%d" i)
+              (fun () ->
+                Obs.set_tenant i;
+                let tfs = fslib_for kfs in
+                let trng =
+                  Sim.Rng.create (Int64.add seed (Int64.of_int (1_000 + i)))
+                in
+                let apply op =
+                  incr ops;
+                  try match Op.apply tfs op with Ok () | Error _ -> ()
+                  with e ->
+                    violation
+                      (Printf.sprintf
+                         "exception escaped the dispatcher in tenant %d: %s" i
+                         (Printexc.to_string e))
+                in
+                let k = ref 0 in
+                while not !stop_tenants do
+                  apply
+                    (Op.Append
+                       { path = shared_path; data = Op.payload ~tag:i 48 });
+                  if !k mod 4 = 3 then
+                    apply
+                      (Op.Create
+                         {
+                           path = Printf.sprintf "/work/t%d_%d" i !k;
+                           mode = 0o644;
+                           data = Op.payload ~tag:(i + !k) 200;
+                         });
+                  incr k;
+                  Sim.advance (800 + Sim.Rng.int trng 1_200)
+                done))
+      in
       (* ---- the four injectors ---------------------------------------- *)
       let poison_list = ref [] in
       let armed_poison = ref 0 and armed_kills = ref 0 in
       let armed_transients = ref 0 and armed_scribbles = ref 0 in
       let kills_fired = ref 0 and scribbles_blocked = ref 0 in
+      let armed_proc_kills = ref 0 and proc_kills = ref 0 in
+      let procs_reaped = ref 0 in
       let inject_poison ~sticky =
         match healthy_victims () with
         | [] -> ()
@@ -251,6 +317,66 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
         end
         else violation "kill round: victim thread neither finished nor died"
       in
+      let inject_kill_process () =
+        (* A whole victim PROCESS: two threads, each with the shared
+           FSLib of a fresh pid, die together mid-operation.  The dead pid
+           can never fs_umount itself, so the driver reaps it, and the
+           re-run of its ops from this (different) process exercises the
+           cross-process steal + intention-repair path. *)
+        let vproc = Sim.Proc.create ~uid:0 ~gid:0 () in
+        let pid = vproc.Sim.Proc.pid in
+        let op_a =
+          match healthy_victims () with
+          | c :: _ -> Op.Append { path = c.Cf.path; data = Op.payload ~tag:9 90 }
+          | [] -> fresh_work_create ()
+        in
+        let op_b = fresh_work_create () in
+        let spawn_victim op =
+          ignore
+            (Sim.spawn_tid w ~proc:vproc ~name:"chaos-proc-victim" (fun () ->
+                 let vfs = fslib_for kfs in
+                 incr ops;
+                 try ignore (Op.apply vfs op)
+                 with e ->
+                   violation
+                     (Printf.sprintf
+                        "exception escaped the dispatcher in process-kill \
+                         victim: %s"
+                        (Printexc.to_string e))))
+        in
+        spawn_victim op_a;
+        spawn_victim op_b;
+        incr armed_proc_kills;
+        Obs.Flight.note "inject_kill_process" [ ("pid", string_of_int pid) ];
+        (* let the victims get mid-operation, then kill the whole pid *)
+        Sim.advance (200 + Sim.Rng.int rng 2_000);
+        let killed0 = Sim.killed_threads () in
+        armed_kills :=
+          !armed_kills
+          + List.length (List.filter Sim.thread_alive (Sim.proc_tids pid));
+        Sim.kill_process ~pid;
+        let budget = ref 200_000 in
+        while Sim.proc_alive pid && !budget > 0 do
+          decr budget;
+          Sim.advance 100
+        done;
+        if Sim.proc_alive pid then
+          violation "process kill: victim process still alive after budget"
+        else begin
+          kills_fired := !kills_fired + (Sim.killed_threads () - killed0);
+          if Sim.killed_threads () > killed0 then incr proc_kills;
+          (match K.reap_process kfs ~pid with
+          | Ok () -> incr procs_reaped
+          | Error e ->
+              violation
+                (Printf.sprintf "reap_process(%d) failed: %s" pid
+                   (E.to_string e)));
+          (* survivors re-run the dead pid's ops: steal its expired
+             leases, roll its intention records *)
+          guard op_a;
+          guard op_b
+        end
+      in
       let inject_transient () =
         let n = 1 + Sim.Rng.int rng 2 in
         let errno = if Sim.Rng.bool rng then E.ENOMEM else E.EAGAIN in
@@ -312,7 +438,7 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
         let r = !rounds in
         (match r mod 4 with
         | 0 -> inject_poison ~sticky:(r = 0 || r mod 48 = 24)
-        | 1 -> inject_kill ()
+        | 1 -> if r mod 8 = 1 then inject_kill_process () else inject_kill ()
         | 2 -> inject_transient ()
         | _ -> inject_scribble ());
         (* background traffic from the named workloads *)
@@ -327,6 +453,19 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
         violation
           (Printf.sprintf "campaign under-injected: %d/%d faults tripped"
              (tripped_total ()) min_faults);
+      (* quiesce the tenant processes so the end-of-campaign checks and the
+         offline fsck run on a silent system *)
+      stop_tenants := true;
+      List.iter
+        (fun tid ->
+          let budget = ref 200_000 in
+          while Sim.thread_alive tid && !budget > 0 do
+            decr budget;
+            Sim.advance 100
+          done;
+          if Sim.thread_alive tid then
+            violation "tenant thread failed to quiesce")
+        tenant_tids;
       (* ---- end-of-campaign invariants --------------------------------- *)
       (* a quarantined coffer is read-only: writes must be refused *)
       Array.iter
@@ -430,6 +569,9 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
             c_armed_scribbles = !armed_scribbles;
             c_media_faults = D.stat_media_faults dev;
             c_kills_fired = !kills_fired;
+            c_armed_proc_kills = !armed_proc_kills;
+            c_proc_kills = !proc_kills;
+            c_procs_reaped = !procs_reaped;
             c_transients_tripped = !armed_transients - transient_residue;
             c_scribbles_blocked = !scribbles_blocked;
             c_faults_tripped =

@@ -354,6 +354,32 @@ let fs_umount t =
       Hashtbl.remove t.procs pid;
       Ok ())
 
+(* Reap a dead process.  A process killed mid-run can never call fs_umount
+   itself — death drops its continuations without unwinding — so a surviving
+   thread (in a real system, the kernel's task-exit path; here the chaos
+   driver or a peer FSLib noticing the death) deregisters it: every coffer
+   mapping is torn down, the pid's page table is forgotten, and the
+   per-thread PKRU/kernel-mode state of its threads is dropped so nothing of
+   the victim's protection context survives the process switch.  Leases the
+   victim held are deliberately NOT touched: they live in NVM and expire on
+   their own; stealers + intention-record repair own that cleanup. *)
+let reap_process t ~pid =
+  kernel_op t (fun () ->
+      if Sim.proc_alive pid then Error Errno.EBUSY
+      else begin
+        (match Hashtbl.find_opt t.procs pid with
+        | None -> ()
+        | Some ps ->
+            let cids =
+              Hashtbl.fold (fun cid _ acc -> cid :: acc) ps.ps_mapped []
+            in
+            List.iter (fun cid -> unmap_from_process t cid pid) cids;
+            Hashtbl.remove t.procs pid);
+        Mpk.drop_process t.mpk ~pid ~tids:(Sim.proc_tids pid);
+        Obs.cnt "proc.reaped" 1;
+        Ok ()
+      end)
+
 (* Called when a process changes uid/gid (setuid): all mappings are torn
    down, as in the paper (§3.3). *)
 let on_setuid t =

@@ -110,6 +110,14 @@ val on_setuid : t -> (unit, Errno.t) result
 (** Tear down all of the calling process's mappings (the kernel does this
     when uid/gid change, §3.3). *)
 
+val reap_process : t -> pid:int -> (unit, Errno.t) result
+(** Deregister a {e dead} process on its behalf: a process killed mid-run
+    (see [Sim.kill_process]) can never call {!fs_umount} itself, so a
+    surviving thread reaps it — unmaps every coffer, forgets the pid's page
+    table, and drops its threads' PKRU/kernel-mode state.  Leases the victim
+    held are left to expire in NVM (stealers + intention-record repair own
+    that).  [EBUSY] while any thread of [pid] is still alive. *)
+
 (** {1 Coffer operations (paper Table 5)} *)
 
 val coffer_stat : t -> int -> (Coffer.info, Errno.t) result

@@ -144,38 +144,89 @@ type replay_result = {
    [K.mount], because mounting itself repairs allocation-table run-length
    hints (writes) that are not part of the workload's event stream; record
    and exploration passes share this exact code path, so their event
-   numbering agrees. *)
-let replay ?crash_at ?fence_drop w =
+   numbering agrees.
+
+   [procs > 1] replays the body from that many simulated PROCESSES: body op
+   [i] is issued by process [i mod procs] through that process's own FSLib
+   (own dispatcher, own mappings), in body order — a deterministic baton, so
+   the oracle's linear semantics still apply, but every op observes the
+   previous op's publish from a different process, and a crash point can
+   land exactly between one process's publish and the other's read of it.
+   A [Crash_now] raised in any process aborts the whole world (power fails
+   for everyone at once). *)
+let replay ?crash_at ?fence_drop ?(procs = 1) w =
   D.restore w.w_dev w.w_snap;
   let events = ref 0 and acked = ref 0 in
   let body_events = ref 0 in
   let sub = ref None in
   let dump = ref None in
+  let attach_subscriber () =
+    sub :=
+      Some
+        (D.add_trace_subscriber w.w_dev (fun ev ->
+             if count_event ev then begin
+               incr events;
+               match crash_at with
+               | Some k when !events >= k -> raise Crash_now
+               | _ -> ()
+             end))
+  in
+  let arm_fence_drop i =
+    match fence_drop with
+    | Some (target, n) when i = target -> D.inject_drop_fences w.w_dev n
+    | _ -> ()
+  in
   (try
-     Sim.run_thread (fun () ->
-         let mpk = Mpk.create w.w_dev in
-         let kfs = K.mount w.w_dev mpk in
-         sub :=
-           Some
-             (D.add_trace_subscriber w.w_dev (fun ev ->
-                  if count_event ev then begin
-                    incr events;
-                    match crash_at with
-                    | Some k when !events >= k -> raise Crash_now
-                    | _ -> ()
-                  end));
-         let fs = make_fs kfs in
-         Array.iteri
-           (fun i op ->
-             (match fence_drop with
-             | Some (target, n) when i = target ->
-                 D.inject_drop_fences w.w_dev n
-             | _ -> ());
-             ignore (Op.apply fs op);
-             acked := i + 1)
-           w.w_body;
-         body_events := !events;
-         if crash_at = None then dump := Some (read_fs fs))
+     if procs <= 1 then
+       Sim.run_thread (fun () ->
+           let mpk = Mpk.create w.w_dev in
+           let kfs = K.mount w.w_dev mpk in
+           attach_subscriber ();
+           let fs = make_fs kfs in
+           Array.iteri
+             (fun i op ->
+               arm_fence_drop i;
+               ignore (Op.apply fs op);
+               acked := i + 1)
+             w.w_body;
+           body_events := !events;
+           if crash_at = None then dump := Some (read_fs fs))
+     else begin
+       let wld = Sim.create () in
+       let n = Array.length w.w_body in
+       let next = ref 0 in
+       (* one op in flight at a time, in body order; everyone else idles *)
+       let apply_slice me fs =
+         while !next < n do
+           if !next mod procs = me then begin
+             let i = !next in
+             arm_fence_drop i;
+             ignore (Op.apply fs w.w_body.(i));
+             acked := i + 1;
+             incr next
+           end
+           else Sim.advance 50
+         done
+       in
+       Sim.spawn wld
+         ~proc:(Sim.Proc.create ~uid:0 ~gid:0 ())
+         ~name:"proc-0"
+         (fun () ->
+           let mpk = Mpk.create w.w_dev in
+           let kfs = K.mount w.w_dev mpk in
+           attach_subscriber ();
+           for p = 1 to procs - 1 do
+             Sim.spawn wld
+               ~proc:(Sim.Proc.create ~uid:0 ~gid:0 ())
+               ~name:(Printf.sprintf "proc-%d" p)
+               (fun () -> apply_slice p (make_fs kfs))
+           done;
+           let fs0 = make_fs kfs in
+           apply_slice 0 fs0;
+           body_events := !events;
+           if crash_at = None then dump := Some (read_fs fs0));
+       Sim.run wld
+     end
    with Crash_now -> ());
   (match !sub with Some id -> D.remove_trace_subscriber w.w_dev id | None -> ());
   {
@@ -402,8 +453,8 @@ let mix seed k =
 
 (* Explore one crash point: deterministic re-run aborted at event [k], crash
    under [policy], reboot + recover, compare with the oracle. *)
-let explore_point w ~seed ~policy k =
-  let rp = replay ~crash_at:k w in
+let explore_point w ~seed ~policy ~procs k =
+  let rp = replay ~crash_at:k ~procs w in
   D.set_crash_seed w.w_dev (mix seed k);
   D.crash ~policy w.w_dev;
   match recover_and_dump w with
@@ -413,14 +464,15 @@ let explore_point w ~seed ~policy k =
 
 (* Check one script.  All crash points are explored when the body generates
    at most [max_points] persistence events; otherwise a seeded sample (always
-   including the first and last event) keeps the run bounded. *)
+   including the first and last event) keeps the run bounded.  [procs]
+   spreads the body over that many simulated processes (see {!replay}). *)
 let check ?(pages = 1024) ?(max_points = 0) ?(seed = 1L) ?(progress = ignore)
-    (s : Op.script) =
+    ?(procs = 1) (s : Op.script) =
   let w = prepare ~pages s in
   let n = Array.length w.w_body in
   (* Record pass: count the events and prove the oracle itself agrees with
      ZoFS when no crash happens at all. *)
-  let rp = replay w in
+  let rp = replay ~procs w in
   (match rp.rp_dump with
   | Some d ->
       let md = Model.dump w.w_models.(n) in
@@ -449,7 +501,7 @@ let check ?(pages = 1024) ?(max_points = 0) ?(seed = 1L) ?(progress = ignore)
   List.iteri
     (fun i k ->
       let policy = List.nth all_policies (i mod List.length all_policies) in
-      let acked, rep, verdict = explore_point w ~seed ~policy k in
+      let acked, rep, verdict = explore_point w ~seed ~policy ~procs k in
       (match rep with
       | Some r ->
           findings := !findings + List.length (Recovery.findings r);

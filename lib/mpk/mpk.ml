@@ -213,6 +213,27 @@ let unmap_all t ~pid =
   | None -> ()
   | Some b -> Bytes.fill b 0 (Bytes.length b) '\000'
 
+(* Process teardown: forget the pid's page table entirely (unlike
+   [unmap_all], which keeps a zero-filled table) and drop the per-thread
+   register/mode state of its threads.  PKRU is per-logical-CPU state on real
+   hardware; when a process dies, the next thread scheduled on that core must
+   start from [pkru_all_disabled], never from the victim's register image —
+   dropping the entries restores exactly that default. *)
+let drop_thread_state t ~tid =
+  Hashtbl.remove t.pkru tid;
+  Hashtbl.remove t.kernel_depth tid;
+  Hashtbl.remove t.write_window tid
+
+let has_thread_state t ~tid =
+  Hashtbl.mem t.pkru tid || Hashtbl.mem t.kernel_depth tid
+  || Hashtbl.mem t.write_window tid
+
+let drop_process t ~pid ~tids =
+  Hashtbl.remove t.tables pid;
+  List.iter (fun tid -> drop_thread_state t ~tid) tids
+
+let has_table t ~pid = Hashtbl.mem t.tables pid
+
 let is_mapped t ~pid ~page =
   match Hashtbl.find_opt t.tables pid with
   | None -> false

@@ -37,6 +37,25 @@ val unmap_all : t -> pid:int -> unit
 val is_mapped : t -> pid:int -> page:int -> bool
 val page_pkey : t -> pid:int -> page:int -> pkey option
 
+(** {1 Process teardown (privileged; called by KernFS reaping)} *)
+
+val drop_process : t -> pid:int -> tids:int list -> unit
+(** Forget [pid]'s page table entirely (unlike {!unmap_all}, which keeps a
+    zero-filled one) and drop the per-thread PKRU / kernel-mode / write-window
+    state of every listed thread.  A fresh thread later scheduled on the same
+    simulated core starts from the all-disabled PKRU default — per-process
+    protection context must never leak across a process switch. *)
+
+val drop_thread_state : t -> tid:int -> unit
+(** Drop one thread's PKRU / kernel-mode / write-window entries. *)
+
+val has_thread_state : t -> tid:int -> bool
+(** [true] iff the unit still holds any per-thread state for [tid]
+    (no-leak assertions in tests). *)
+
+val has_table : t -> pid:int -> bool
+(** [true] iff a page table exists for [pid] (even if empty). *)
+
 (** {1 PKRU (unprivileged; called by FSLibs)} *)
 
 type perm = Pk_none | Pk_read | Pk_read_write

@@ -5,12 +5,16 @@
    create, unlink, same-directory rename, and truncate — on a fresh
    simulated world each, and records per-operation simulated latency,
    persistence-instruction counts (clwb/sfence, with the redundancy split
-   the device tracks), kernel crossings, and coffer_enlarge calls.
+   the device tracks), kernel crossings, and coffer_enlarge calls.  Two
+   multi-process experiments ride along: 64 tenant processes — each with
+   its own FSLib (dispatcher + FD table + per-process mappings) — hammer
+   one shared file / one shared directory through the syscall gate, so the
+   baseline also pins the cross-process lease-handoff cost.
 
-   Everything measured is simulated and single-threaded, so two runs of the
-   same binary produce byte-identical numbers; the committed baseline
-   (BENCH_perf.json at the repository root) therefore encodes the exact
-   cost of every hot path, and `dune build @perf` fails when a change
+   Everything measured is simulated and cooperatively scheduled, so two
+   runs of the same binary produce byte-identical numbers; the committed
+   baseline (BENCH_perf.json at the repository root) therefore encodes the
+   exact cost of every hot path, and `dune build @perf` fails when a change
    regresses any per-op metric beyond tolerance.  Improvements are reported
    and become the new baseline by re-running with --write-baseline. *)
 
@@ -158,6 +162,99 @@ let exp_truncate ~ops () =
       done)
     ()
 
+(* Like [in_world], but [nprocs] tenant processes.  Each tenant is a
+   fresh [Sim.Proc] with its own FSLib built over the one shared KernFS —
+   so every op crosses the syscall gate of its own process and contends
+   for the shared coffer's lease against the other 63.  The sim schedules
+   tenants by (time, seq): deterministic, so the committed baseline pins
+   the cross-process interleaving cost exactly.  Tenants carry an obs
+   label keyed by their index (not their pid — pids are a global counter,
+   not stable across runs) so zofs_top/zofs_stat attribute latency per
+   tenant when obs is enabled. *)
+let in_shared_world ~nprocs ~ops_per_proc ~setup ~worker () =
+  let world = Sim.create () in
+  let result = ref None in
+  Sim.spawn world
+    ~proc:(Sim.Proc.create ~uid:0 ~gid:0 ())
+    ~name:"shared-setup"
+    (fun () ->
+      let inst = FL.make ~pages:16384 FL.Zofs in
+      let kfs = Option.get inst.FL.kernfs in
+      let dev = inst.FL.device in
+      setup inst.FL.fs;
+      Nvm.Device.reset_stats dev;
+      let c0 = Treasury.Gate.syscall_count (Treasury.Kernfs.gate kfs) in
+      let e0 = Treasury.Kernfs.enlarge_count kfs in
+      let t0 = Sim.now () in
+      let live = ref nprocs in
+      for p = 0 to nprocs - 1 do
+        Sim.spawn world
+          ~proc:(Sim.Proc.create ~uid:0 ~gid:0 ())
+          ~name:(Printf.sprintf "tenant-%d" p)
+          (fun () ->
+            Obs.set_tenant p;
+            let fs = FL.zofs_fslib kfs in
+            let run_op = worker fs p in
+            for i = 0 to ops_per_proc - 1 do
+              run_op i;
+              Sim.advance 200
+            done;
+            decr live;
+            (* the last tenant to drain closes the measured phase *)
+            if !live = 0 then
+              result :=
+                Some
+                  {
+                    ops = nprocs * ops_per_proc;
+                    sim_ns = Sim.now () - t0;
+                    flushes = Nvm.Device.stat_flushes dev;
+                    redundant_flushes = Nvm.Device.stat_redundant_flushes dev;
+                    fences = Nvm.Device.stat_fences dev;
+                    redundant_fences = Nvm.Device.stat_redundant_fences dev;
+                    crossings =
+                      Treasury.Gate.syscall_count (Treasury.Kernfs.gate kfs)
+                      - c0;
+                    enlarge_calls = Treasury.Kernfs.enlarge_count kfs - e0;
+                  })
+      done);
+  Sim.run world;
+  Option.get !result
+
+(* 64 processes appending 4 KB blocks to one shared file: the Table 2
+   worst case, dominated by lease handoff between processes. *)
+let exp_shared_append ~nprocs ~ops_per_proc () =
+  in_shared_world ~nprocs ~ops_per_proc
+    ~setup:(fun fs -> ok (V.write_file fs "/shared" ~mode:0o644 ""))
+    ~worker:(fun fs _p ->
+      let fd = ref None in
+      fun _i ->
+        let f =
+          match !fd with
+          | Some f -> f
+          | None ->
+              let f =
+                ok (V.openf fs "/shared" [ Ft.O_WRONLY; Ft.O_APPEND ] 0)
+              in
+              fd := Some f;
+              f
+        in
+        ignore (ok (V.write fs f block)))
+    ()
+
+(* 64 processes creating empty files in one shared directory. *)
+let exp_shared_create ~nprocs ~ops_per_proc () =
+  in_shared_world ~nprocs ~ops_per_proc
+    ~setup:(fun fs -> ok (V.mkdir fs "/sdir" 0o755))
+    ~worker:(fun fs p i ->
+      let fd =
+        ok
+          (V.openf fs
+             (Printf.sprintf "/sdir/p%d_f%d" p i)
+             [ Ft.O_CREAT; Ft.O_WRONLY ] 0o644)
+      in
+      ok (V.close fs fd))
+    ()
+
 let experiments ~quick =
   let s n = if quick then n / 2 else n in
   [
@@ -166,6 +263,10 @@ let experiments ~quick =
     ("unlink", fun () -> exp_unlink ~ops:(s 96) ());
     ("rename", fun () -> exp_rename ~ops:(s 96) ());
     ("truncate", fun () -> exp_truncate ~ops:(s 48) ());
+    ( "shared-append-64p",
+      fun () -> exp_shared_append ~nprocs:64 ~ops_per_proc:(s 8) () );
+    ( "shared-create-64p",
+      fun () -> exp_shared_create ~nprocs:64 ~ops_per_proc:(s 8) () );
   ]
 
 let run_all ~quick () =
@@ -356,13 +457,13 @@ let compare_results ?(tol = default_tol) ~baseline ~current () =
 let render_results results =
   let b = Buffer.create 512 in
   Buffer.add_string b
-    (Printf.sprintf "  %-10s %6s %12s %10s %9s %10s %9s\n" "experiment" "ops"
+    (Printf.sprintf "  %-17s %6s %12s %10s %9s %10s %9s\n" "experiment" "ops"
        "sim-ns/op" "flush/op" "fence/op" "cross/op" "enlarge");
   List.iter
     (fun r ->
       let m = r.r_m in
       Buffer.add_string b
-        (Printf.sprintf "  %-10s %6d %12.0f %10.2f %9.2f %10.3f %9d\n" r.r_name
+        (Printf.sprintf "  %-17s %6d %12.0f %10.2f %9.2f %10.3f %9d\n" r.r_name
            m.ops (ns_per_op m) (flushes_per_op m) (fences_per_op m)
            (crossings_per_op m) m.enlarge_calls))
     results;

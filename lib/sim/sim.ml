@@ -139,6 +139,7 @@ and world = {
   nokill : (int, int) Hashtbl.t;  (* tid -> no-kill nesting depth *)
   mutable killed : int;
   dead : (int, unit) Hashtbl.t;  (* tids that exited or were killed *)
+  proc_threads : (int, int list ref) Hashtbl.t;  (* pid -> tids, spawn order *)
 }
 
 exception Deadlock of string
@@ -175,6 +176,7 @@ let create ?(seed = 42L) () =
     nokill = Hashtbl.create 8;
     killed = 0;
     dead = Hashtbl.create 8;
+    proc_threads = Hashtbl.create 8;
   }
 
 (* The world currently executing [run]; single-domain, so a plain ref. *)
@@ -277,6 +279,36 @@ let thread_alive tid =
   | None -> false
   | Some w -> tid >= 0 && tid < w.next_tid && not (Hashtbl.mem w.dead tid)
 
+(* ---- whole-process kill ------------------------------------------------- *)
+
+(* Threads are indexed by the pid of their process at spawn time, in spawn
+   order, so process-wide operations (kill, reap) iterate deterministically. *)
+
+let proc_tids pid =
+  match !active with
+  | None -> []
+  | Some w -> (
+      match Hashtbl.find_opt w.proc_threads pid with
+      | Some l -> List.rev !l
+      | None -> [])
+
+let proc_alive pid = List.exists thread_alive (proc_tids pid)
+
+(* SIGKILL for a whole simulated process: every live thread of [pid] is armed
+   to die at its very next suspension point outside a [with_no_kill] section.
+   As with [arm_kill], death drops the continuation without unwinding — no
+   finalizer, no lease release — and a thread inside a system call (no-kill)
+   completes it first, so the kernel lock is never orphaned.  Threads parked
+   on a sync object die at their first [advance] after being woken. *)
+let kill_process ~pid =
+  match !active with
+  | None -> ()
+  | Some w ->
+      List.iter
+        (fun tid ->
+          if not (Hashtbl.mem w.dead tid) then Hashtbl.replace w.kills tid 1)
+        (proc_tids pid)
+
 let with_no_kill f =
   match current_thread () with
   | None -> f ()
@@ -327,6 +359,9 @@ let spawn_tid w ?proc ?at ~name body =
   let tid = w.next_tid in
   w.next_tid <- tid + 1;
   w.live <- w.live + 1;
+  (match Hashtbl.find_opt w.proc_threads proc.Proc.pid with
+  | Some l -> l := tid :: !l
+  | None -> Hashtbl.replace w.proc_threads proc.Proc.pid (ref [ tid ]));
   let t = { tid; tname = name; proc; time = start; world = w } in
   sync_emit
     (S_spawn

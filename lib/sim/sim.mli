@@ -108,6 +108,29 @@ val with_no_kill : (unit -> 'a) -> 'a
     critical sections — a thread dying while holding the KernFS mutex would
     model a kernel panic, not a process death. *)
 
+(** {1 Whole-process kill}
+
+    The multi-process analogue of {!arm_kill}: SIGKILL delivered to a whole
+    simulated process.  Every thread of the pid dies at its next suspension
+    point, with the same no-unwinding semantics — survivors in other
+    processes must recover through the on-media protocols, and a surviving
+    thread must reap the kernel-side state (see [Kernfs.reap_process]). *)
+
+val kill_process : pid:int -> unit
+(** Arm every live thread of [pid] in the active world to die at its next
+    {!advance} outside a {!with_no_kill} section (a thread inside a system
+    call completes it first; one parked on a sync object dies at its first
+    [advance] after waking).  No-op outside a running world. *)
+
+val proc_alive : int -> bool
+(** [proc_alive pid] is [true] iff at least one thread spawned under [pid]
+    in the active world is still alive. *)
+
+val proc_tids : int -> int list
+(** All tids ever spawned under [pid] in the active world (dead or alive),
+    in spawn order.  Used by kernel-side reaping to drop per-thread
+    protection state. *)
+
 (** {1 Synchronization trace}
 
     Scheduler-level events consumed by dynamic analyses (lib/race) that need

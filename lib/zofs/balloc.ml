@@ -135,6 +135,24 @@ let rec my_slot t =
           Some i
       | None -> None)
 
+(* Re-validate — and renew to a full duration — ownership of [slot] after
+   a potentially blocking wait (the global-lease queue, the kernel gate
+   inside coffer_enlarge).  Under heavy cross-process contention the wait
+   can outlive the slot lease, and the slot then belongs to a stealer that
+   is doing its own list surgery on it: a stale owner touching the list
+   would tear it into wild pointers.  A failed renewal CAS means a steal
+   raced us just now — also not ours. *)
+let own_slot t slot =
+  let a = slot_addr t slot in
+  let v = Nvm.Device.read_u64 t.dev (a + Layout.s_owner) in
+  Lease.code_of v = Lease.owner_code ()
+  && (Lease.expiry_of v - Sim.now () >= Lease.default_duration / 2
+     || Nvm.Device.cas_u64 t.dev (a + Layout.s_owner) ~expected:v
+          ~desired:
+            (Lease.pack
+               ~expiry:(Sim.now () + Lease.default_duration)
+               ~code:(Lease.owner_code ())))
+
 (* ---- free-list plumbing ------------------------------------------------- *)
 
 let read_next t page_addr = Nvm.Device.read_u64 t.dev page_addr
@@ -163,8 +181,12 @@ let pop t ~head_addr ~count_addr =
   end
 
 (* Move up to [n] pages from the global list into a thread slot (global
-   lease held). *)
+   lease held).  The caller just sat in the global-lease queue, so the
+   slot may have been stolen meanwhile: refuse to touch it if so — the
+   caller retries and re-claims. *)
 let refill_from_global t slot n =
+  if not (own_slot t slot) then 0
+  else
   let a = slot_addr t slot in
   (* Slot-list words are guarded by slot ownership (the CAS-claimed owner
      word), not by a lease the detector can see — declare the ownership as
@@ -208,16 +230,34 @@ let enlarge_into_slot t slot =
       Hashtbl.replace t.next_enlarge tid
         (if granted >= want then min (want * 2) (max !enlarge_cap !enlarge_batch)
          else !enlarge_batch);
-      let a = slot_addr t slot in
-      Race.locked t.dev ~addr:(a + Layout.s_owner) (fun () ->
-          List.iter
-            (fun (start, len) ->
-              for p = start to start + len - 1 do
-                push t ~head_addr:(a + Layout.s_head)
-                  ~count_addr:(a + Layout.s_count)
-                  (p * Layout.page_size)
-              done)
-            runs);
+      (if own_slot t slot then
+         let a = slot_addr t slot in
+         Race.locked t.dev ~addr:(a + Layout.s_owner) (fun () ->
+             List.iter
+               (fun (start, len) ->
+                 for p = start to start + len - 1 do
+                   push t ~head_addr:(a + Layout.s_head)
+                     ~count_addr:(a + Layout.s_count)
+                     (p * Layout.page_size)
+                 done)
+               runs)
+       else begin
+         (* The kernel-gate wait outlived the slot lease and a stealer owns
+            the slot now: park the grant on the coffer-global list instead
+            of scribbling on the stealer's surgery; the retrying caller
+            (re-claiming a slot) refills from there. *)
+         Obs.cnt "balloc.slot_lost_enlarges" 1;
+         Lease.with_lease t.dev (t.custom + Layout.c_global_lease) (fun () ->
+             List.iter
+               (fun (start, len) ->
+                 for p = start to start + len - 1 do
+                   push t
+                     ~head_addr:(t.custom + Layout.c_global_head)
+                     ~count_addr:(t.custom + Layout.c_global_count)
+                     (p * Layout.page_size)
+                 done)
+               runs)
+       end);
       if granted = 0 then Error Treasury.Errno.ENOSPC else Ok ()
 
 (* ---- public allocation API ---------------------------------------------- *)

@@ -42,15 +42,23 @@ let acquire ?(duration = default_duration) dev addr =
         (* Taking over a nonzero expired word is a steal: the holder died
            (or stalled past its lease) mid-operation. *)
         if v <> 0 && code_of v <> me then begin
+          let victim_tid = code_of v - 2 in
           Obs.cnt_coffer "lease.steals" 1;
+          (* Stealing from a thread that no longer exists (its whole process
+             was SIGKILLed, possibly a different process than ours) is the
+             cross-process recovery path of §5.2 — count it separately so
+             the chaos campaign can reconcile process kills against steals. *)
+          if not (Sim.thread_alive victim_tid) then
+            Obs.cnt "lease.steals_dead_holder" 1;
           Obs.Flight.note "lease_steal"
             [
               ("addr", string_of_int addr);
-              ("victim_tid", string_of_int (code_of v - 2));
+              ("victim_tid", string_of_int victim_tid);
+              ("victim_alive", string_of_bool (Sim.thread_alive victim_tid));
             ];
           (* The dead (or stalled) holder never released: hand the race
              detector the ordering edge the CAS chain cannot provide. *)
-          Race.on_lease_steal dev ~victim_tid:(code_of v - 2)
+          Race.on_lease_steal dev ~victim_tid
         end;
         Obs.lease_end tok ~retries:!retries;
         Check.on_lease_acquired dev addr;

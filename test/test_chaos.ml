@@ -167,6 +167,17 @@ let kill_one_attempt w proc ~after fails op =
     false
   end
 
+(* A FSLibs instance for the CALLING process (fs_mount registers the pid of
+   the sim thread that runs this): cross-process tests give every simulated
+   process its own dispatcher + FD table this way. *)
+let mk_fslib kfs =
+  let disp = Treasury.Dispatcher.create kfs in
+  let ufs = Zofs.Ufs.create kfs in
+  Treasury.Dispatcher.register_ufs disp (module Zofs.Ufs) ufs;
+  Treasury.Dispatcher.set_repair disp (fun cid ->
+      Zofs.Recovery.recover_one kfs cid);
+  Treasury.Dispatcher.as_vfs disp
+
 let orig = String.make 120 'o'
 let vblock = String.make 80 'V'
 let dblock = String.make 40 'D'
@@ -332,6 +343,279 @@ let test_kill_mid_ftruncate_steal_rolls_forward () =
   Alcotest.(check bool) "the Trunc intention was rolled forward" true
     (counter_delta snap0 "intent.repairs" >= 1)
 
+(* ---- cross-process whole-process kills ---------------------------------- *)
+
+(* Process A (its own pid, its own FSLib) dies as a unit — every thread
+   killed at its next suspension point by [Sim.kill_process] — while
+   appending.  Process B reaps the dead pid, and B's next append on the same
+   file steals the dead holder's lease and rolls the pending size intention
+   back: the file never shows a torn tail, even though repairer and victim
+   never shared a process. *)
+let test_cross_process_kill_mid_append_steal_repairs () =
+  obs_on ();
+  let snap0 = Obs.Snapshot.take () in
+  let w = Sim.create ~seed:16L () in
+  let proc_b = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let failures = ref [] in
+  let fails m = failures := m :: !failures in
+  let kills = ref 0 and reaps = ref 0 in
+  Sim.spawn w ~proc:proc_b ~name:"process-B" (fun () ->
+      let _dev, kfs, fs = mk_zofs () in
+      (match V.write_file fs "/f" orig with
+      | Ok () -> ()
+      | Error e -> fails ("setup: " ^ E.to_string e));
+      let repaired () =
+        counter_delta snap0 "lease.steals_repaired" >= 1
+        || counter_delta snap0 "intent.repairs" >= 1
+      in
+      let attempt = ref 0 in
+      while (not (repaired ())) && !attempt < 200 && !failures = [] do
+        incr attempt;
+        let proc_a = Sim.Proc.create ~uid:0 ~gid:0 () in
+        let pid = proc_a.Sim.Proc.pid in
+        let ready = ref false in
+        ignore
+          (Sim.spawn_tid w ~proc:proc_a ~name:"A-appender" (fun () ->
+               let fs_a = mk_fslib kfs in
+               ready := true;
+               try
+                 match V.append_file fs_a "/f" vblock with Ok () | Error _ -> ()
+               with e ->
+                 fails ("exception escaped in A: " ^ Printexc.to_string e)));
+        (* wait for A's FSLib, then sweep the kill point through the append *)
+        let budget = ref 100_000 in
+        while (not !ready) && !budget > 0 do
+          decr budget;
+          Sim.advance 100
+        done;
+        if not !ready then fails "process A never became ready";
+        for _ = 1 to !attempt do
+          Sim.advance 75
+        done;
+        let k0 = Sim.killed_threads () in
+        Sim.kill_process ~pid;
+        let budget = ref 100_000 in
+        while Sim.proc_alive pid && !budget > 0 do
+          decr budget;
+          Sim.advance 100
+        done;
+        if Sim.proc_alive pid then
+          fails "process A still alive after kill budget"
+        else begin
+          if Sim.killed_threads () > k0 then incr kills;
+          (match K.reap_process kfs ~pid with
+          | Ok () -> incr reaps
+          | Error e -> fails ("reap: " ^ E.to_string e));
+          (* B's op on the shared file is the cross-process stealer *)
+          match V.append_file fs "/f" dblock with
+          | Ok () -> ()
+          | Error e -> fails ("B append: " ^ E.to_string e)
+        end
+      done;
+      match V.read_file fs "/f" with
+      | Ok d ->
+          if not (untorn d) then
+            fails
+              (Printf.sprintf "torn content (%d bytes) after %d process kills"
+                 (String.length d) !kills)
+      | Error e -> fails ("final read: " ^ E.to_string e));
+  Sim.run w;
+  (match !failures with [] -> () | m :: _ -> Alcotest.fail m);
+  Alcotest.(check bool) "at least one whole-process kill landed" true
+    (!kills >= 1);
+  Alcotest.(check bool) "every dead pid was reaped" true (!reaps >= !kills);
+  Alcotest.(check bool) "a dead-holder steal crossed processes" true
+    (counter_delta snap0 "lease.steals_dead_holder" >= 1);
+  Alcotest.(check bool) "size intention rolled back at least once" true
+    (counter_delta snap0 "lease.steals_repaired" >= 1
+    || counter_delta snap0 "intent.repairs" >= 1)
+
+(* Same shape for ftruncate: the Trunc intention of a whole dead PROCESS
+   must be rolled FORWARD by another process — the observable state is the
+   post-truncate one, never a torn in-between. *)
+let test_cross_process_kill_mid_ftruncate_rolls_forward () =
+  obs_on ();
+  let snap0 = Obs.Snapshot.take () in
+  let w = Sim.create ~seed:18L () in
+  let proc_b = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let failures = ref [] in
+  let fails m = failures := m :: !failures in
+  let kills = ref 0 in
+  Sim.spawn w ~proc:proc_b ~name:"process-B" (fun () ->
+      let _dev, kfs, fs = mk_zofs () in
+      let big = String.init 9000 (fun i -> Char.chr (97 + (i mod 26))) in
+      let repaired () = counter_delta snap0 "intent.repairs" >= 1 in
+      let attempt = ref 0 in
+      while (not (repaired ())) && !attempt < 200 && !failures = [] do
+        incr attempt;
+        (* B's reset write doubles as the stealer of the previous round's
+           dead-process lease *)
+        (match V.write_file fs "/t" big with
+        | Ok () -> ()
+        | Error e -> fails ("reset write: " ^ E.to_string e));
+        let proc_a = Sim.Proc.create ~uid:0 ~gid:0 () in
+        let pid = proc_a.Sim.Proc.pid in
+        let ready = ref false in
+        ignore
+          (Sim.spawn_tid w ~proc:proc_a ~name:"A-truncator" (fun () ->
+               let fs_a = mk_fslib kfs in
+               ready := true;
+               try match V.truncate fs_a "/t" 2000 with Ok () | Error _ -> ()
+               with e ->
+                 fails ("exception escaped in A: " ^ Printexc.to_string e)));
+        let budget = ref 100_000 in
+        while (not !ready) && !budget > 0 do
+          decr budget;
+          Sim.advance 100
+        done;
+        if not !ready then fails "process A never became ready";
+        for _ = 1 to !attempt do
+          Sim.advance 75
+        done;
+        let k0 = Sim.killed_threads () in
+        Sim.kill_process ~pid;
+        let budget = ref 100_000 in
+        while Sim.proc_alive pid && !budget > 0 do
+          decr budget;
+          Sim.advance 100
+        done;
+        if Sim.proc_alive pid then
+          fails "process A still alive after kill budget"
+        else begin
+          if Sim.killed_threads () > k0 then incr kills;
+          match K.reap_process kfs ~pid with
+          | Ok () -> ()
+          | Error e -> fails ("reap: " ^ E.to_string e)
+        end
+      done;
+      (match V.truncate fs "/t" 2000 with Ok () | Error _ -> ());
+      match V.read_file fs "/t" with
+      | Ok d ->
+          if String.length d <> 2000 || d <> String.sub big 0 2000 then
+            fails
+              (Printf.sprintf "content torn after %d process kills (%d bytes)"
+                 !kills (String.length d))
+      | Error e -> fails ("final read: " ^ E.to_string e));
+  Sim.run w;
+  (match !failures with [] -> () | m :: _ -> Alcotest.fail m);
+  Alcotest.(check bool) "at least one whole-process kill landed" true
+    (!kills >= 1);
+  Alcotest.(check bool) "the Trunc intention was rolled forward" true
+    (counter_delta snap0 "intent.repairs" >= 1)
+
+(* Acceptance (ISSUE 9): every thread of a lease-holding process is killed
+   while >= 4 other processes hammer the same coffer; the hammers steal the
+   dead pid's lease, the dead pid is reaped, no write is ever torn, and the
+   offline fsck over the residue is a clean fixpoint. *)
+let test_whole_process_kill_under_hammer () =
+  obs_on ();
+  let snap0 = Obs.Snapshot.take () in
+  let w = Sim.create ~seed:17L () in
+  let proc_d = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let failures = ref [] in
+  let fails m = failures := m :: !failures in
+  let stop = ref false in
+  let hammer_ops = ref 0 in
+  let proc_killed = ref false and reaped = ref false in
+  let fixpoint = ref false in
+  Sim.spawn w ~proc:proc_d ~name:"driver" (fun () ->
+      let _dev, kfs, fs = mk_zofs () in
+      (match V.write_file fs "/f" orig with
+      | Ok () -> ()
+      | Error e -> fails ("setup: " ^ E.to_string e));
+      (* >= 4 hammer processes, each with its own FSLib, same coffer *)
+      let hammer_tids =
+        List.init 4 (fun i ->
+            let hproc = Sim.Proc.create ~uid:0 ~gid:0 () in
+            Sim.spawn_tid w ~proc:hproc
+              ~name:(Printf.sprintf "hammer-%d" i)
+              (fun () ->
+                let hfs = mk_fslib kfs in
+                while not !stop do
+                  (match V.append_file hfs "/f" dblock with
+                  | Ok () -> incr hammer_ops
+                  | Error e -> fails ("hammer append: " ^ E.to_string e)
+                  | exception e ->
+                      fails ("hammer raised: " ^ Printexc.to_string e));
+                  (* think time: keeps the lease mostly free so the victims
+                     actually HOLD it (not just spin on it) when killed *)
+                  Sim.advance 4_000
+                done))
+      in
+      (* fresh victim processes (two appender threads each) until a kill
+         lands while the pid holds the file lease, proven by a hammer
+         stealing from a holder whose threads are all dead *)
+      let attempt = ref 0 in
+      while
+        counter_delta snap0 "lease.steals_dead_holder" < 1
+        && !attempt < 120 && !failures = []
+      do
+        incr attempt;
+        let vproc = Sim.Proc.create ~uid:0 ~gid:0 () in
+        let pid = vproc.Sim.Proc.pid in
+        let spawn_appender () =
+          ignore
+            (Sim.spawn_tid w ~proc:vproc ~name:"victim-appender" (fun () ->
+                 let vfs = mk_fslib kfs in
+                 try
+                   while true do
+                     (match V.append_file vfs "/f" vblock with
+                     | Ok () | Error _ -> ());
+                     Sim.advance 200
+                   done
+                 with e ->
+                   fails ("exception escaped in victim: " ^ Printexc.to_string e)))
+        in
+        spawn_appender ();
+        spawn_appender ();
+        Sim.advance (2_000 + (137 * !attempt));
+        Sim.kill_process ~pid;
+        let budget = ref 200_000 in
+        while Sim.proc_alive pid && !budget > 0 do
+          decr budget;
+          Sim.advance 100
+        done;
+        if Sim.proc_alive pid then fails "victim process did not die"
+        else begin
+          proc_killed := true;
+          match K.reap_process kfs ~pid with
+          | Ok () -> reaped := true
+          | Error e -> fails ("reap: " ^ E.to_string e)
+        end
+      done;
+      stop := true;
+      List.iter
+        (fun tid ->
+          let b = ref 200_000 in
+          while Sim.thread_alive tid && !b > 0 do
+            decr b;
+            Sim.advance 100
+          done;
+          if Sim.thread_alive tid then fails "hammer thread failed to stop")
+        hammer_tids;
+      (match V.append_file fs "/f" dblock with
+      | Ok () -> ()
+      | Error e -> fails ("driver append: " ^ E.to_string e));
+      (match V.read_file fs "/f" with
+      | Ok d ->
+          if not (untorn d) then
+            fails
+              (Printf.sprintf "torn content under multi-process hammer (%d \
+                               bytes)"
+                 (String.length d))
+      | Error e -> fails ("final read: " ^ E.to_string e));
+      ignore (Zofs.Recovery.recover_all kfs);
+      let rep2 = Zofs.Recovery.recover_all kfs in
+      fixpoint := Zofs.Recovery.findings rep2 = []);
+  Sim.run w;
+  (match !failures with [] -> () | m :: _ -> Alcotest.fail m);
+  Alcotest.(check bool) "victim process was killed as a unit" true !proc_killed;
+  Alcotest.(check bool) "the dead pid was reaped" true !reaped;
+  Alcotest.(check bool) "a dead-holder steal crossed processes" true
+    (counter_delta snap0 "lease.steals_dead_holder" >= 1);
+  Alcotest.(check bool) "hammer processes made progress" true (!hammer_ops > 0);
+  Alcotest.(check bool) "fsck fixpoint clean over the residue" true !fixpoint
+
 (* ---- the campaign itself ------------------------------------------------ *)
 
 let test_campaign_smoke () =
@@ -346,6 +630,8 @@ let test_campaign_smoke () =
     && r.Chaos.c_kills_fired > 0
     && r.Chaos.c_transients_tripped > 0
     && r.Chaos.c_scribbles_blocked > 0);
+  Alcotest.(check bool) "whole-process kills fired and were reaped" true
+    (r.Chaos.c_proc_kills > 0 && r.Chaos.c_procs_reaped >= r.Chaos.c_proc_kills);
   (* the campaign's fault counters must surface on the human-readable
      robustness line (zofs_stat / zofs_shell stats) *)
   let rendered = Obs.Snapshot.render (Obs.Snapshot.take ()) in
@@ -465,6 +751,17 @@ let () =
             `Quick test_kill_mid_truncate_converges;
           Alcotest.test_case "kill mid-ftruncate: steal + roll-forward"
             `Quick test_kill_mid_ftruncate_steal_rolls_forward;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "whole-process kill mid-append: cross-process \
+                              steal + rollback"
+            `Quick test_cross_process_kill_mid_append_steal_repairs;
+          Alcotest.test_case "whole-process kill mid-ftruncate: cross-process \
+                              roll-forward"
+            `Quick test_cross_process_kill_mid_ftruncate_rolls_forward;
+          Alcotest.test_case "whole-process kill under 4-process hammer"
+            `Quick test_whole_process_kill_under_hammer;
         ] );
       ( "campaign",
         [

@@ -179,6 +179,66 @@ let test_exhaustive_rename_samedir () =
   in
   assert_clean "rename-samedir" (C.check s)
 
+(* Two PROCESSES sharing a file and a directory (ISSUE 9): body op [i] is
+   issued by process [i mod 2] through that process's own FSLib, so every
+   op reads state the OTHER process just published, and the sweep explores
+   crash points landing exactly between one process's publish (its last
+   fenced line) and the other's read of it.  Recovery must converge to an
+   oracle-tolerated state from every one of them. *)
+let test_exhaustive_two_process_shared () =
+  let s =
+    {
+      Op.sname = "unit-two-proc-shared";
+      setup =
+        [
+          Op.Mkdir "/d";
+          Op.Create
+            { path = "/d/shared"; mode = 0o644; data = String.make 200 's' };
+        ];
+      body =
+        [
+          (* P0 *) Op.Append { path = "/d/shared"; data = String.make 90 'A' };
+          (* P1 *) Op.Append { path = "/d/shared"; data = String.make 90 'B' };
+          (* P0 *) Op.Create { path = "/d/c0"; mode = 0o644; data = "zero" };
+          (* P1 *) Op.Create { path = "/d/c1"; mode = 0o644; data = "one" };
+          (* P0 *) Op.Append { path = "/d/shared"; data = String.make 90 'C' };
+          (* P1 *) Op.Rename { src = "/d/c0"; dst = "/d/c0r" };
+        ];
+    }
+  in
+  assert_clean "two-proc-shared" (C.check ~procs:2 s)
+
+(* The same two-process body must also agree with the oracle when no crash
+   happens at all — cross-process visibility through separate FSLibs is
+   exactly the property the dispatcher's shared-NVM mappings promise. *)
+let test_two_process_no_crash_agreement () =
+  let s =
+    {
+      Op.sname = "unit-two-proc-agree";
+      setup = [ Op.Mkdir "/d" ];
+      body =
+        [
+          Op.Create { path = "/d/f"; mode = 0o644; data = "base" };
+          Op.Append { path = "/d/f"; data = "+p1" };
+          Op.Append { path = "/d/f"; data = "+p0" };
+          Op.Mkdir "/d/sub";
+          Op.Rename { src = "/d/f"; dst = "/d/sub/f" };
+        ];
+    }
+  in
+  let w = C.prepare s in
+  let rp = C.replay ~procs:2 w in
+  let fs_dump =
+    match rp.C.rp_dump with
+    | Some d -> d
+    | None -> Alcotest.fail "two-process no-crash replay produced no dump"
+  in
+  let model_dump = M.dump w.C.w_models.(Array.length w.C.w_body) in
+  Alcotest.(check (list string))
+    "two-process tree equals oracle"
+    (List.map M.entry_to_string model_dump)
+    (List.map M.entry_to_string fs_dump)
+
 (* A short mixed history exercising every op kind the oracle models. *)
 let test_exhaustive_mixed_ops () =
   let s =
@@ -292,6 +352,10 @@ let () =
           Alcotest.test_case "same-dir rename" `Slow
             test_exhaustive_rename_samedir;
           Alcotest.test_case "mixed ops" `Slow test_exhaustive_mixed_ops;
+          Alcotest.test_case "two-process no-crash agreement" `Quick
+            test_two_process_no_crash_agreement;
+          Alcotest.test_case "two-process shared append + create" `Slow
+            test_exhaustive_two_process_shared;
         ] );
       ( "negative",
         [

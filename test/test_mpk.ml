@@ -123,6 +123,100 @@ let test_per_process_page_tables () =
   Alcotest.(check (option string)) "p1 sees page" None r1;
   Alcotest.(check (option string)) "p2 does not" (Some "page not mapped") r2
 
+let test_cross_process_readonly_blocks_write () =
+  (* Process A maps a page writable; process B maps the same physical page
+     read-only.  Even with B's PKRU wide open for the region, B's write must
+     fault on B's own PTE — A's writable mapping lends B nothing. *)
+  let dev, mpk = mk () in
+  let pa = Sim.Proc.create ~uid:1 ~gid:1 () in
+  let pb = Sim.Proc.create ~uid:2 ~gid:2 () in
+  Mpk.map_page mpk ~pid:pa.Sim.Proc.pid ~page:0 ~writable:true ~pkey:3;
+  Mpk.map_page mpk ~pid:pb.Sim.Proc.pid ~page:0 ~writable:false ~pkey:3;
+  Sim.run_thread ~proc:pa (fun () ->
+      Mpk.wrpkru mpk [ (3, Mpk.Pk_read_write) ];
+      D.write_u64 dev 0 42);
+  let rb =
+    Sim.run_thread ~proc:pb (fun () ->
+        Mpk.wrpkru mpk [ (3, Mpk.Pk_read_write) ];
+        Alcotest.(check int) "B reads A's write" 42 (D.read_u64 dev 0);
+        fault_reason (fun () -> D.write_u64 dev 0 666))
+  in
+  Alcotest.(check (option string))
+    "B write blocked by its own read-only PTE"
+    (Some "page mapped read-only") rb;
+  Mpk.with_kernel mpk (fun () ->
+      Alcotest.(check int) "A's value intact" 42 (D.read_u64 dev 0))
+
+let test_cross_process_unmapped_blocks_all () =
+  (* Process B with no mapping at all cannot even read what A maps rw. *)
+  let dev, mpk = mk () in
+  let pa = Sim.Proc.create ~uid:1 ~gid:1 () in
+  let pb = Sim.Proc.create ~uid:2 ~gid:2 () in
+  Mpk.map_page mpk ~pid:pa.Sim.Proc.pid ~page:0 ~writable:true ~pkey:1;
+  Sim.run_thread ~proc:pa (fun () ->
+      Mpk.wrpkru mpk [ (1, Mpk.Pk_read_write) ];
+      D.write_u64 dev 0 7);
+  let rb =
+    Sim.run_thread ~proc:pb (fun () ->
+        Mpk.wrpkru mpk [ (1, Mpk.Pk_read_write) ];
+        fault_reason (fun () -> D.read_u64 dev 0))
+  in
+  Alcotest.(check (option string))
+    "unmapped process blocked" (Some "page not mapped") rb
+
+let test_pkru_no_leak_across_process_switch () =
+  (* Same simulated core, process switch: a thread of process B scheduled
+     after process A's thread opened region 5 must start from the
+     all-disabled PKRU default, not inherit A's register image. *)
+  let dev, mpk = mk () in
+  let pa = Sim.Proc.create ~uid:1 ~gid:1 () in
+  let pb = Sim.Proc.create ~uid:2 ~gid:2 () in
+  Mpk.map_page mpk ~pid:pa.Sim.Proc.pid ~page:0 ~writable:true ~pkey:5;
+  Mpk.map_page mpk ~pid:pb.Sim.Proc.pid ~page:0 ~writable:true ~pkey:5;
+  let w = Sim.create () in
+  let b_fault = ref None and b_pkru = ref [ (1, Mpk.Pk_read) ] in
+  Sim.spawn w ~proc:pa ~name:"a" (fun () ->
+      Mpk.wrpkru mpk [ (5, Mpk.Pk_read_write) ];
+      D.write_u64 dev 0 1;
+      Sim.advance 100);
+  Sim.spawn w ~proc:pb ~at:50 ~name:"b" (fun () ->
+      b_pkru := Mpk.rdpkru mpk;
+      b_fault := fault_reason (fun () -> D.read_u64 dev 0));
+  Sim.run w;
+  Alcotest.(check bool) "B starts all-disabled" true (!b_pkru = []);
+  Alcotest.(check (option string))
+    "B blocked despite A's open window"
+    (Some "MPK: region 5 access-disabled") !b_fault
+
+let test_drop_process_clears_context () =
+  (* Killing + reaping a process must leave no protection residue: page
+     table gone, per-thread PKRU/kernel-mode state gone. *)
+  let dev, mpk = mk () in
+  let p = Sim.Proc.create ~uid:9 ~gid:9 () in
+  let pid = p.Sim.Proc.pid in
+  Mpk.map_page mpk ~pid ~page:0 ~writable:true ~pkey:2;
+  let tid =
+    ref (-1)
+  in
+  let w = Sim.create () in
+  tid :=
+    Sim.spawn_tid w ~proc:p ~name:"victim" (fun () ->
+        Mpk.wrpkru mpk [ (2, Mpk.Pk_read_write) ];
+        D.write_u64 dev 0 3);
+  Sim.run w;
+  Alcotest.(check bool) "table present" true (Mpk.has_table mpk ~pid);
+  Alcotest.(check bool) "thread state present" true
+    (Mpk.has_thread_state mpk ~tid:!tid);
+  Mpk.drop_process mpk ~pid ~tids:[ !tid ];
+  Alcotest.(check bool) "table dropped" false (Mpk.has_table mpk ~pid);
+  Alcotest.(check bool) "thread state dropped" false
+    (Mpk.has_thread_state mpk ~tid:!tid);
+  (* A process reusing the pid slot starts from nothing mapped. *)
+  let r =
+    Sim.run_thread ~proc:p (fun () -> fault_reason (fun () -> D.read_u64 dev 0))
+  in
+  Alcotest.(check (option string)) "nothing mapped" (Some "page not mapped") r
+
 let test_unmap () =
   let dev, mpk = mk () in
   in_proc (fun p ->
@@ -246,6 +340,14 @@ let () =
           Alcotest.test_case "mapped rw" `Quick test_mapped_rw_ok;
           Alcotest.test_case "read-only mapping" `Quick test_readonly_mapping;
           Alcotest.test_case "per-process tables" `Quick test_per_process_page_tables;
+          Alcotest.test_case "cross-process read-only blocks write" `Quick
+            test_cross_process_readonly_blocks_write;
+          Alcotest.test_case "cross-process unmapped blocks all" `Quick
+            test_cross_process_unmapped_blocks_all;
+          Alcotest.test_case "PKRU no-leak across process switch" `Quick
+            test_pkru_no_leak_across_process_switch;
+          Alcotest.test_case "drop_process clears context" `Quick
+            test_drop_process_clears_context;
           Alcotest.test_case "unmap" `Quick test_unmap;
           Alcotest.test_case "unmap_all" `Quick test_unmap_all;
           Alcotest.test_case "page_pkey query" `Quick test_page_pkey_query;

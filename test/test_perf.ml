@@ -6,18 +6,84 @@
 
 module P = Perf_gate
 module J = Obs.Json
+module V = Treasury.Vfs
+module FL = Workloads.Fslab
 
 (* ---- determinism --------------------------------------------------------- *)
 
 (* Two independent runs of the full pinned set, same process: every counter
    and every simulated nanosecond must match, or the committed-baseline
-   scheme breaks down into flaky gates. *)
+   scheme breaks down into flaky gates.  The set includes the two
+   64-tenant-process shared experiments, so this also proves the
+   cross-process scheduling (64 FSLibs contending for one coffer lease)
+   is reproducible down to the nanosecond. *)
 let test_two_runs_identical () =
   let a = P.run_all ~quick:true () in
   let b = P.run_all ~quick:true () in
   Alcotest.(check string) "byte-identical JSON"
     (J.to_string (P.to_json a))
     (J.to_string (P.to_json b))
+
+(* The stronger multi-process claim: not just the end-of-run counters but
+   the full event stream — one line per completed op with its simulated
+   completion time and tenant index, in completion order — is
+   byte-identical across runs with 64 tenant processes.  The scheduler
+   orders runnable threads by (time, seq) only and tenant labels are
+   spawn indexes (not pids, which come from a global counter), so there
+   is no hidden nondeterminism to absorb. *)
+let shared_event_stream () =
+  let buf = Buffer.create 8192 in
+  let world = Sim.create () in
+  let fail e = Alcotest.failf "op failed: %s" (Treasury.Errno.to_string e) in
+  Sim.spawn world
+    ~proc:(Sim.Proc.create ~uid:0 ~gid:0 ())
+    ~name:"setup"
+    (fun () ->
+      let _dev, kfs = FL.make_zofs ~pages:16384 ~perf:Nvm.Perf.optane () in
+      let fs0 = FL.zofs_fslib kfs in
+      (match V.write_file fs0 "/shared" ~mode:0o644 "" with
+      | Ok () -> ()
+      | Error e -> fail e);
+      (match V.mkdir fs0 "/sdir" 0o755 with
+      | Ok () -> ()
+      | Error e -> fail e);
+      for p = 0 to 63 do
+        Sim.spawn world
+          ~proc:(Sim.Proc.create ~uid:0 ~gid:0 ())
+          ~name:(Printf.sprintf "tenant-%d" p)
+          (fun () ->
+            Obs.set_tenant p;
+            let fs = FL.zofs_fslib kfs in
+            let payload = String.make 256 (Char.chr (65 + (p mod 26))) in
+            for i = 0 to 3 do
+              (match V.append_file fs "/shared" payload with
+              | Ok () -> ()
+              | Error e -> fail e);
+              Buffer.add_string buf
+                (Printf.sprintf "t=%d p=%d append i=%d\n" (Sim.now ()) p i);
+              (match
+                 V.write_file fs
+                   (Printf.sprintf "/sdir/p%d_%d" p i)
+                   ~mode:0o644 "x"
+               with
+              | Ok () -> ()
+              | Error e -> fail e);
+              Buffer.add_string buf
+                (Printf.sprintf "t=%d p=%d create i=%d\n" (Sim.now ()) p i);
+              Sim.advance 300
+            done)
+      done);
+  Sim.run world;
+  Buffer.contents buf
+
+let test_64proc_event_stream_identical () =
+  let a = shared_event_stream () in
+  let b = shared_event_stream () in
+  Alcotest.(check int) "stream non-trivial (64 procs x 8 events)"
+    (64 * 8)
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' a)));
+  Alcotest.(check string) "byte-identical event streams" a b
 
 (* ---- JSON round trip ------------------------------------------------------ *)
 
@@ -123,6 +189,8 @@ let () =
         [
           Alcotest.test_case "two runs byte-identical" `Quick
             test_two_runs_identical;
+          Alcotest.test_case "64-process event stream byte-identical" `Quick
+            test_64proc_event_stream_identical;
         ] );
       ( "json",
         [

@@ -219,6 +219,106 @@ let test_readonly_mapping_blocks_modification () =
               | () -> Alcotest.fail "read-only mapping must block stores"
               | exception Nvm.Fault _ -> ()))
 
+let test_cross_process_readonly_cannot_write_writable_pages () =
+  (* Two live processes sharing one coffer: A (the owner) maps it writable,
+     B (group-read only) maps the same pages read-only.  B's raw stores must
+     fault on B's own PTEs even while A is actively writing the very same
+     pages — A's writable mapping lends B nothing. *)
+  let w = make_world ~pages:8192 () in
+  in_proc ~uid:100 w (fun fs ->
+      ok_or_fail (V.write_file fs "/grp" ~mode:0o644 "data"));
+  let world = Sim.create () in
+  let pa = Sim.Proc.create ~uid:100 ~gid:100 () in
+  let pb = Sim.Proc.create ~uid:300 ~gid:300 () in
+  let b_faults = ref 0 in
+  Sim.spawn world ~proc:pa ~name:"owner" (fun () ->
+      let fs = vfs w in
+      for _ = 1 to 10 do
+        ok_or_fail (V.append_file fs "/grp" "+");
+        Sim.advance 2_000
+      done);
+  Sim.spawn world ~proc:pb ~at:1_000 ~name:"reader" (fun () ->
+      let ufs = Zofs.Ufs.create w.kfs in
+      ignore (Treasury.Dispatcher.create w.kfs);
+      let cid =
+        match K.coffer_find w.kfs "/grp" with
+        | Ok c -> c
+        | Error _ -> Alcotest.fail "coffer"
+      in
+      match Zofs.Ufs.map_coffer ufs cid with
+      | Error _ -> Alcotest.fail "map ro"
+      | Ok cs ->
+          for _ = 1 to 10 do
+            Zofs.Ufs.with_coffer ufs cs ~write:true (fun () ->
+                match
+                  Nvm.Device.write_u64 w.dev cs.Zofs.Ufs.cs_root_file 0xEE11
+                with
+                | () -> Alcotest.fail "read-only mapping must block stores"
+                | exception Nvm.Fault _ -> incr b_faults);
+            Sim.advance 2_000
+          done);
+  Sim.run world;
+  Alcotest.(check int) "every cross-process store faulted" 10 !b_faults;
+  (* A's writes all landed despite B's attempts. *)
+  in_proc ~uid:100 w (fun fs ->
+      Alcotest.(check string) "owner data intact" "data++++++++++"
+        (ok_or_fail (V.read_file fs "/grp")))
+
+let test_killed_process_reaped_without_residue () =
+  (* Process A is SIGKILLed mid-append; a surviving driver reaps it.  After
+     the reap no protection state of A survives (page table, PKRU), and a
+     fresh process B recovers the file through lease expiry + intention
+     repair. *)
+  let w = setup_shared () in
+  let world = Sim.create () in
+  let pa = Sim.Proc.create ~uid:0 ~gid:0 () in
+  let reaped = ref false in
+  let b_result = ref None in
+  Sim.spawn world ~proc:pa ~name:"victim" (fun () ->
+      let fs = vfs w in
+      for _ = 1 to 1000 do
+        ignore (V.append_file fs "/shared/f1" "a");
+        Sim.advance 100
+      done);
+  Sim.spawn world ~name:"driver" (fun () ->
+      Sim.advance 20_000;
+      Sim.kill_process ~pid:pa.Sim.Proc.pid;
+      let budget = ref 1000 in
+      while Sim.proc_alive pa.Sim.Proc.pid && !budget > 0 do
+        decr budget;
+        Sim.advance 1_000
+      done;
+      Alcotest.(check bool) "victim dead" false
+        (Sim.proc_alive pa.Sim.Proc.pid);
+      (match K.reap_process w.kfs ~pid:pa.Sim.Proc.pid with
+      | Ok () -> reaped := true
+      | Error e -> Alcotest.failf "reap: %s" (E.to_string e));
+      (* No protection residue: A's page table is gone and its threads'
+         PKRU entries are dropped. *)
+      Alcotest.(check bool) "page table dropped" false
+        (Mpk.has_table w.mpk ~pid:pa.Sim.Proc.pid);
+      List.iter
+        (fun tid ->
+          Alcotest.(check bool) "thread PKRU dropped" false
+            (Mpk.has_thread_state w.mpk ~tid))
+        (Sim.proc_tids pa.Sim.Proc.pid);
+      (* A fresh process B can use the file: any lease A held expires and
+         the intention record is repaired on the way. *)
+      let fs = vfs w in
+      b_result :=
+        Some
+          (match V.append_file fs "/shared/f1" "b" with
+          | Ok () -> V.read_file fs "/shared/f1"
+          | Error e -> Error e));
+  Sim.run world;
+  Alcotest.(check bool) "reaped" true !reaped;
+  match !b_result with
+  | None -> Alcotest.fail "B never ran"
+  | Some (Error e) -> Alcotest.failf "B failed: %s" (E.to_string e)
+  | Some (Ok s) ->
+      Alcotest.(check bool) "B's append landed last" true
+        (String.length s > 0 && s.[String.length s - 1] = 'b')
+
 let test_dos_is_bounded_by_leases () =
   (* The paper notes FSLibs can mount DoS attacks by holding leases; leases
      expire, so a stalled holder only delays others. *)
@@ -264,6 +364,10 @@ let () =
           Alcotest.test_case "caught by MPK" `Quick test_stray_writes_caught_by_mpk;
           Alcotest.test_case "read-only mapping" `Quick
             test_readonly_mapping_blocks_modification;
+          Alcotest.test_case "cross-process read-only vs writable" `Quick
+            test_cross_process_readonly_cannot_write_writable_pages;
+          Alcotest.test_case "killed process reaped without residue" `Quick
+            test_killed_process_reaped_without_residue;
         ] );
       ( "graceful-errors",
         [

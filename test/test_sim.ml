@@ -158,6 +158,85 @@ let test_proc_identity () =
   Alcotest.(check int) "uid" 7 uid;
   Alcotest.(check int) "outside proc is root" 0 (Sim.self_proc ()).Sim.Proc.uid
 
+let test_kill_process_semantics () =
+  (* SIGKILL for a whole pid: every thread dies at a suspension point, no
+     finalizer runs, survivors in other processes observe the deaths. *)
+  let victim = Sim.Proc.create ~uid:100 ~gid:100 () in
+  let finalizers_ran = ref 0 in
+  let victim_tids = ref [] in
+  let observed = ref None in
+  let w = Sim.create () in
+  for i = 1 to 3 do
+    let tid =
+      Sim.spawn_tid w ~proc:victim ~name:(Printf.sprintf "victim%d" i)
+        (fun () ->
+          Fun.protect
+            ~finally:(fun () -> incr finalizers_ran)
+            (fun () ->
+              for _ = 1 to 1000 do
+                Sim.advance 10
+              done))
+    in
+    victim_tids := tid :: !victim_tids
+  done;
+  Sim.spawn w ~name:"driver" (fun () ->
+      Sim.advance 100;
+      Sim.kill_process ~pid:victim.Sim.Proc.pid;
+      (* Victims die at their next advance; pump until none is left. *)
+      let budget = ref 100 in
+      while Sim.proc_alive victim.Sim.Proc.pid && !budget > 0 do
+        decr budget;
+        Sim.advance 50
+      done;
+      observed :=
+        Some
+          ( Sim.proc_alive victim.Sim.Proc.pid,
+            List.map Sim.thread_alive !victim_tids,
+            Sim.killed_threads () ));
+  Sim.run w;
+  (match !observed with
+  | None -> Alcotest.fail "driver did not run"
+  | Some (alive, per_thread, killed) ->
+      Alcotest.(check bool) "proc dead" false alive;
+      Alcotest.(check (list bool))
+        "every victim thread dead" [ false; false; false ] per_thread;
+      Alcotest.(check int) "killed count" 3 killed);
+  Alcotest.(check int) "no finalizer ran" 0 !finalizers_ran;
+  (* pid->tid tracking is per-world: a fresh world knows nothing of pid. *)
+  let w2 = Sim.create () in
+  Sim.spawn w2 ~name:"check" (fun () ->
+      Alcotest.(check (list int))
+        "fresh world has no tids for the pid" []
+        (Sim.proc_tids victim.Sim.Proc.pid));
+  Sim.run w2
+
+let test_kill_process_defers_past_no_kill () =
+  (* A thread inside a no-kill section (modelling a syscall) completes the
+     section before dying: the kill fires at the first advance outside. *)
+  let victim = Sim.Proc.create () in
+  let section_done = ref false and after_section = ref false in
+  let w = Sim.create () in
+  Sim.spawn w ~proc:victim ~name:"victim" (fun () ->
+      Sim.advance 10;
+      Sim.with_no_kill (fun () ->
+          for _ = 1 to 20 do
+            Sim.advance 10
+          done;
+          section_done := true);
+      Sim.advance 10;
+      after_section := true);
+  Sim.spawn w ~name:"driver" (fun () ->
+      Sim.advance 5;
+      Sim.kill_process ~pid:victim.Sim.Proc.pid;
+      let budget = ref 100 in
+      while Sim.proc_alive victim.Sim.Proc.pid && !budget > 0 do
+        decr budget;
+        Sim.advance 50
+      done);
+  Sim.run w;
+  Alcotest.(check bool) "no-kill section completed" true !section_done;
+  Alcotest.(check bool) "died at first advance outside" false !after_section
+
 let test_rng_deterministic () =
   let a = Sim.Rng.create 1L and b = Sim.Rng.create 1L in
   for _ = 1 to 100 do
@@ -265,6 +344,10 @@ let () =
           Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
           Alcotest.test_case "proc identity" `Quick test_proc_identity;
+          Alcotest.test_case "kill-whole-process semantics" `Quick
+            test_kill_process_semantics;
+          Alcotest.test_case "kill-process defers past no-kill" `Quick
+            test_kill_process_defers_past_no_kill;
         ] );
       ( "sync",
         [
