@@ -1,0 +1,144 @@
+(* Overload campaign over the serving frontend (lib/serve).
+
+   Drives zofs through Serve with thousands of simulated clients — a
+   thundering herd, mixed-priority tenants at >= 2x the measured
+   sustainable load, write fan-in on one hot inode under tight deadlines,
+   an elephant tenant next to a cheap one, clients SIGKILLed mid-request,
+   and a degrade/recover round-trip — and checks the serving-plane
+   containment invariants: every request accounted exactly once, honest
+   retry-afters, no tenant starved, the high-priority SLO held under
+   overload, deadlines reaching lease acquisition, dead clients' slots
+   reclaimed, and the tier machine returning to Normal.
+
+     zofs_serve [--mode log|fail] [--seed N] [--quick] [--json FILE]
+                [--baseline FILE]
+
+   --json FILE      write the deterministic campaign report (every number
+                    derives from the simulated clock, so the bytes are
+                    identical run to run)
+   --baseline FILE  additionally compare against a committed copy
+                    (BENCH_serve.json) and fail on drift — what
+                    `dune build @serve` enforces
+
+   The run always finishes with the negative self-check: the mixed
+   overload rerun against a naive FIFO server (admission disabled) must
+   produce a starvation violation, proving the campaign can detect the
+   failure class the serving plane exists to prevent. *)
+
+module C = Serving.Campaign
+
+let usage () =
+  prerr_endline
+    "usage: zofs_serve [--mode log|fail] [--seed N] [--quick] [--json FILE] \
+     [--baseline FILE]";
+  exit 2
+
+let print_report (r : C.report) =
+  Printf.printf
+    "serve campaign: %d clients, %d requests\n\
+    \  outcomes: ok=%d err=%d shed=%d timed-out=%d lost=%d (client kills=%d)\n\
+    \  capacity: %d req/s sustainable; mixed scenario offered %d.%02dx\n\
+    \  hi-prio:  p99 %d ns (SLO %d ns) under overload\n\
+    \  deadlines: %d lease acquisitions abandoned at deadline\n\
+    \  tiers:    degrade down=%d up=%d, final tier %s\n%!"
+    r.C.c_clients r.C.c_requests r.C.c_done_ok r.C.c_done_err r.C.c_shed
+    r.C.c_timed_out r.C.c_lost r.C.c_kills r.C.c_capacity_rps
+    (r.C.c_overload_x100 / 100)
+    (r.C.c_overload_x100 mod 100)
+    r.C.c_hi_p99_ns r.C.c_hi_slo_ns r.C.c_lease_aborts r.C.c_degrade_downs
+    r.C.c_degrade_ups r.C.c_final_tier;
+  List.iter (fun v -> Printf.printf "  VIOLATION: %s\n%!" v) r.C.c_violations
+
+let json_of (r : C.report) =
+  let open Obs.Json in
+  to_string
+    (Obj
+       [
+         ("campaign", Str "serve");
+         ("clients", Num (float_of_int r.C.c_clients));
+         ("requests", Num (float_of_int r.C.c_requests));
+         ("done_ok", Num (float_of_int r.C.c_done_ok));
+         ("done_err", Num (float_of_int r.C.c_done_err));
+         ("shed", Num (float_of_int r.C.c_shed));
+         ("timed_out", Num (float_of_int r.C.c_timed_out));
+         ("lost", Num (float_of_int r.C.c_lost));
+         ("kills", Num (float_of_int r.C.c_kills));
+         ("capacity_rps", Num (float_of_int r.C.c_capacity_rps));
+         ("overload_x100", Num (float_of_int r.C.c_overload_x100));
+         ("hi_p99_ns", Num (float_of_int r.C.c_hi_p99_ns));
+         ("hi_slo_ns", Num (float_of_int r.C.c_hi_slo_ns));
+         ("lease_aborts", Num (float_of_int r.C.c_lease_aborts));
+         ("degrade_downs", Num (float_of_int r.C.c_degrade_downs));
+         ("degrade_ups", Num (float_of_int r.C.c_degrade_ups));
+         ("final_tier", Str r.C.c_final_tier);
+         ("violations", Arr (List.map (fun v -> Str v) r.C.c_violations));
+       ])
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let mode = ref `Fail in
+  let seed = ref 21L in
+  let quick = ref false in
+  let json = ref None in
+  let baseline = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--mode" :: "log" :: rest ->
+        mode := `Log;
+        parse rest
+    | "--mode" :: "fail" :: rest ->
+        mode := `Fail;
+        parse rest
+    | "--seed" :: n :: rest ->
+        seed := Int64.of_string n;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--json" :: p :: rest ->
+        json := Some p;
+        parse rest
+    | "--baseline" :: p :: rest ->
+        baseline := Some p;
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let r = C.run ~seed:!seed ~quick:!quick () in
+  print_report r;
+  let js = json_of r in
+  (match !json with
+  | None -> ()
+  | Some p ->
+      let oc = open_out_bin p in
+      output_string oc js;
+      close_out oc;
+      Printf.printf "zofs_serve: wrote %s\n%!" p);
+  let drift =
+    match !baseline with
+    | None -> false
+    | Some p ->
+        let want = read_file p in
+        if want = js then false
+        else begin
+          Printf.printf
+            "zofs_serve: report drifted from %s (re-baseline with --json %s \
+             after auditing the diff)\n\
+             %!"
+            p p;
+          true
+        end
+  in
+  Printf.printf "zofs_serve: negative self-check (admission disabled)...\n%!";
+  let caught = C.negative_selfcheck ~quick:!quick () in
+  if caught then
+    Printf.printf "  naive FIFO server: starvation detected (good)\n%!"
+  else Printf.printf "  NEGATIVE CHECK FAILED: starvation not detected\n%!";
+  let bad = r.C.c_violations <> [] || (not caught) || drift in
+  if bad && !mode = `Fail then exit 1

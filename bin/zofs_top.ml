@@ -95,10 +95,23 @@ let () =
       (c "syscall.count") (c "gate.crossings") (c "lease.acquires")
       (c "lease.steals");
     Printf.printf
-      "faults: %d media   %d graceful errors   quarantined coffers: %d\n\n"
+      "faults: %d media   %d graceful errors   quarantined coffers: %d\n"
       (c "fault.media")
       (c "fault.graceful_errors")
       (c "health.quarantined");
+    (* serving plane: per-tenant series summed across tenants *)
+    let csum base =
+      List.fold_left
+        (fun a (_, v) ->
+          match v with Obs.Snapshot.L_counter n -> a + n | _ -> a)
+        (c base)
+        (Obs.Snapshot.labeled snap ~base)
+    in
+    Printf.printf
+      "serve: %d admitted   %d shed   %d timed out   %d lost   %d deadline \
+       aborts in lease wait\n\n"
+      (csum "serve.submitted") (csum "serve.shed") (csum "serve.timed_out")
+      (c "serve.lost_clients") (c "lease.aborts");
     (match Obs.Snapshot.render_top ~k:!k snap with
     | "" -> print_endline "no label-sliced series in this snapshot"
     | s -> print_string s);

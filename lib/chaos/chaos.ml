@@ -186,6 +186,9 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
       guard
         (Op.Create
            { path = shared_path; mode = 0o644; data = Op.payload ~tag:777 100 });
+      (* staging ground for cross-coffer renames: 0600 files born here live
+         in their own coffers until a rename drags them into /work *)
+      guard (Op.Mkdir "/xc");
       let stop_tenants = ref false in
       let tenant_tids =
         List.init n_tenants (fun i ->
@@ -207,6 +210,26 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
                          "exception escaped the dispatcher in tenant %d: %s" i
                          (Printexc.to_string e))
                 in
+                (* this tenant's split/merge churn target: chmod 0600 pulls
+                   it out into its own coffer (split), 0644 folds it back
+                   into the directory's coffer (merge) *)
+                let churn_path = Printf.sprintf "/work/churn%d" i in
+                apply
+                  (Op.Create
+                     {
+                       path = churn_path;
+                       mode = 0o644;
+                       data = Op.payload ~tag:(90 + i) 120;
+                     });
+                let chmod path mode =
+                  incr ops;
+                  try ignore (V.chmod tfs path mode)
+                  with e ->
+                    violation
+                      (Printf.sprintf
+                         "exception escaped the dispatcher in tenant %d: %s" i
+                         (Printexc.to_string e))
+                in
                 let k = ref 0 in
                 while not !stop_tenants do
                   apply
@@ -220,6 +243,25 @@ let run ?(seed = 11L) ?(pages = 16384) ?(min_faults = 200) ?(max_rounds = 600)
                            mode = 0o644;
                            data = Op.payload ~tag:(i + !k) 200;
                          });
+                  (* cross-coffer rename: the 0600 source owns its coffer,
+                     the destination directory lives in another — the move
+                     exercises split, link-destination-first, and merge
+                     while the injectors are firing *)
+                  if !k mod 6 = 5 then begin
+                    let src = Printf.sprintf "/xc/x%d_%d" i !k in
+                    apply
+                      (Op.Create
+                         {
+                           path = src;
+                           mode = 0o600;
+                           data = Op.payload ~tag:((i * 13) + !k) 160;
+                         });
+                    apply
+                      (Op.Rename
+                         { src; dst = Printf.sprintf "/work/xc%d_%d" i !k })
+                  end;
+                  if !k mod 8 = 7 then
+                    chmod churn_path (if !k mod 16 = 7 then 0o600 else 0o644);
                   incr k;
                   Sim.advance (800 + Sim.Rng.int trng 1_200)
                 done))

@@ -1,0 +1,91 @@
+(* Capped exponential backoff with deterministic jitter — THE retry cadence
+   of the reproduction.
+
+   Before the serving frontend, two retry loops had drifted apart: lease
+   acquisition spun on a fixed 200 ns cadence, and the FSLib transient-errno
+   absorber (ENOMEM/EAGAIN from coffer_enlarge/coffer_map) doubled a 2 µs
+   base with no cap discipline shared between them.  Under a thundering
+   herd both cadences synchronize waiters into convoys: every backed-off
+   thread re-attempts on the same simulated instant and the CAS (or the
+   kernel gate) is stampeded again.  This module is the single shared
+   policy: exponential growth to a cap, plus a jitter term derived from a
+   splitmix64 hash of (salt, thread, attempt, now) — fully deterministic
+   for a given simulated execution, so benchmarks stay byte-identical
+   across runs, yet decorrelated across threads so convoys disperse.
+
+   The helper is deadline-aware: [wait] refuses to sleep past an absolute
+   simulated-time deadline and tells the caller the budget is exhausted, so
+   a request carrying an end-to-end deadline (Deadline.with_deadline) times
+   out cleanly instead of camping on a contended lease. *)
+
+type t = {
+  base : int;  (* first delay, ns *)
+  cap : int;  (* delays stop growing here *)
+  salt : int;  (* decorrelates independent retry sites *)
+  mutable attempt : int;  (* completed waits so far *)
+}
+
+let create ?(base = 200) ?(cap = 6_400) ?(salt = 0) () =
+  if base <= 0 || cap < base then invalid_arg "Backoff.create";
+  { base; cap; salt; attempt = 0 }
+
+let attempts t = t.attempt
+
+(* splitmix64 finalizer over the mixed inputs: cheap, stateless, and
+   deterministic under the sim (no shared RNG stream is consumed, so
+   adding a retry site never perturbs anyone else's random choices). *)
+let mix64 x =
+  let open Int64 in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94d049bb133111ebL in
+  logxor x (shift_right_logical x 31)
+
+let jitter t ~step =
+  let h =
+    mix64
+      (Int64.logxor
+         (Int64.of_int ((t.salt * 0x9E3779B9) + t.attempt))
+         (Int64.of_int ((Sim.self_tid () * 0x85EBCA6B) lxor Sim.now ())))
+  in
+  (* uniform in [-step/4, +step/4] *)
+  let span = max 1 (step / 2) in
+  (Int64.to_int (Int64.rem h (Int64.of_int span)) + span) mod span - (span / 2)
+
+let next_delay t =
+  let step = min t.cap (t.base lsl min t.attempt 20) in
+  max 1 (step + jitter t ~step)
+
+(* Sleep the current thread for the next backoff step.  Returns the delay
+   actually charged. *)
+let wait t =
+  let d = next_delay t in
+  t.attempt <- t.attempt + 1;
+  Sim.advance d;
+  d
+
+(* Deadline-aware wait: sleep the next step, but never past [deadline]
+   (absolute sim time).  Returns [false] when the deadline has been reached
+   — the caller owes at most one final attempt before giving up. *)
+let wait_until t ~deadline =
+  let now = Sim.now () in
+  if now >= deadline then false
+  else begin
+    let d = min (next_delay t) (deadline - now) in
+    t.attempt <- t.attempt + 1;
+    Sim.advance d;
+    Sim.now () < deadline
+  end
+
+(* Generic bounded-retry combinator over result-returning operations, used
+   by the FSLib transient-errno absorber: retry while [retryable e] and
+   fewer than [max_attempts] waits have been paid. *)
+let retry ?(max_attempts = 4) ~retryable ?(on_retry = fun _ -> ()) t f =
+  let rec go () =
+    match f () with
+    | Error e when retryable e && t.attempt < max_attempts ->
+        on_retry e;
+        ignore (wait t);
+        go ()
+    | r -> r
+  in
+  go ()

@@ -23,6 +23,12 @@ type t = {
       (* online scoped fsck for one coffer (wired by the embedder; e.g.
          Zofs.Recovery.recover_one).  Returns true when the coffer was made
          consistent again. *)
+  mutable admission : (op:string -> (unit, Errno.t) result) option;
+      (* serving-plane admission hook (wired by lib/serve): consulted at the
+         head of every dispatched operation, BEFORE any µFS work, so a
+         degraded or over-quota tenant is refused without touching NVM.
+         [op] is the syscall name; the hook returns the errno to surface
+         (typically EAGAIN for backpressure, EIO for a rejecting tier). *)
 }
 
 let ( let* ) = Result.bind
@@ -41,6 +47,7 @@ let create ?(mount_path = "/") ?kernel_fs kfs =
     kernel_fs;
     graceful_errors = 0;
     repair = None;
+    admission = None;
   }
 
 let register_ufs t (type a) (module F : Ufs_intf.S with type t = a) (inst : a) =
@@ -70,6 +77,38 @@ let ufs_for t _path =
   match Hashtbl.find_opt t.ufss t.default_ctype with
   | Some u -> Ok u
   | None -> Error Errno.ENOSYS
+
+(* ---- admission control (serving plane) ---------------------------------- *)
+
+let set_admission t f = t.admission <- Some f
+let clear_admission t = t.admission <- None
+
+(* Consulted at the head of every dispatched operation.  A refusal is
+   counted per-tenant so shed traffic is always observable.  A request
+   whose end-to-end budget is already gone is refused before any µFS work:
+   this is the cheapest safe-to-abort point there is. *)
+let admit t ~op =
+  if op <> "close" && Deadline.expired () then begin
+    (* close is exempt: refusing resource release on an expired budget
+       would leak the descriptor — the op a timed-out request MUST still
+       be allowed to finish its cleanup with. *)
+    Obs.cnt_l "dispatch.deadline_expired"
+      (Obs.Labels.v [ ("tenant", string_of_int (Obs.current_tenant ())) ])
+      1;
+    Error Errno.ETIMEDOUT
+  end
+  else
+    match t.admission with
+  | None -> Ok ()
+  | Some f -> (
+      match f ~op with
+      | Ok () -> Ok ()
+      | Error e ->
+          Obs.cnt_l "dispatch.refused"
+            (Obs.Labels.v
+               [ ("tenant", string_of_int (Obs.current_tenant ())) ])
+            1;
+          Error e)
 
 (* ---- fault handling and online self-healing (graceful error return) ----- *)
 
@@ -186,6 +225,15 @@ let protect_gen t wrap f =
         if !debug_raise then raise e;
         graceful t;
         Error (wrap Errno.EIO)
+    | exception Deadline.Expired _ ->
+        (* The request's end-to-end budget ran out at a safe-to-abort point
+           (lease wait, kernel-retry backoff).  Not a fault: the µFS state
+           is exactly as a crash at that point would leave it — any pending
+           intention record is repaired by the next lease holder. *)
+        Obs.cnt_l "dispatch.deadline_expired"
+          (Obs.Labels.v [ ("tenant", string_of_int (Obs.current_tenant ())) ])
+          1;
+        Error (wrap Errno.ETIMEDOUT)
   in
   run 0
 
@@ -231,6 +279,10 @@ let name _ = "zofs-fslibs"
 
 let openf t path flags mode =
   Obs.with_syscall "open" @@ fun () ->
+  (* creating opens are write-class for the serving plane's tier gate *)
+  let* () =
+    admit t ~op:(if List.mem Fs_types.O_CREAT flags then "creat" else "open")
+  in
   let* fd_target =
     dispatch_path t path ~depth:0
       ~on_ufs:(fun (U ((module F), u)) p ->
@@ -247,66 +299,77 @@ let openf t path flags mode =
 
 let mkdir t path mode =
   Obs.with_syscall "mkdir" @@ fun () ->
+  let* () = admit t ~op:"mkdir" in
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.mkdir u p mode)
     ~on_kernel:(fun fs p -> Vfs.mkdir fs p mode)
 
 let rmdir t path =
   Obs.with_syscall "rmdir" @@ fun () ->
+  let* () = admit t ~op:"rmdir" in
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.rmdir u p)
     ~on_kernel:(fun fs p -> Vfs.rmdir fs p)
 
 let unlink t path =
   Obs.with_syscall "unlink" @@ fun () ->
+  let* () = admit t ~op:"unlink" in
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.unlink u p)
     ~on_kernel:(fun fs p -> Vfs.unlink fs p)
 
 let stat t path =
   Obs.with_syscall "stat" @@ fun () ->
+  let* () = admit t ~op:"stat" in
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.stat u p)
     ~on_kernel:(fun fs p -> Vfs.stat fs p)
 
 let lstat t path =
   Obs.with_syscall "lstat" @@ fun () ->
+  let* () = admit t ~op:"lstat" in
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.lstat u p)
     ~on_kernel:(fun fs p -> Vfs.lstat fs p)
 
 let readdir t path =
   Obs.with_syscall "readdir" @@ fun () ->
+  let* () = admit t ~op:"readdir" in
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.readdir u p)
     ~on_kernel:(fun fs p -> Vfs.readdir fs p)
 
 let chmod t path mode =
   Obs.with_syscall "chmod" @@ fun () ->
+  let* () = admit t ~op:"chmod" in
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.chmod u p mode)
     ~on_kernel:(fun fs p -> Vfs.chmod fs p mode)
 
 let chown t path uid gid =
   Obs.with_syscall "chown" @@ fun () ->
+  let* () = admit t ~op:"chown" in
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.chown u p uid gid)
     ~on_kernel:(fun fs p -> Vfs.chown fs p uid gid)
 
 let readlink t path =
   Obs.with_syscall "readlink" @@ fun () ->
+  let* () = admit t ~op:"readlink" in
   dispatch_path t path ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.readlink u p)
     ~on_kernel:(fun fs p -> Vfs.readlink fs p)
 
 let symlink t ~target ~link =
   Obs.with_syscall "symlink" @@ fun () ->
+  let* () = admit t ~op:"symlink" in
   dispatch_path t link ~depth:0
     ~on_ufs:(fun (U ((module F), u)) p -> F.symlink u ~target ~link:p)
     ~on_kernel:(fun fs p -> Vfs.symlink fs ~target ~link:p)
 
 let rename t src dst =
   Obs.with_syscall "rename" @@ fun () ->
+  let* () = admit t ~op:"rename" in
   (* Both paths must land in the same file system. *)
   match (resolve_user_path t src, resolve_user_path t dst) with
   | To_kernel a, To_kernel b -> (
@@ -324,6 +387,7 @@ let rename t src dst =
 
 let truncate t path len =
   Obs.with_syscall "truncate" @@ fun () ->
+  let* () = admit t ~op:"truncate" in
   let* fd = openf t path [ Fs_types.O_WRONLY ] 0 in
   let finish r =
     match Fd_table.close t.fds fd with
@@ -362,6 +426,7 @@ let ufs_of_ctype t ctype =
 
 let close t fd =
   Obs.with_syscall "close" @@ fun () ->
+  let* () = admit t ~op:"close" in
   let* closed = Fd_table.close t.fds fd in
   match closed with
   | None -> Ok ()
@@ -375,6 +440,7 @@ let close t fd =
 
 let read t fd buf boff len =
   Obs.with_syscall "read" @@ fun () ->
+  let* () = admit t ~op:"read" in
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -392,6 +458,7 @@ let read t fd buf boff len =
 
 let pread t fd ~off buf boff len =
   Obs.with_syscall "pread" @@ fun () ->
+  let* () = admit t ~op:"pread" in
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -404,6 +471,7 @@ let pread t fd ~off buf boff len =
 
 let write t fd data =
   Obs.with_syscall "write" @@ fun () ->
+  let* () = admit t ~op:"write" in
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -421,6 +489,7 @@ let write t fd data =
 
 let pwrite t fd ~off data =
   Obs.with_syscall "pwrite" @@ fun () ->
+  let* () = admit t ~op:"pwrite" in
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -434,6 +503,7 @@ let pwrite t fd ~off data =
 
 let fstat t fd =
   Obs.with_syscall "fstat" @@ fun () ->
+  let* () = admit t ~op:"fstat" in
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -446,6 +516,7 @@ let fstat t fd =
 
 let fsync t fd =
   Obs.with_syscall "fsync" @@ fun () ->
+  let* () = admit t ~op:"fsync" in
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->
@@ -458,6 +529,7 @@ let fsync t fd =
 
 let ftruncate t fd len =
   Obs.with_syscall "ftruncate" @@ fun () ->
+  let* () = admit t ~op:"ftruncate" in
   with_ofd t fd (fun ofd ->
       match ofd.Fd_table.target with
       | Fd_table.Ufs { ctype; handle } ->

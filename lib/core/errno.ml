@@ -23,6 +23,7 @@ type t =
   | EAGAIN
   | EBUSY
   | ENOMEM
+  | ETIMEDOUT
 
 let to_string = function
   | ENOENT -> "ENOENT"
@@ -45,6 +46,7 @@ let to_string = function
   | EAGAIN -> "EAGAIN"
   | EBUSY -> "EBUSY"
   | ENOMEM -> "ENOMEM"
+  | ETIMEDOUT -> "ETIMEDOUT"
 
 let message = function
   | ENOENT -> "No such file or directory"
@@ -67,6 +69,7 @@ let message = function
   | EAGAIN -> "Resource temporarily unavailable"
   | EBUSY -> "Device or resource busy"
   | ENOMEM -> "Cannot allocate memory"
+  | ETIMEDOUT -> "Operation timed out"
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 let equal (a : t) b = a = b

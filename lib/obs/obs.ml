@@ -1056,6 +1056,31 @@ let lease_end tok ~retries =
     end
   end
 
+(* An acquisition abandoned because the request's deadline expired: the time
+   camped on the lease is still real wait (it must show up in the op's lease
+   attribution and the trace), but no acquire is counted — the lease was
+   never taken. *)
+let lease_abort tok ~retries =
+  if tok.lt_live && !on then begin
+    let tid = Sim.self_tid () in
+    let fr = frame tid in
+    let wait = max 0 (Sim.now () - tok.lt_t0 - (fr.media - tok.lt_media0)) in
+    cnt "lease.aborts" 1;
+    Counter.add c_lease_retries retries;
+    Counter.add c_lease_wait wait;
+    if fr.coffer >= 0 then begin
+      let l = Labels.of_coffer fr.coffer in
+      cnt_l "lease.aborts" l 1;
+      cnt_l "lease.wait_ns" l wait
+    end;
+    if fr.depth > 0 then fr.lease_w <- fr.lease_w + wait;
+    if wait > 0 then begin
+      let parent = match fr.stack with [] -> 0 | os :: _ -> os.os_id in
+      record_span ~cat:"lease" ~name:"wait_aborted" ~tid ~ts:tok.lt_t0
+        ~dur:(Sim.now () - tok.lt_t0) ~id:(next_span_id ()) ~parent ~op:fr.op
+    end
+  end
+
 (* ---- NVM media attribution ---------------------------------------------- *)
 
 let on_device_event ev =

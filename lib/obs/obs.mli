@@ -324,6 +324,12 @@ val lease_end : lease_token -> retries:int -> unit
     wait was nonzero, a [lease]/[wait] span; inside a syscall the wait
     (minus media time within) goes to [layer.lease_ns]. *)
 
+val lease_abort : lease_token -> retries:int -> unit
+(** An acquisition abandoned (request deadline expired while camped on a
+    contended lease): records [lease.aborts]/[lease.retries]/[lease.wait_ns]
+    and a [lease]/[wait_aborted] span, but no acquire — the lease was never
+    taken. *)
+
 val attach_device : Nvm.Device.t -> unit
 (** Subscribe to the device's trace stream (multi-subscriber: composes with
     [lib/check]) and account each operation's charged simulated time to

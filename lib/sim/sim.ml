@@ -128,6 +128,7 @@ type thread = {
 }
 
 and world = {
+  wuid : int;  (* unique across all worlds ever created in this process *)
   mutable next_tid : int;
   mutable next_seq : int;
   mutable live : int;
@@ -163,8 +164,12 @@ let set_sync_hook f = sync_hook := Some f
 let clear_sync_hook () = sync_hook := None
 let sync_emit ev = match !sync_hook with None -> () | Some f -> f ev
 
+let next_wuid = ref 0
+
 let create ?(seed = 42L) () =
+  incr next_wuid;
   {
+    wuid = !next_wuid;
     next_tid = 0;
     next_seq = 0;
     live = 0;
@@ -194,6 +199,8 @@ let self_name () =
 
 let self_proc () =
   match current_thread () with None -> Proc.root | Some t -> t.proc
+
+let world_uid () = match !active with None -> 0 | Some w -> w.wuid
 
 let fallback_rng = Rng.create 0x5EEDL
 let rng () = match !active with None -> fallback_rng | Some w -> w.rng0

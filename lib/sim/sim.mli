@@ -64,6 +64,13 @@ val self_name : unit -> string
 val self_proc : unit -> Proc.t
 (** The current thread's process, or {!Proc.root} outside a sim. *)
 
+val world_uid : unit -> int
+(** A process-unique id of the active world (0 outside a sim).  Module-global
+    per-thread state keyed by [(world_uid, self_tid)] can never leak between
+    two worlds that happen to reuse the same thread ids — e.g. a deadline
+    left behind by a killed thread (which never unwinds) must not apply to
+    an unrelated thread of the next simulation. *)
+
 val advance : int -> unit
 (** Charge [ns] nanoseconds of virtual time to the current thread and yield
     to the scheduler.  No-op outside a simulation. *)

@@ -10,7 +10,8 @@
 
 let default_duration = 100_000 (* 100 µs of simulated time *)
 let clock_gettime_cost = 25 (* ns: vDSO call *)
-let backoff = 200 (* ns between acquisition attempts *)
+let backoff_base = 200 (* ns: first inter-attempt delay *)
+let backoff_cap = 6_400 (* ns: delays stop growing here *)
 
 let owner_code () = Sim.self_tid () + 2 (* >= 1 even for the non-sim tid -1 *)
 
@@ -22,16 +23,48 @@ let now () =
   Sim.advance clock_gettime_cost;
   Sim.now ()
 
-(* Acquire the lease at [addr]; spins (with simulated backoff) while another
-   thread holds a valid lease. *)
-let acquire ?(duration = default_duration) dev addr =
+(* Acquire the lease at [addr]; backs off (capped exponential with
+   deterministic jitter, Treasury.Backoff) while another thread holds a
+   valid lease.
+
+   [deadline] is an absolute simulated time after which the caller would
+   rather give up than keep camping on the lease; it defaults to the
+   request's ambient deadline (Treasury.Deadline), so the serving plane's
+   end-to-end budget reaches all the way into lock acquisition without any
+   signature changes in between.  Expiry raises [Treasury.Deadline.Expired]
+   BEFORE the lease is taken — never after, so a deadlined request cannot
+   abandon a critical section halfway.  A deadline already in the past
+   still grants one CAS attempt: an uncontended lease costs one try, so
+   "zero budget" degrades to try-once rather than fail-always. *)
+let acquire ?(duration = default_duration) ?deadline dev addr =
+  let deadline =
+    match deadline with Some _ as d -> d | None -> Treasury.Deadline.current ()
+  in
   let me = owner_code () in
   let tok = Obs.lease_begin () in
   let retries = ref 0 in
-  (* After a CAS-failure backoff the previous timestamp is at most
-     [backoff] ns stale — well within lease granularity — so the retry
+  let bo = Treasury.Backoff.create ~base:backoff_base ~cap:backoff_cap ~salt:addr () in
+  let give_up () =
+    Obs.lease_abort tok ~retries:!retries;
+    let d = match deadline with Some d -> d | None -> assert false in
+    raise (Treasury.Deadline.Expired { deadline = d; now = Sim.now () })
+  in
+  (* Sleep one backoff step before the next attempt; when a deadline is set,
+     never sleep past it, and once it is reached the attempt that follows is
+     the final one ([last] below). *)
+  let pause () =
+    incr retries;
+    match deadline with
+    | None ->
+        ignore (Treasury.Backoff.wait bo);
+        `Again
+    | Some d ->
+        if Treasury.Backoff.wait_until bo ~deadline:d then `Again else `Last
+  in
+  (* After a CAS-failure backoff the previous timestamp is at most one
+     backoff step stale — well within lease granularity — so the retry
      reuses it instead of paying clock_gettime_cost a second time. *)
-  let rec attempt ~fresh_clock =
+  let rec attempt ~fresh_clock ~last =
     let v = Nvm.Device.read_u64 dev addr in
     let t = if fresh_clock then now () else Sim.now () in
     if v = 0 || expiry_of v <= t || code_of v = me then begin
@@ -64,19 +97,22 @@ let acquire ?(duration = default_duration) dev addr =
         Check.on_lease_acquired dev addr;
         Race.on_lease_acquired dev addr
       end
-      else begin
-        incr retries;
-        Sim.advance backoff;
-        attempt ~fresh_clock:false
-      end
+      else if last then give_up ()
+      else
+        match pause () with
+        | `Again -> attempt ~fresh_clock:false ~last:false
+        | `Last -> attempt ~fresh_clock:false ~last:true
     end
-    else begin
-      incr retries;
-      Sim.advance backoff;
-      attempt ~fresh_clock:true
-    end
+    else if last then give_up ()
+    else
+      match pause () with
+      | `Again -> attempt ~fresh_clock:true ~last:false
+      | `Last -> attempt ~fresh_clock:true ~last:true
   in
-  attempt ~fresh_clock:true
+  let already_expired =
+    match deadline with Some d -> Sim.now () >= d | None -> false
+  in
+  attempt ~fresh_clock:true ~last:already_expired
 
 (* Renew the current thread's lease (no-op if it was stolen).  The CAS with
    the exact word read means a stale holder can never clobber a stealer's
@@ -123,10 +159,10 @@ let holds dev addr =
    catches a lease-elided mutation; never set in production paths. *)
 let elide_for_tid : int option ref = ref None
 
-let with_lease ?duration dev addr f =
+let with_lease ?duration ?deadline dev addr f =
   if !elide_for_tid = Some (Sim.self_tid ()) then f ()
   else begin
-    acquire ?duration dev addr;
+    acquire ?duration ?deadline dev addr;
     match f () with
     | v ->
         release dev addr;

@@ -3,21 +3,32 @@
 
    A coffer_enlarge or coffer_map can fail transiently — ENOMEM under
    allocation pressure, EAGAIN when the kernel wants the caller to back off.
-   Those are retried a few times with exponential backoff; anything still
-   failing after that is a real error and propagates.  Permanent errnos
-   (EACCES, ENOSPC, ...) are never retried. *)
+   Those are retried a few times on the shared capped-backoff-with-jitter
+   cadence (Treasury.Backoff — the same policy lease acquisition uses, so
+   herds disperse instead of re-stampeding the kernel gate in lockstep);
+   anything still failing after that is a real error and propagates.
+   Permanent errnos (EACCES, ENOSPC, ...) are never retried.
+
+   The loop is deadline-aware: when the request's ambient end-to-end budget
+   (Treasury.Deadline) runs out between attempts, it raises [Expired] rather
+   than paying further backoff the request can no longer afford.  The check
+   sits between kernel calls — a safe-to-abort point; an attempt already in
+   flight always completes. *)
 
 let max_attempts = 4
-let base_backoff = 2_000 (* ns; doubled per attempt *)
+let base_backoff = 2_000 (* ns *)
+let cap_backoff = 16_000
 
 let is_transient = function
   | Treasury.Errno.ENOMEM | Treasury.Errno.EAGAIN -> true
   | _ -> false
 
-let rec retry ?(attempt = 0) f =
-  match f () with
-  | Error e when is_transient e && attempt < max_attempts ->
-      Obs.cnt "retry.transient" 1;
-      Sim.advance (base_backoff lsl attempt);
-      retry ~attempt:(attempt + 1) f
-  | r -> r
+let retry f =
+  let bo =
+    Treasury.Backoff.create ~base:base_backoff ~cap:cap_backoff ~salt:0x7A ()
+  in
+  Treasury.Backoff.retry ~max_attempts ~retryable:is_transient
+    ~on_retry:(fun _ ->
+      Treasury.Deadline.check ();
+      Obs.cnt "retry.transient" 1)
+    bo f
